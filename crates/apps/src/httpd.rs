@@ -1,0 +1,312 @@
+//! MiniHttpd: the Nginx stand-in — a keep-alive HTTP/1.1 static-file server.
+//!
+//! Requests traverse the full unikernel stack: frames come in through
+//! VIRTIO → NETDEV → LWIP, the request names a file served through VFS →
+//! 9PFS → the host share. Connections are keep-alive, so the rejuvenation
+//! experiment (paper Table V) exercises exactly what full reboots break:
+//! long-lived TCP connections and their in-flight requests.
+
+use std::collections::HashMap;
+
+use vampos_core::System;
+use vampos_oslib::OpenFlags;
+use vampos_ukernel::OsError;
+
+use crate::App;
+
+/// The port MiniHttpd listens on.
+pub const HTTP_PORT: u16 = 80;
+
+#[derive(Debug, Default)]
+struct ConnState {
+    buf: Vec<u8>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CachedFile {
+    fd: u64,
+    size: u64,
+}
+
+/// The HTTP server.
+#[derive(Debug)]
+pub struct MiniHttpd {
+    doc_root: String,
+    listen_fd: Option<u64>,
+    conns: HashMap<u64, ConnState>,
+    /// Open-file cache, like Nginx's `open_file_cache`: files stay open
+    /// across requests and are served with positional reads.
+    file_cache: HashMap<String, CachedFile>,
+    served: u64,
+    not_found: u64,
+}
+
+impl Default for MiniHttpd {
+    fn default() -> Self {
+        Self::new("/www")
+    }
+}
+
+impl MiniHttpd {
+    /// Creates a server rooted at `doc_root` (a directory on the 9P share).
+    pub fn new(doc_root: &str) -> Self {
+        MiniHttpd {
+            doc_root: doc_root.trim_end_matches('/').to_owned(),
+            listen_fd: None,
+            conns: HashMap::new(),
+            file_cache: HashMap::new(),
+            served: 0,
+            not_found: 0,
+        }
+    }
+
+    /// Successful responses since boot.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// 404 responses since boot.
+    pub fn not_found(&self) -> u64 {
+        self.not_found
+    }
+
+    /// Currently open client connections.
+    pub fn open_connections(&self) -> usize {
+        self.conns.len()
+    }
+
+    fn respond(&mut self, sys: &mut System, conn: u64, path: &str) -> Result<(), OsError> {
+        let full = format!("{}{}", self.doc_root, path);
+        let cached = match self.file_cache.get(&full) {
+            Some(&c) => Ok(c),
+            None => match sys.os().open(&full, OpenFlags::RDONLY) {
+                Ok(fd) => {
+                    let size = sys.os().fstat(fd)?;
+                    let c = CachedFile { fd, size };
+                    self.file_cache.insert(full.clone(), c);
+                    Ok(c)
+                }
+                Err(e) => Err(e),
+            },
+        };
+        match cached {
+            Ok(CachedFile { fd, size }) => {
+                let body = sys.os().pread(fd, size, 0)?;
+                let header = format!(
+                    "HTTP/1.1 200 OK\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+                    body.len()
+                );
+                sys.os().writev(conn, &[header.as_bytes(), &body])?;
+                self.served += 1;
+            }
+            Err(OsError::NotFound) => {
+                let resp = b"HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n";
+                sys.os().send(conn, resp)?;
+                self.not_found += 1;
+            }
+            Err(e) => return Err(e),
+        }
+        Ok(())
+    }
+
+    /// Extracts complete `GET <path> ...\r\n\r\n` requests from `buf`,
+    /// returning the request paths.
+    fn parse_requests(buf: &mut Vec<u8>) -> Vec<String> {
+        let mut paths = Vec::new();
+        while let Some(end) = buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4) {
+            let request: Vec<u8> = buf.drain(..end).collect();
+            let text = String::from_utf8_lossy(&request);
+            let mut parts = text.split_whitespace();
+            if parts.next() == Some("GET") {
+                if let Some(path) = parts.next() {
+                    paths.push(path.to_owned());
+                }
+            }
+        }
+        paths
+    }
+}
+
+impl App for MiniHttpd {
+    fn name(&self) -> &'static str {
+        "nginx"
+    }
+
+    fn boot(&mut self, sys: &mut System) -> Result<(), OsError> {
+        self.conns.clear();
+        self.file_cache.clear();
+        let fd = sys.os().socket()?;
+        sys.os().bind(fd, HTTP_PORT)?;
+        sys.os().listen(fd, 128)?;
+        self.listen_fd = Some(fd);
+        Ok(())
+    }
+
+    fn crash(&mut self) {
+        let doc_root = self.doc_root.clone();
+        *self = MiniHttpd::new(&doc_root);
+    }
+
+    fn poll(&mut self, sys: &mut System) -> Result<usize, OsError> {
+        let listen_fd = self.listen_fd.ok_or(OsError::NotConnected)?;
+        let mut watched = vec![listen_fd];
+        watched.extend(self.conns.keys());
+        let ready = sys.os().poll_ready(&watched)?;
+        if ready.contains(&listen_fd) {
+            loop {
+                match sys.os().accept(listen_fd) {
+                    Ok(conn) => {
+                        self.conns.insert(conn, ConnState::default());
+                    }
+                    Err(OsError::WouldBlock) => break,
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        let mut served = 0usize;
+        let conn_fds: Vec<u64> = self
+            .conns
+            .keys()
+            .copied()
+            .filter(|fd| ready.contains(fd) || !watched.contains(fd))
+            .collect();
+        for conn in conn_fds {
+            match sys.os().recv(conn, 64 << 10) {
+                Ok(data) if data.is_empty() => {
+                    sys.os().close(conn)?;
+                    self.conns.remove(&conn);
+                }
+                Ok(data) => {
+                    let state = self.conns.get_mut(&conn).expect("tracked");
+                    state.buf.extend_from_slice(&data);
+                    let paths = Self::parse_requests(&mut state.buf);
+                    for path in paths {
+                        self.respond(sys, conn, &path)?;
+                        served += 1;
+                    }
+                }
+                Err(OsError::WouldBlock) => {}
+                Err(OsError::ConnReset) => {
+                    let _ = sys.os().close(conn);
+                    self.conns.remove(&conn);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(served)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vampos_core::{ComponentSet, Mode, System};
+    use vampos_host::HostHandle;
+
+    fn booted() -> (MiniHttpd, System) {
+        let host = HostHandle::new();
+        host.with(|w| {
+            w.ninep_mut()
+                .put_file("/www/index.html", b"<html>hi</html>");
+            w.ninep_mut().put_file("/www/big.html", &[b'x'; 180]);
+        });
+        let mut sys = System::builder()
+            .mode(Mode::vampos_das())
+            .components(ComponentSet::nginx())
+            .host(host)
+            .build()
+            .unwrap();
+        let mut app = MiniHttpd::default();
+        app.boot(&mut sys).unwrap();
+        (app, sys)
+    }
+
+    fn get(
+        sys: &mut System,
+        app: &mut MiniHttpd,
+        conn: vampos_host::ClientConnId,
+        path: &str,
+    ) -> Vec<u8> {
+        let req = format!("GET {path} HTTP/1.1\r\nHost: x\r\n\r\n");
+        sys.host()
+            .with(|w| w.network_mut().send(conn, req.as_bytes()).unwrap());
+        app.poll(sys).unwrap();
+        sys.host().with(|w| w.network_mut().recv(conn).unwrap())
+    }
+
+    #[test]
+    fn serves_static_files() {
+        let (mut app, mut sys) = booted();
+        let conn = sys.host().with(|w| w.network_mut().connect(HTTP_PORT));
+        app.poll(&mut sys).unwrap();
+        let resp = get(&mut sys, &mut app, conn, "/index.html");
+        let text = String::from_utf8_lossy(&resp);
+        assert!(text.starts_with("HTTP/1.1 200 OK"), "{text}");
+        assert!(text.ends_with("<html>hi</html>"));
+        assert_eq!(app.served(), 1);
+    }
+
+    #[test]
+    fn missing_file_is_404() {
+        let (mut app, mut sys) = booted();
+        let conn = sys.host().with(|w| w.network_mut().connect(HTTP_PORT));
+        app.poll(&mut sys).unwrap();
+        let resp = get(&mut sys, &mut app, conn, "/nope.html");
+        assert!(String::from_utf8_lossy(&resp).starts_with("HTTP/1.1 404"));
+        assert_eq!(app.not_found(), 1);
+    }
+
+    #[test]
+    fn keep_alive_serves_many_requests_per_connection() {
+        let (mut app, mut sys) = booted();
+        let conn = sys.host().with(|w| w.network_mut().connect(HTTP_PORT));
+        app.poll(&mut sys).unwrap();
+        for _ in 0..5 {
+            let resp = get(&mut sys, &mut app, conn, "/big.html");
+            assert!(resp.len() > 180);
+        }
+        assert_eq!(app.served(), 5);
+        assert_eq!(app.open_connections(), 1);
+    }
+
+    #[test]
+    fn pipelined_requests_in_one_segment() {
+        let (mut app, mut sys) = booted();
+        let conn = sys.host().with(|w| w.network_mut().connect(HTTP_PORT));
+        app.poll(&mut sys).unwrap();
+        let two = b"GET /index.html HTTP/1.1\r\n\r\nGET /big.html HTTP/1.1\r\n\r\n";
+        sys.host()
+            .with(|w| w.network_mut().send(conn, two).unwrap());
+        let served = app.poll(&mut sys).unwrap();
+        assert_eq!(served, 2);
+    }
+
+    #[test]
+    fn partial_request_waits_for_the_rest() {
+        let (mut app, mut sys) = booted();
+        let conn = sys.host().with(|w| w.network_mut().connect(HTTP_PORT));
+        app.poll(&mut sys).unwrap();
+        sys.host()
+            .with(|w| w.network_mut().send(conn, b"GET /index.html HT").unwrap());
+        assert_eq!(app.poll(&mut sys).unwrap(), 0);
+        sys.host()
+            .with(|w| w.network_mut().send(conn, b"TP/1.1\r\n\r\n").unwrap());
+        assert_eq!(app.poll(&mut sys).unwrap(), 1);
+    }
+
+    #[test]
+    fn connections_and_requests_survive_component_reboots() {
+        let (mut app, mut sys) = booted();
+        let conn = sys.host().with(|w| w.network_mut().connect(HTTP_PORT));
+        app.poll(&mut sys).unwrap();
+        get(&mut sys, &mut app, conn, "/index.html");
+
+        // Rejuvenate every rebootable component, one by one (§VII-D).
+        sys.rejuvenate_all().unwrap();
+
+        let resp = get(&mut sys, &mut app, conn, "/index.html");
+        assert!(String::from_utf8_lossy(&resp).starts_with("HTTP/1.1 200 OK"));
+        assert_eq!(sys.host().with(|w| w.network().seq_errors()), 0);
+        assert_eq!(app.served(), 2);
+    }
+}

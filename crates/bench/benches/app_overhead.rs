@@ -1,0 +1,65 @@
+//! Criterion bench: end-to-end application workloads per configuration —
+//! the implementation companion to Fig. 7a.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use vampos_apps::{App, MiniKv, MiniSql};
+use vampos_core::{ComponentSet, Mode, System};
+use vampos_host::HostHandle;
+use vampos_workloads::{KvLoad, SqlLoad};
+
+fn build(mode: Mode, set: ComponentSet) -> System {
+    let host = HostHandle::new();
+    host.with(|w| w.ninep_mut().put_file("/www/index.html", &[b'x'; 180]));
+    System::builder()
+        .mode(mode)
+        .components(set)
+        .host(host)
+        .build()
+        .expect("boot")
+}
+
+fn bench_apps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("app");
+    group.sample_size(10);
+    for mode in [Mode::unikraft(), Mode::vampos_das()] {
+        let label = mode.label();
+        let mode_sql = mode.clone();
+        group.bench_function(format!("sqlite_100_inserts/{label}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut sys = build(mode_sql.clone(), ComponentSet::sqlite());
+                    let mut db = MiniSql::new();
+                    db.boot(&mut sys).unwrap();
+                    (sys, db)
+                },
+                |(mut sys, mut db)| {
+                    SqlLoad {
+                        inserts: 100,
+                        item_len: 1,
+                    }
+                    .run(&mut sys, &mut db)
+                    .unwrap()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        let mode_kv = mode.clone();
+        group.bench_function(format!("redis_200_sets/{label}"), |b| {
+            b.iter_batched(
+                || {
+                    let mut sys = build(mode_kv.clone(), ComponentSet::redis());
+                    let mut app = MiniKv::new(!mode_kv.is_vampos());
+                    app.boot(&mut sys).unwrap();
+                    (sys, app)
+                },
+                |(mut sys, mut app)| KvLoad::default().run_sets(&mut sys, &mut app, 200).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_apps);
+criterion_main!(benches);

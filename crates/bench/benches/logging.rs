@@ -1,0 +1,94 @@
+//! Criterion bench: function-log mechanics — appends, session-aware
+//! cancellation and threshold compaction (the machinery behind Table III
+//! and Table IV).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use vampos_core::FunctionLog;
+use vampos_ukernel::{SessionEvent, TouchSynthesis, Value};
+
+fn filled_log(sessions: u64, touches_per_session: usize) -> FunctionLog {
+    let mut log = FunctionLog::new();
+    for s in 0..sessions {
+        log.append(
+            "app",
+            "open",
+            &[Value::from("/f")],
+            &Value::U64(s),
+            Vec::new(),
+            SessionEvent::Open(vec![s]),
+            true,
+        );
+        for _ in 0..touches_per_session {
+            log.append(
+                "app",
+                "write",
+                &[Value::U64(s), Value::Bytes(vec![0; 64])],
+                &Value::U64(64),
+                Vec::new(),
+                SessionEvent::Touch(s),
+                true,
+            );
+        }
+    }
+    log
+}
+
+fn bench_logging(c: &mut Criterion) {
+    let mut group = c.benchmark_group("funclog");
+
+    group.bench_function("append_touch", |b| {
+        let mut log = filled_log(1, 0);
+        b.iter(|| {
+            log.append(
+                "app",
+                "write",
+                &[Value::U64(0), Value::Bytes(vec![0; 64])],
+                &Value::U64(64),
+                Vec::new(),
+                SessionEvent::Touch(0),
+                true,
+            )
+        })
+    });
+
+    group.bench_function("close_cancels_session_of_16", |b| {
+        b.iter_batched(
+            || filled_log(8, 16),
+            |mut log| {
+                log.append(
+                    "app",
+                    "close",
+                    &[Value::U64(3)],
+                    &Value::Unit,
+                    Vec::new(),
+                    SessionEvent::Close(vec![3]),
+                    true,
+                )
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("compact_session_of_128", |b| {
+        b.iter_batched(
+            || filled_log(1, 128),
+            |mut log| {
+                log.compact_session(
+                    0,
+                    TouchSynthesis::Replace {
+                        func: "vfs_set_offset".into(),
+                        args: vec![Value::U64(0), Value::U64(8192)],
+                        ret: Value::Unit,
+                    },
+                )
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_logging);
+criterion_main!(benches);

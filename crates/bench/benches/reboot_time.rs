@@ -1,0 +1,48 @@
+//! Criterion bench: component reboot paths (checkpoint restore +
+//! encapsulated replay) — the implementation companion to Fig. 6.
+
+use std::cell::RefCell;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use vampos_core::{ComponentSet, Mode, System};
+use vampos_host::HostHandle;
+use vampos_oslib::OpenFlags;
+
+fn warmed() -> System {
+    let host = HostHandle::new();
+    host.with(|w| w.ninep_mut().put_file("/f", &vec![b'd'; 4096]));
+    let mut sys = System::builder()
+        .mode(Mode::vampos_das())
+        .components(ComponentSet::sqlite())
+        .host(host)
+        .build()
+        .expect("boot");
+    // Leave some live state so replay has work to do.
+    for i in 0..8 {
+        let fd = sys
+            .os()
+            .open(&format!("/w{i}"), OpenFlags::RDWR | OpenFlags::CREAT)
+            .unwrap();
+        sys.os().write(fd, b"warm").unwrap();
+    }
+    sys
+}
+
+fn bench_reboots(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reboot");
+    group.sample_size(20);
+    let sys = RefCell::new(warmed());
+    for component in ["process", "9pfs", "vfs"] {
+        group.bench_function(component, |b| {
+            b.iter(|| sys.borrow_mut().reboot_component(component).unwrap())
+        });
+    }
+    group.bench_function("full", |b| {
+        b.iter(|| sys.borrow_mut().full_reboot().unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_reboots);
+criterion_main!(benches);

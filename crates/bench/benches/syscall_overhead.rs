@@ -1,0 +1,48 @@
+//! Criterion bench: real (host) execution time of simulated syscalls per
+//! configuration — the implementation-performance companion to Fig. 5.
+
+use std::cell::RefCell;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use vampos_core::{ComponentSet, Mode, System};
+use vampos_host::HostHandle;
+use vampos_oslib::OpenFlags;
+
+fn build(mode: Mode) -> System {
+    let host = HostHandle::new();
+    host.with(|w| w.ninep_mut().put_file("/f", &vec![b'd'; 4096]));
+    System::builder()
+        .mode(mode)
+        .components(ComponentSet::sqlite())
+        .host(host)
+        .build()
+        .expect("boot")
+}
+
+fn bench_syscalls(c: &mut Criterion) {
+    let mut group = c.benchmark_group("syscall");
+    group.sample_size(20);
+    for mode in [Mode::unikraft(), Mode::vampos_noop(), Mode::vampos_das()] {
+        let label = mode.label();
+        let sys = RefCell::new(build(mode));
+        group.bench_function(format!("getpid/{label}"), |b| {
+            b.iter(|| sys.borrow_mut().os().getpid().unwrap())
+        });
+        group.bench_function(format!("open_close/{label}"), |b| {
+            b.iter(|| {
+                let mut sys = sys.borrow_mut();
+                let fd = sys.os().open("/f", OpenFlags::RDWR).unwrap();
+                sys.os().close(fd).unwrap();
+            })
+        });
+        group.bench_function(format!("read1/{label}"), |b| {
+            let fd = sys.borrow_mut().os().open("/f", OpenFlags::RDWR).unwrap();
+            b.iter(|| sys.borrow_mut().os().pread(fd, 1, 0).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_syscalls);
+criterion_main!(benches);

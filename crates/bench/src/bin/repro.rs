@@ -1,0 +1,291 @@
+//! `repro` — regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro [fig5|table3|fig6|fig7|table4|table5|fig8|ablations|all] [--quick]
+//! ```
+//!
+//! `--quick` scales the workloads down (used by CI); the default sizes
+//! follow the paper where tractable. All timings are *virtual* time from
+//! the simulation's cost model — compare shapes and ratios with the paper,
+//! not absolute numbers.
+
+use std::env;
+
+use vampos_bench::experiments::{ablations, fig5, fig6, fig7, fig8, table3, table4, table5};
+use vampos_bench::format::{bytes, render_table, us};
+use vampos_sim::Nanos;
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
+
+    let all = which == "all";
+    if all || which == "fig5" {
+        run_fig5(quick);
+    }
+    if all || which == "table3" {
+        run_table3();
+    }
+    if all || which == "fig6" {
+        run_fig6(quick);
+    }
+    if all || which == "fig7" {
+        run_fig7(quick);
+    }
+    if all || which == "table4" {
+        run_table4(quick);
+    }
+    if all || which == "table5" {
+        run_table5(quick);
+    }
+    if all || which == "fig8" {
+        run_fig8(quick);
+    }
+    if all || which == "ablations" {
+        run_ablations();
+    }
+    if !all
+        && !matches!(
+            which,
+            "fig5" | "table3" | "fig6" | "fig7" | "table4" | "table5" | "fig8" | "ablations"
+        )
+    {
+        eprintln!(
+            "unknown experiment {which:?}; expected fig5|table3|fig6|fig7|table4|table5|fig8|ablations|all"
+        );
+        std::process::exit(2);
+    }
+}
+
+fn heading(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+fn run_fig5(quick: bool) {
+    let trials = if quick { 20 } else { 100 };
+    heading(&format!(
+        "Fig. 5 — system call execution times ({trials} trials, mean us [sd])"
+    ));
+    let result = fig5::run(trials);
+    let header = [
+        "syscall",
+        "hops",
+        "Unikraft",
+        "VampOS-Noop",
+        "VampOS-DaS",
+        "VampOS-FSm",
+        "VampOS-NETm",
+    ];
+    let rows: Vec<Vec<String>> = result
+        .rows
+        .iter()
+        .map(|r| {
+            let mut row = vec![r.syscall.to_owned(), r.transitions.to_string()];
+            row.extend(
+                r.per_mode
+                    .iter()
+                    .map(|m| format!("{} [{}]", us(m.mean_us), us(m.sd_us))),
+            );
+            row
+        })
+        .collect();
+    print!("{}", render_table(&header, &rows));
+}
+
+fn run_table3() {
+    heading("Table III — log space overheads in system calls (records)");
+    let result = table3::run();
+    let rows: Vec<Vec<String>> = result
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.syscall.to_owned(),
+                r.normal.to_string(),
+                r.shrunk.to_string(),
+            ]
+        })
+        .collect();
+    print!("{}", render_table(&["syscall", "normal", "shrunk"], &rows));
+}
+
+fn run_fig6(quick: bool) {
+    let (requests, trials) = if quick { (100, 3) } else { (1_000, 10) };
+    heading(&format!(
+        "Fig. 6 — component reboot times ({requests} warm-up GETs, {trials} trials)"
+    ));
+    let result = fig6::run(requests, trials);
+    let rows: Vec<Vec<String>> = result
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.component.clone(),
+                format!("{:.3}ms", r.mean_ms),
+                format!("{:.3}ms", r.sd_ms),
+                r.replayed.to_string(),
+                bytes(r.snapshot_bytes),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(&["component", "mean", "sd", "replayed", "snapshot"], &rows)
+    );
+}
+
+fn run_fig7(quick: bool) {
+    let scale = if quick {
+        fig7::Fig7Scale::quick()
+    } else {
+        fig7::Fig7Scale::default()
+    };
+    heading(&format!(
+        "Fig. 7a — application execution time (sqlite {} inserts, nginx {} GETs, redis {} SETs, echo {} msgs)",
+        scale.sqlite_inserts, scale.http_requests, scale.kv_sets, scale.echo_messages
+    ));
+    let result = fig7::run(scale);
+    let header = ["app", "Unikraft", "Noop", "DaS", "FSm", "NETm"];
+    let rows: Vec<Vec<String>> = result
+        .rows
+        .iter()
+        .map(|r| {
+            let mut row = vec![r.app.to_owned()];
+            row.extend(
+                r.cells
+                    .iter()
+                    .map(|c| format!("{:.1}ms ({:.2}x)", c.exec_ms, c.relative)),
+            );
+            row
+        })
+        .collect();
+    print!("{}", render_table(&header, &rows));
+
+    heading("Fig. 7b — memory utilisation (total / VampOS overhead)");
+    let rows: Vec<Vec<String>> = result
+        .rows
+        .iter()
+        .map(|r| {
+            let mut row = vec![r.app.to_owned()];
+            row.extend(
+                r.cells
+                    .iter()
+                    .map(|c| format!("{} / {}", bytes(c.mem_total), bytes(c.mem_overhead))),
+            );
+            row
+        })
+        .collect();
+    print!("{}", render_table(&header, &rows));
+}
+
+fn run_table4(quick: bool) {
+    let ops = if quick { 400 } else { 5_000 };
+    heading(&format!(
+        "Table IV — throughput over log-shrink-threshold changes ({ops} ops, req/s virtual)"
+    ));
+    let result = table4::run(ops);
+    let rows: Vec<Vec<String>> = result
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.threshold.to_string(),
+                format!("{:.0}", r.sqlite_rps),
+                format!("{:.0}", r.nginx_rps),
+                format!("{:.0}", r.redis_rps),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(&["threshold", "SQLite", "Nginx", "Redis"], &rows)
+    );
+}
+
+fn run_table5(quick: bool) {
+    let (clients, interval) = if quick {
+        (40, Nanos::from_secs(10))
+    } else {
+        (100, Nanos::from_secs(30))
+    };
+    heading(&format!(
+        "Table V — request successes across rejuvenation ({clients} siege clients, {interval} interval)"
+    ));
+    let result = table5::run(clients, interval);
+    let rows: Vec<Vec<String>> = result
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.config.to_owned(),
+                r.successes.to_string(),
+                r.failures.to_string(),
+                format!("{:.1}%", r.success_pct),
+                r.reboots.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(&["config", "success", "fails", "ratio", "reboots"], &rows)
+    );
+}
+
+fn run_fig8(quick: bool) {
+    let (keys, duration, interval) = if quick {
+        (2_000, Nanos::from_secs(12), Nanos::from_millis(500))
+    } else {
+        (100_000, Nanos::from_secs(60), Nanos::from_secs(1))
+    };
+    heading(&format!(
+        "Fig. 8 — Redis GET latency across failure recovery ({keys} keys; 9PFS fail-stop at t={})",
+        (duration / 3)
+    ));
+    let result = fig8::run(keys, duration, interval);
+    for series in &result.series {
+        println!(
+            "\n  {} (recovery downtime: {}):",
+            series.config, series.recovery_downtime
+        );
+        let rows: Vec<Vec<String>> = series
+            .points
+            .iter()
+            .map(|p| {
+                vec![
+                    format!("{:.1}s", p.at.as_secs_f64()),
+                    us(p.latency.as_micros_f64()),
+                    if p.ok { "ok" } else { "FAIL" }.to_owned(),
+                ]
+            })
+            .collect();
+        print!("{}", render_table(&["t", "latency", "status"], &rows));
+    }
+}
+
+fn run_ablations() {
+    heading("Ablations — what each design choice buys");
+    let r = ablations::run();
+    println!(
+        "  MPK isolation:       open() {} isolated vs {} unisolated ({:+.1}%)",
+        us(r.open_isolated_us),
+        us(r.open_unisolated_us),
+        (r.open_isolated_us / r.open_unisolated_us - 1.0) * 100.0
+    );
+    println!(
+        "  log shrinking:       {} live records with shrinking vs {} without (100 sessions)",
+        r.log_records_shrunk, r.log_records_unshrunk
+    );
+    println!("  reboot vs log size:");
+    for (entries, downtime) in &r.reboot_vs_log {
+        println!("    {entries:>5} entries -> {downtime}");
+    }
+    println!(
+        "  key virtualisation:  {} remaps for 24 domains on 16 hardware keys",
+        r.virtualisation_remaps
+    );
+}

@@ -1,0 +1,168 @@
+//! Fig. 5 — system-call execution times under the five configurations.
+//!
+//! Paper setup (§VII-A): seven system calls (`getpid`, `open`, `write`,
+//! `read`, `close`, `socket_read`, `socket_write`), 1-byte file reads and
+//! writes, 222-byte socket messages, 100 trials. The expected shape:
+//! VampOS-Noop pays the most (round-robin waits grow with the number of
+//! component threads), dependency-aware scheduling recovers most of it,
+//! and the merges shave the merged subsystem's calls further.
+
+use vampos_core::{ComponentSet, Mode};
+use vampos_oslib::OpenFlags;
+use vampos_sim::Summary;
+
+use super::{all_modes, build};
+
+/// Per-mode timing of one syscall.
+#[derive(Debug, Clone)]
+pub struct ModeStat {
+    /// Mode label (e.g. `VampOS-DaS`).
+    pub mode: String,
+    /// Mean execution time, microseconds.
+    pub mean_us: f64,
+    /// Standard deviation, microseconds.
+    pub sd_us: f64,
+}
+
+/// One row of Fig. 5.
+#[derive(Debug, Clone)]
+pub struct Fig5Row {
+    /// System call name.
+    pub syscall: &'static str,
+    /// Message hops the call performs under VampOS-DaS (the paper reports
+    /// "component transitions" per call).
+    pub transitions: u64,
+    /// Stats per mode, in [`all_modes`] order.
+    pub per_mode: Vec<ModeStat>,
+}
+
+/// The full Fig. 5 result.
+#[derive(Debug, Clone)]
+pub struct Fig5Result {
+    /// Trials per syscall per mode.
+    pub trials: usize,
+    /// One row per syscall.
+    pub rows: Vec<Fig5Row>,
+}
+
+const SYSCALLS: [&str; 7] = [
+    "getpid",
+    "open",
+    "write",
+    "read",
+    "close",
+    "socket_read",
+    "socket_write",
+];
+
+/// Runs the experiment with `trials` trials (paper: 100).
+pub fn run(trials: usize) -> Fig5Result {
+    let mut summaries: Vec<Vec<Summary>> = Vec::new(); // [mode][syscall]
+    let mut transitions = [0u64; 7];
+
+    for (mode_idx, mode) in all_modes().into_iter().enumerate() {
+        let is_das = matches!(&mode, Mode::VampOs(c) if c.merges.is_empty()
+            && c.scheduler == vampos_core::SchedulerKind::DependencyAware);
+        let mut sys = build(mode, ComponentSet::nginx());
+        let mut per_syscall = vec![Summary::new(); SYSCALLS.len()];
+
+        // Socket setup: a listening socket and one accepted connection.
+        let listen_fd = sys.os().socket().expect("socket");
+        sys.os().bind(listen_fd, 80).expect("bind");
+        sys.os().listen(listen_fd, 16).expect("listen");
+        let client = sys.host().with(|w| w.network_mut().connect(80));
+        let conn_fd = sys.os().accept(listen_fd).expect("accept");
+
+        for trial in 0..trials {
+            let mut measure =
+                |sys: &mut vampos_core::System,
+                 idx: usize,
+                 f: &mut dyn FnMut(&mut vampos_core::System)| {
+                    let hops0 = sys.stats().msg_hops;
+                    let t0 = sys.clock().now();
+                    f(sys);
+                    let dt = sys.clock().now() - t0;
+                    per_syscall[idx].record_nanos(dt);
+                    if trial == 0 && mode_idx == 2 && is_das {
+                        transitions[idx] = sys.stats().msg_hops - hops0;
+                    }
+                };
+
+            measure(&mut sys, 0, &mut |s| {
+                s.os().getpid().unwrap();
+            });
+            let mut fd = 0;
+            measure(&mut sys, 1, &mut |s| {
+                fd = s.os().open("/f", OpenFlags::RDWR).unwrap();
+            });
+            measure(&mut sys, 2, &mut |s| {
+                s.os().write(fd, b"x").unwrap();
+            });
+            measure(&mut sys, 3, &mut |s| {
+                s.os().read(fd, 1).unwrap();
+            });
+            measure(&mut sys, 4, &mut |s| {
+                s.os().close(fd).unwrap();
+            });
+            // 222-byte messages (paper's socket payload).
+            sys.host()
+                .with(|w| w.network_mut().send(client, &[b'm'; 222]).unwrap());
+            measure(&mut sys, 5, &mut |s| {
+                s.os().recv(conn_fd, 222).unwrap();
+            });
+            measure(&mut sys, 6, &mut |s| {
+                s.os().send(conn_fd, &[b'r'; 222]).unwrap();
+            });
+            // Drain the client side so buffers stay small.
+            sys.host().with(|w| w.network_mut().recv(client).unwrap());
+        }
+        summaries.push(per_syscall);
+    }
+
+    let mode_labels: Vec<String> = all_modes().iter().map(|m| m.label().to_owned()).collect();
+    let rows = SYSCALLS
+        .iter()
+        .enumerate()
+        .map(|(i, &syscall)| Fig5Row {
+            syscall,
+            transitions: transitions[i],
+            per_mode: summaries
+                .iter()
+                .zip(&mode_labels)
+                .map(|(per_syscall, label)| ModeStat {
+                    mode: label.clone(),
+                    mean_us: per_syscall[i].mean(),
+                    sd_us: per_syscall[i].std_dev(),
+                })
+                .collect(),
+        })
+        .collect();
+    Fig5Result { trials, rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_the_paper() {
+        let result = run(20);
+        assert_eq!(result.rows.len(), 7);
+        for row in &result.rows {
+            let uni = row.per_mode[0].mean_us;
+            let noop = row.per_mode[1].mean_us;
+            let das = row.per_mode[2].mean_us;
+            // Message passing costs more than direct calls…
+            assert!(noop > uni, "{}: noop {noop} !> unikraft {uni}", row.syscall);
+            // …and dependency-aware scheduling mitigates round-robin.
+            assert!(das < noop, "{}: das {das} !< noop {noop}", row.syscall);
+        }
+        // The FS merge helps open/close; the NET merge helps socket calls.
+        let open = &result.rows[1];
+        assert!(open.per_mode[3].mean_us < open.per_mode[2].mean_us);
+        let sock_write = &result.rows[6];
+        assert!(sock_write.per_mode[4].mean_us < sock_write.per_mode[2].mean_us);
+        // getpid has by far the fewest transitions.
+        assert!(result.rows[0].transitions < result.rows[1].transitions);
+    }
+}

@@ -1,0 +1,50 @@
+//! Experiment implementations, one module per table/figure, plus shared
+//! builders.
+
+pub mod ablations;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+
+use vampos_core::{ComponentSet, Mode, System};
+use vampos_host::HostHandle;
+
+/// The five configurations of §VII-A, in the paper's order.
+pub fn all_modes() -> Vec<Mode> {
+    vec![
+        Mode::unikraft(),
+        Mode::vampos_noop(),
+        Mode::vampos_das(),
+        Mode::vampos_fsm(),
+        Mode::vampos_netm(),
+    ]
+}
+
+/// A host world pre-staged with the files the workloads use.
+pub fn staged_host() -> HostHandle {
+    let host = HostHandle::new();
+    host.with(|w| {
+        // The 180-byte HTML file of §VII-C and a small text fixture.
+        w.ninep_mut().put_file("/www/index.html", &[b'x'; 180]);
+        w.ninep_mut().put_file("/f", &vec![b'd'; 4096]);
+    });
+    host
+}
+
+/// The seed every experiment boots with (results are deterministic).
+pub const EXP_SEED: u64 = 0x1234_5678;
+
+/// Builds a booted system for `mode` over `set`, with staged fixtures.
+pub fn build(mode: Mode, set: ComponentSet) -> System {
+    System::builder()
+        .mode(mode)
+        .components(set)
+        .host(staged_host())
+        .seed(EXP_SEED)
+        .build()
+        .expect("boot")
+}

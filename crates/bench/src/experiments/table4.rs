@@ -1,0 +1,135 @@
+//! Table IV — application throughput over log-shrink-threshold changes.
+//!
+//! Paper setup: thresholds {20, 100, 1000} for SQLite, Nginx and Redis.
+//! Expected shape: very aggressive shrinking (20) costs a little throughput
+//! in SQLite (frequent compaction scans of a hot log), while Nginx and
+//! Redis barely move because their session-closing traffic rarely lets the
+//! log cross the threshold at all.
+
+use vampos_apps::{App, MiniHttpd, MiniKv, MiniSql};
+use vampos_core::{ComponentSet, Mode, System, VampConfig};
+use vampos_workloads::{KvLoad, SqlLoad};
+
+use super::staged_host;
+
+/// One measurement cell: requests per (virtual) second.
+#[derive(Debug, Clone)]
+pub struct Table4Row {
+    /// Log-shrink threshold (entries).
+    pub threshold: usize,
+    /// SQLite inserts/second.
+    pub sqlite_rps: f64,
+    /// Nginx requests/second.
+    pub nginx_rps: f64,
+    /// Redis SETs/second.
+    pub redis_rps: f64,
+}
+
+/// The full Table IV result.
+#[derive(Debug, Clone)]
+pub struct Table4Result {
+    /// Workload size per cell (operations).
+    pub ops: usize,
+    /// One row per threshold.
+    pub rows: Vec<Table4Row>,
+}
+
+fn build(threshold: usize, set: ComponentSet) -> System {
+    let cfg = VampConfig {
+        shrink_threshold: threshold,
+        ..VampConfig::default()
+    };
+    System::builder()
+        .mode(Mode::VampOs(cfg))
+        .components(set)
+        .host(staged_host())
+        .build()
+        .expect("boot")
+}
+
+fn sqlite_rps(threshold: usize, ops: usize) -> f64 {
+    let mut sys = build(threshold, ComponentSet::sqlite());
+    let mut db = MiniSql::new();
+    db.boot(&mut sys).expect("boot");
+    let report = SqlLoad {
+        inserts: ops,
+        item_len: 1,
+    }
+    .run(&mut sys, &mut db)
+    .expect("run");
+    report.throughput()
+}
+
+fn nginx_rps(threshold: usize, ops: usize) -> f64 {
+    let mut sys = build(threshold, ComponentSet::nginx());
+    let mut app = MiniHttpd::default();
+    app.boot(&mut sys).expect("boot");
+    // siege-style non-keepalive connections (see fig7).
+    let started = sys.clock().now();
+    for _ in 0..ops {
+        let conn = sys.host().with(|w| w.network_mut().connect(80));
+        app.poll(&mut sys).expect("accept");
+        sys.host().with(|w| {
+            w.network_mut()
+                .send(conn, b"GET /index.html HTTP/1.1\r\n\r\n")
+                .unwrap()
+        });
+        app.poll(&mut sys).expect("serve");
+        sys.host().with(|w| w.network_mut().recv(conn).unwrap());
+        sys.host().with(|w| w.network_mut().close(conn).unwrap());
+        app.poll(&mut sys).expect("teardown");
+    }
+    let secs = (sys.clock().now() - started).as_secs_f64();
+    ops as f64 / secs
+}
+
+fn redis_rps(threshold: usize, ops: usize) -> f64 {
+    let mut sys = build(threshold, ComponentSet::redis());
+    let mut app = MiniKv::new(false);
+    app.boot(&mut sys).expect("boot");
+    let report = KvLoad::default()
+        .run_sets(&mut sys, &mut app, ops)
+        .expect("run");
+    report.throughput()
+}
+
+/// Runs the experiment with `ops` operations per cell.
+pub fn run(ops: usize) -> Table4Result {
+    let rows = [20usize, 100, 1000]
+        .into_iter()
+        .map(|threshold| Table4Row {
+            threshold,
+            sqlite_rps: sqlite_rps(threshold, ops),
+            nginx_rps: nginx_rps(threshold, ops),
+            redis_rps: redis_rps(threshold, ops),
+        })
+        .collect();
+    Table4Result { ops, rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_the_paper() {
+        let result = run(400);
+        assert_eq!(result.rows.len(), 3);
+        let t20 = &result.rows[0];
+        let t1000 = &result.rows[2];
+        // SQLite: aggressive shrinking costs some throughput (paper: the
+        // 1000 threshold is ~1.04× better than 20).
+        assert!(
+            t1000.sqlite_rps >= t20.sqlite_rps * 0.99,
+            "sqlite {} vs {}",
+            t1000.sqlite_rps,
+            t20.sqlite_rps
+        );
+        // Nginx/Redis: the threshold barely matters (their sessions close,
+        // so the log rarely crosses it).
+        let nginx_spread = (t1000.nginx_rps - t20.nginx_rps).abs() / t20.nginx_rps.max(1.0);
+        assert!(nginx_spread < 0.05, "nginx spread {nginx_spread}");
+        let redis_spread = (t1000.redis_rps - t20.redis_rps).abs() / t20.redis_rps.max(1.0);
+        assert!(redis_spread < 0.05, "redis spread {redis_spread}");
+    }
+}

@@ -1,0 +1,97 @@
+//! Plain-text table rendering for the `repro` binary.
+
+/// Renders an aligned text table: a header row plus data rows.
+///
+/// # Example
+///
+/// ```
+/// use vampos_bench::format::render_table;
+///
+/// let out = render_table(
+///     &["syscall", "us"],
+///     &[vec!["getpid".into(), "0.1".into()]],
+/// );
+/// assert!(out.contains("getpid"));
+/// ```
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            let w = widths.get(i).copied().unwrap_or(cell.len());
+            if i == 0 {
+                line.push_str(&format!("{cell:<w$}"));
+            } else {
+                line.push_str(&format!("  {cell:>w$}"));
+            }
+        }
+        line.push('\n');
+        line
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| (*s).to_owned()).collect();
+    out.push_str(&render_row(&header_cells, &widths));
+    let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+    }
+    out
+}
+
+/// Formats a microsecond value compactly.
+pub fn us(v: f64) -> String {
+    if v >= 10_000.0 {
+        format!("{:.1}ms", v / 1000.0)
+    } else {
+        format!("{v:.2}us")
+    }
+}
+
+/// Formats a byte count compactly.
+pub fn bytes(v: usize) -> String {
+    if v >= 1 << 20 {
+        format!("{:.1}MiB", v as f64 / (1 << 20) as f64)
+    } else if v >= 1 << 10 {
+        format!("{:.1}KiB", v as f64 / (1 << 10) as f64)
+    } else {
+        format!("{v}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment_and_separator() {
+        let out = render_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[2].starts_with("a     "));
+    }
+
+    #[test]
+    fn unit_formatting() {
+        assert_eq!(us(1.5), "1.50us");
+        assert_eq!(us(25_000.0), "25.0ms");
+        assert_eq!(bytes(512), "512B");
+        assert_eq!(bytes(2048), "2.0KiB");
+        assert_eq!(bytes(3 << 20), "3.0MiB");
+    }
+}

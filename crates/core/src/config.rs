@@ -1,0 +1,260 @@
+//! Runtime configuration: execution modes, scheduler choice, component sets.
+
+use vampos_sim::Nanos;
+
+/// Which scheduler dispatches component threads (§V-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerKind {
+    /// Plain round-robin over all runnable component threads.
+    RoundRobin,
+    /// Dependency-aware: the scheduler dispatches the message target
+    /// directly, using the statically declared component dependencies.
+    DependencyAware,
+}
+
+/// VampOS-specific configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VampConfig {
+    /// Scheduler for component threads.
+    pub scheduler: SchedulerKind,
+    /// Component groups merged into composite components (§V-F); intra-group
+    /// calls skip message passing and the group shares one MPK tag.
+    pub merges: Vec<Vec<String>>,
+    /// Whether MPK isolation is enforced (§V-D). Disabling it is an
+    /// ablation: wild writes then corrupt other components silently.
+    pub isolation: bool,
+    /// Session-aware log shrinking on canceling functions (§V-F).
+    pub log_shrinking: bool,
+    /// Threshold (entries per component log) that triggers compaction of
+    /// still-open sessions. The prototypes use 100.
+    pub shrink_threshold: usize,
+    /// Hang-detection threshold (the prototypes use 1.0 s).
+    pub hang_threshold: Nanos,
+}
+
+impl Default for VampConfig {
+    fn default() -> Self {
+        VampConfig {
+            scheduler: SchedulerKind::DependencyAware,
+            merges: Vec::new(),
+            isolation: true,
+            log_shrinking: true,
+            shrink_threshold: 100,
+            hang_threshold: Nanos::SECOND,
+        }
+    }
+}
+
+/// The execution mode of a [`System`](crate::System).
+///
+/// Mirrors the four VampOS configurations of §VII-A plus the vanilla
+/// baseline:
+///
+/// | Mode | Interaction | Scheduler | Merges |
+/// |------|-------------|-----------|--------|
+/// | [`Mode::unikraft`] | direct function calls | – | – |
+/// | [`Mode::vampos_noop`] | message passing | round-robin | none |
+/// | [`Mode::vampos_das`] | message passing | dependency-aware | none |
+/// | [`Mode::vampos_fsm`] | message passing | dependency-aware | VFS+9PFS |
+/// | [`Mode::vampos_netm`] | message passing | dependency-aware | LWIP+NETDEV |
+#[derive(Debug, Clone, PartialEq)]
+pub enum Mode {
+    /// Vanilla Unikraft: direct calls, no logging, no isolation, full
+    /// reboots only.
+    Unikraft,
+    /// VampOS with the given configuration.
+    VampOs(VampConfig),
+}
+
+impl Mode {
+    /// The vanilla baseline.
+    pub fn unikraft() -> Mode {
+        Mode::Unikraft
+    }
+
+    /// VampOS-Noop: message passing with a round-robin scheduler.
+    pub fn vampos_noop() -> Mode {
+        Mode::VampOs(VampConfig {
+            scheduler: SchedulerKind::RoundRobin,
+            ..VampConfig::default()
+        })
+    }
+
+    /// VampOS-DaS: adds dependency-aware scheduling.
+    pub fn vampos_das() -> Mode {
+        Mode::VampOs(VampConfig::default())
+    }
+
+    /// VampOS-FSm: DaS + the file-system merge (VFS+9PFS).
+    pub fn vampos_fsm() -> Mode {
+        Mode::VampOs(VampConfig {
+            merges: vec![vec!["vfs".to_owned(), "9pfs".to_owned()]],
+            ..VampConfig::default()
+        })
+    }
+
+    /// VampOS-NETm: DaS + the network merge (LWIP+NETDEV).
+    pub fn vampos_netm() -> Mode {
+        Mode::VampOs(VampConfig {
+            merges: vec![vec!["lwip".to_owned(), "netdev".to_owned()]],
+            ..VampConfig::default()
+        })
+    }
+
+    /// Whether this is a VampOS mode.
+    pub fn is_vampos(&self) -> bool {
+        matches!(self, Mode::VampOs(_))
+    }
+
+    /// The VampOS configuration, if any.
+    pub fn vamp_config(&self) -> Option<&VampConfig> {
+        match self {
+            Mode::VampOs(cfg) => Some(cfg),
+            Mode::Unikraft => None,
+        }
+    }
+
+    /// Human-readable label used by the benchmark harness.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Mode::Unikraft => "Unikraft",
+            Mode::VampOs(cfg) => match (cfg.scheduler, cfg.merges.is_empty()) {
+                (SchedulerKind::RoundRobin, _) => "VampOS-Noop",
+                (SchedulerKind::DependencyAware, true) => "VampOS-DaS",
+                (SchedulerKind::DependencyAware, false) => {
+                    if cfg.merges.iter().any(|g| g.iter().any(|c| c == "vfs")) {
+                        "VampOS-FSm"
+                    } else {
+                        "VampOS-NETm"
+                    }
+                }
+            },
+        }
+    }
+}
+
+/// The set of components linked into a unikernel image (paper §VI lists the
+/// sets per application).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentSet {
+    name: &'static str,
+    components: Vec<&'static str>,
+}
+
+impl ComponentSet {
+    /// SQLite's set: PROCESS, SYSINFO, USER, TIMER, VFS, 9PFS, VIRTIO
+    /// (7 components; 10 MPK tags with app + message domain + scheduler).
+    pub fn sqlite() -> Self {
+        ComponentSet {
+            name: "sqlite",
+            components: vec![
+                "process", "sysinfo", "user", "timer", "vfs", "9pfs", "virtio",
+            ],
+        }
+    }
+
+    /// Nginx's set: PROCESS, SYSINFO, USER, NETDEV, TIMER, VFS, 9PFS, LWIP,
+    /// VIRTIO (9 components; 12 MPK tags).
+    pub fn nginx() -> Self {
+        ComponentSet {
+            name: "nginx",
+            components: vec![
+                "process", "sysinfo", "user", "netdev", "timer", "vfs", "9pfs", "lwip", "virtio",
+            ],
+        }
+    }
+
+    /// Redis's set (same nine components as Nginx; 12 MPK tags).
+    pub fn redis() -> Self {
+        ComponentSet {
+            name: "redis",
+            components: vec![
+                "process", "sysinfo", "user", "netdev", "timer", "vfs", "9pfs", "lwip", "virtio",
+            ],
+        }
+    }
+
+    /// Echo's set: PROCESS, USER, NETDEV, TIMER, VFS, LWIP, VIRTIO
+    /// (7 components; 10 MPK tags).
+    pub fn echo() -> Self {
+        ComponentSet {
+            name: "echo",
+            components: vec![
+                "process", "user", "netdev", "timer", "vfs", "lwip", "virtio",
+            ],
+        }
+    }
+
+    /// The set's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The component names, in boot order.
+    pub fn components(&self) -> &[&'static str] {
+        &self.components
+    }
+
+    /// Whether the set contains `component`.
+    pub fn contains(&self, component: &str) -> bool {
+        self.components.contains(&component)
+    }
+
+    /// MPK tags this set needs: app + components + message domain +
+    /// thread scheduler (§VI's accounting).
+    pub fn mpk_tags(&self) -> usize {
+        self.components.len() + 3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_labels_match_the_paper() {
+        assert_eq!(Mode::unikraft().label(), "Unikraft");
+        assert_eq!(Mode::vampos_noop().label(), "VampOS-Noop");
+        assert_eq!(Mode::vampos_das().label(), "VampOS-DaS");
+        assert_eq!(Mode::vampos_fsm().label(), "VampOS-FSm");
+        assert_eq!(Mode::vampos_netm().label(), "VampOS-NETm");
+    }
+
+    #[test]
+    fn merge_presets_group_the_right_components() {
+        let fsm = Mode::vampos_fsm();
+        let cfg = fsm.vamp_config().unwrap();
+        assert_eq!(cfg.merges, vec![vec!["vfs".to_owned(), "9pfs".to_owned()]]);
+        let netm = Mode::vampos_netm();
+        assert!(netm.vamp_config().unwrap().merges[0].contains(&"lwip".to_owned()));
+    }
+
+    #[test]
+    fn component_sets_match_section_six() {
+        assert_eq!(ComponentSet::sqlite().components().len(), 7);
+        assert_eq!(ComponentSet::nginx().components().len(), 9);
+        assert_eq!(ComponentSet::redis().components().len(), 9);
+        assert_eq!(ComponentSet::echo().components().len(), 7);
+        // MPK tag counts from §VI.
+        assert_eq!(ComponentSet::sqlite().mpk_tags(), 10);
+        assert_eq!(ComponentSet::nginx().mpk_tags(), 12);
+        assert_eq!(ComponentSet::redis().mpk_tags(), 12);
+        assert_eq!(ComponentSet::echo().mpk_tags(), 10);
+    }
+
+    #[test]
+    fn echo_has_no_filesystem() {
+        let echo = ComponentSet::echo();
+        assert!(!echo.contains("9pfs"));
+        assert!(echo.contains("lwip"));
+    }
+
+    #[test]
+    fn default_config_matches_prototype_constants() {
+        let cfg = VampConfig::default();
+        assert_eq!(cfg.shrink_threshold, 100);
+        assert_eq!(cfg.hang_threshold, Nanos::SECOND);
+        assert!(cfg.isolation);
+        assert!(cfg.log_shrinking);
+    }
+}

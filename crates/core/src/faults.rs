@@ -1,0 +1,270 @@
+//! Fault injection (the experiments of §VII-E and the fault model of §II-B).
+//!
+//! Faults are *armed* on the system and fire when a matching call reaches
+//! the target component. Non-deterministic faults fire a limited number of
+//! times (re-execution after recovery does not re-trigger them); a fault
+//! armed as deterministic re-fires on the post-recovery retry, which drives
+//! the system to fail-stop — exactly the §II-B policy.
+
+use vampos_sim::Nanos;
+
+/// What the injected fault does when it fires.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// The component invokes `panic()` (fail-stop crash).
+    Panic,
+    /// The component stops pulling messages; the hang detector fires after
+    /// its threshold.
+    Hang,
+    /// An aging bug leaks `bytes` of the component's heap on every matching
+    /// call (never "fires once"; it degrades continuously).
+    LeakPerOp {
+        /// Bytes leaked per call.
+        bytes: usize,
+    },
+    /// A non-deterministic bit flip in the component's arena at the given
+    /// offset (hardware fault model).
+    BitFlip {
+        /// Arena-relative byte offset.
+        offset: u64,
+        /// Bit index within the byte.
+        bit: u8,
+    },
+}
+
+/// One armed fault.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InjectedFault {
+    /// Target component name.
+    pub component: String,
+    /// Only calls to this function trigger the fault (`None` = any call).
+    pub func: Option<String>,
+    /// Remaining calls to skip before firing.
+    pub after_calls: u64,
+    /// The effect.
+    pub kind: FaultKind,
+    /// Deterministic faults re-fire on the retry after recovery.
+    pub deterministic: bool,
+    /// Internal: how many times the fault has fired.
+    pub fired: u64,
+}
+
+impl InjectedFault {
+    /// A one-shot, non-deterministic panic on the next call to `component`.
+    pub fn panic_next(component: &str) -> Self {
+        InjectedFault {
+            component: component.to_owned(),
+            func: None,
+            after_calls: 0,
+            kind: FaultKind::Panic,
+            deterministic: false,
+            fired: 0,
+        }
+    }
+
+    /// A deterministic panic: it will fire again after recovery.
+    pub fn panic_deterministic(component: &str) -> Self {
+        InjectedFault {
+            deterministic: true,
+            ..Self::panic_next(component)
+        }
+    }
+
+    /// A one-shot hang on the next call to `component`.
+    pub fn hang_next(component: &str) -> Self {
+        InjectedFault {
+            kind: FaultKind::Hang,
+            ..Self::panic_next(component)
+        }
+    }
+
+    /// A one-shot bit flip in `component`'s memory at `offset` (the
+    /// non-deterministic hardware-fault model of §II-B).
+    pub fn bit_flip(component: &str, offset: u64, bit: u8) -> Self {
+        InjectedFault {
+            kind: FaultKind::BitFlip { offset, bit },
+            ..Self::panic_next(component)
+        }
+    }
+
+    /// A continuous aging leak on `component`.
+    pub fn leak_per_op(component: &str, bytes: usize) -> Self {
+        InjectedFault {
+            kind: FaultKind::LeakPerOp { bytes },
+            deterministic: true, // leaks persist until rejuvenation
+            ..Self::panic_next(component)
+        }
+    }
+
+    /// Restricts the fault to calls of `func`.
+    #[must_use]
+    pub fn on_func(mut self, func: &str) -> Self {
+        self.func = Some(func.to_owned());
+        self
+    }
+
+    /// Skips the first `n` matching calls before firing.
+    #[must_use]
+    pub fn after(mut self, n: u64) -> Self {
+        self.after_calls = n;
+        self
+    }
+}
+
+/// The set of armed faults.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    faults: Vec<InjectedFault>,
+    hang_threshold: Nanos,
+}
+
+/// What the runtime should do for one inbound call.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultAction {
+    /// No fault fires.
+    None,
+    /// Fail the call with a panic.
+    Panic,
+    /// Burn the hang threshold, then report a hang.
+    Hang(Nanos),
+    /// Leak heap bytes, then proceed normally.
+    Leak(usize),
+    /// Flip a bit in the arena, then proceed normally.
+    Flip {
+        /// Arena-relative byte offset.
+        offset: u64,
+        /// Bit index.
+        bit: u8,
+    },
+}
+
+impl FaultPlan {
+    /// Creates an empty plan with the given hang threshold.
+    pub fn new(hang_threshold: Nanos) -> Self {
+        FaultPlan {
+            faults: Vec::new(),
+            hang_threshold,
+        }
+    }
+
+    /// Arms a fault.
+    pub fn arm(&mut self, fault: InjectedFault) {
+        self.faults.push(fault);
+    }
+
+    /// Number of armed faults still able to fire.
+    pub fn armed(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Disarms everything.
+    pub fn clear(&mut self) {
+        self.faults.clear();
+    }
+
+    /// Disarms every fault targeting `component` — used when a different
+    /// version of the component is swapped in (its code, and therefore its
+    /// deterministic bugs, are gone).
+    pub fn clear_component(&mut self, component: &str) {
+        self.faults.retain(|f| f.component != component);
+    }
+
+    /// Evaluates the plan for a call to `component::func`. At most one
+    /// fault fires per call; one-shot faults are consumed when they fire.
+    pub fn on_call(&mut self, component: &str, func: &str) -> FaultAction {
+        let mut action = FaultAction::None;
+        let threshold = self.hang_threshold;
+        self.faults.retain_mut(|fault| {
+            if !matches!(action, FaultAction::None) {
+                return true; // only one fault per call
+            }
+            if fault.component != component {
+                return true;
+            }
+            if let Some(f) = &fault.func {
+                if f != func {
+                    return true;
+                }
+            }
+            if fault.after_calls > 0 {
+                fault.after_calls -= 1;
+                return true;
+            }
+            fault.fired += 1;
+            action = match fault.kind {
+                FaultKind::Panic => FaultAction::Panic,
+                FaultKind::Hang => FaultAction::Hang(threshold),
+                FaultKind::LeakPerOp { bytes } => FaultAction::Leak(bytes),
+                FaultKind::BitFlip { offset, bit } => FaultAction::Flip { offset, bit },
+            };
+            // Deterministic faults stay armed; one-shot faults are consumed.
+            fault.deterministic
+        });
+        action
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_shot_panic_fires_once() {
+        let mut plan = FaultPlan::new(Nanos::SECOND);
+        plan.arm(InjectedFault::panic_next("9pfs"));
+        assert_eq!(plan.on_call("vfs", "open"), FaultAction::None);
+        assert_eq!(plan.on_call("9pfs", "uk_9pfs_read"), FaultAction::Panic);
+        assert_eq!(plan.on_call("9pfs", "uk_9pfs_read"), FaultAction::None);
+        assert_eq!(plan.armed(), 0);
+    }
+
+    #[test]
+    fn deterministic_panic_keeps_firing() {
+        let mut plan = FaultPlan::new(Nanos::SECOND);
+        plan.arm(InjectedFault::panic_deterministic("vfs"));
+        assert_eq!(plan.on_call("vfs", "open"), FaultAction::Panic);
+        assert_eq!(plan.on_call("vfs", "open"), FaultAction::Panic);
+        assert_eq!(plan.armed(), 1);
+    }
+
+    #[test]
+    fn func_filter_and_delay() {
+        let mut plan = FaultPlan::new(Nanos::SECOND);
+        plan.arm(InjectedFault::panic_next("vfs").on_func("write").after(2));
+        assert_eq!(plan.on_call("vfs", "read"), FaultAction::None);
+        assert_eq!(plan.on_call("vfs", "write"), FaultAction::None); // skip 1
+        assert_eq!(plan.on_call("vfs", "write"), FaultAction::None); // skip 2
+        assert_eq!(plan.on_call("vfs", "write"), FaultAction::Panic);
+    }
+
+    #[test]
+    fn hang_carries_the_threshold() {
+        let mut plan = FaultPlan::new(Nanos::from_millis(500));
+        plan.arm(InjectedFault::hang_next("vfs"));
+        assert_eq!(
+            plan.on_call("vfs", "open"),
+            FaultAction::Hang(Nanos::from_millis(500))
+        );
+    }
+
+    #[test]
+    fn leak_fires_continuously() {
+        let mut plan = FaultPlan::new(Nanos::SECOND);
+        plan.arm(InjectedFault::leak_per_op("vfs", 64));
+        for _ in 0..5 {
+            assert_eq!(plan.on_call("vfs", "write"), FaultAction::Leak(64));
+        }
+        assert_eq!(plan.armed(), 1);
+    }
+
+    #[test]
+    fn only_one_fault_fires_per_call() {
+        let mut plan = FaultPlan::new(Nanos::SECOND);
+        plan.arm(InjectedFault::panic_next("vfs"));
+        plan.arm(InjectedFault::hang_next("vfs"));
+        assert_eq!(plan.on_call("vfs", "open"), FaultAction::Panic);
+        // The hang is still armed for the next call.
+        assert_eq!(plan.armed(), 1);
+        assert!(matches!(plan.on_call("vfs", "open"), FaultAction::Hang(_)));
+    }
+}

@@ -1,0 +1,535 @@
+//! The function-call and return-value log (§V-B) and session-aware log
+//! shrinking (§V-F).
+//!
+//! Every logged inbound call becomes a [`LogEntry`]: function, arguments,
+//! return value, **and the return values of every downcall the component
+//! made while executing it** ([`DownRec`]). Encapsulated restoration replays
+//! the entries in order, answering the component's downcalls from the
+//! recorded values so that the restoration has no side effects on running
+//! components.
+//!
+//! Shrinking removes sessions retired by *canceling functions* (`close`),
+//! and threshold-triggered compaction summarises still-open sessions
+//! (replacing a run of reads/writes with one synthetic offset-setting
+//! entry).
+
+use vampos_ukernel::{OsError, SessionEvent, TouchSynthesis, Value};
+
+/// One recorded downcall made while executing a logged entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DownRec {
+    /// Component that was invoked.
+    pub target: String,
+    /// Function that was invoked.
+    pub func: String,
+    /// The outcome the downcall produced (errors are part of the recorded
+    /// control flow: a `NotFound` from `lookup` steers `open` into its
+    /// create path, and replay must reproduce that).
+    pub ret: Result<Value, OsError>,
+}
+
+/// Session classification stored with an entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EntryTag {
+    /// Not session-bound; always kept.
+    Free,
+    /// Creates sessions. `created` is immutable (what a replay of the entry
+    /// recreates); `live` shrinks as sessions close, and the entry is
+    /// removed when `live` empties.
+    Open {
+        /// Sessions this entry creates on replay.
+        created: Vec<u64>,
+        /// Created sessions not yet closed.
+        live: Vec<u64>,
+    },
+    /// Belongs to the session.
+    Touch(u64),
+    /// A canceling entry kept because a surviving `Open` entry still
+    /// recreates one of these sessions on replay (e.g. the close of one
+    /// pipe end while the pipe-creating entry must stay).
+    Close(Vec<u64>),
+}
+
+/// One logged function call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogEntry {
+    /// Monotonic sequence number within the component's log.
+    pub seq: u64,
+    /// The calling component (or `"app"`).
+    pub caller: String,
+    /// Invoked function.
+    pub func: String,
+    /// Marshalled arguments.
+    pub args: Vec<Value>,
+    /// The value the call returned.
+    pub ret: Value,
+    /// Downcall return values recorded during the call.
+    pub downcalls: Vec<DownRec>,
+    /// Session classification.
+    pub tag: EntryTag,
+    /// True for compaction-synthesised entries.
+    pub synthetic: bool,
+}
+
+impl LogEntry {
+    /// Approximate in-memory size of the entry in bytes (space accounting
+    /// for Fig. 7b and Table III).
+    pub fn byte_len(&self) -> usize {
+        let base = 64 + self.func.len() + self.caller.len();
+        let args: usize = self.args.iter().map(Value::byte_len).sum();
+        let ret = self.ret.byte_len();
+        let downs: usize = self
+            .downcalls
+            .iter()
+            .map(|d| {
+                32 + d.func.len()
+                    + match &d.ret {
+                        Ok(v) => v.byte_len(),
+                        Err(_) => 16,
+                    }
+            })
+            .sum();
+        base + args + ret + downs
+    }
+
+    /// Records in this entry count as `1 + downcalls` "log entries" in the
+    /// paper's Table III terminology (function-call log + return-value log).
+    pub fn record_count(&self) -> usize {
+        1 + self.downcalls.len()
+    }
+}
+
+/// Outcome of appending an entry (for the shrink statistics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AppendOutcome {
+    /// Entries (including the new one) now in the log minus before.
+    pub net_entries: i64,
+    /// Entries removed by close-cancellation during this append.
+    pub removed: usize,
+}
+
+/// A per-component function-call / return-value log.
+#[derive(Debug, Clone, Default)]
+pub struct FunctionLog {
+    entries: Vec<LogEntry>,
+    next_seq: u64,
+    appended_total: u64,
+    removed_total: u64,
+    compactions: u64,
+}
+
+impl FunctionLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        FunctionLog::default()
+    }
+
+    /// Number of entries currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total byte size of the log.
+    pub fn byte_len(&self) -> usize {
+        self.entries.iter().map(LogEntry::byte_len).sum()
+    }
+
+    /// Total "records" in the paper's Table III sense (entries + recorded
+    /// downcall return values).
+    pub fn record_count(&self) -> usize {
+        self.entries.iter().map(LogEntry::record_count).sum()
+    }
+
+    /// Entries appended over the log's lifetime.
+    pub fn appended_total(&self) -> u64 {
+        self.appended_total
+    }
+
+    /// Entries removed by shrinking over the log's lifetime.
+    pub fn removed_total(&self) -> u64 {
+        self.removed_total
+    }
+
+    /// Threshold compactions performed.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// Iterates the entries in replay order.
+    pub fn iter(&self) -> impl Iterator<Item = &LogEntry> {
+        self.entries.iter()
+    }
+
+    /// Clones the entries for replay (the live log keeps accumulating).
+    pub fn replay_entries(&self) -> Vec<LogEntry> {
+        self.entries.clone()
+    }
+
+    /// Clears the log (full reboot).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Appends a logged call, applying session-aware shrinking when
+    /// `shrinking` is enabled and the event is a cancel.
+    // The parameters are the fields of the entry being built; bundling them
+    // into a struct would only move the same list one call site up.
+    #[allow(clippy::too_many_arguments)]
+    pub fn append(
+        &mut self,
+        caller: &str,
+        func: &str,
+        args: &[Value],
+        ret: &Value,
+        downcalls: Vec<DownRec>,
+        event: SessionEvent,
+        shrinking: bool,
+    ) -> AppendOutcome {
+        let before = self.entries.len() as i64;
+        let mut removed = 0usize;
+
+        let tag = match &event {
+            SessionEvent::None => EntryTag::Free,
+            SessionEvent::Open(sessions) => EntryTag::Open {
+                created: sessions.clone(),
+                live: sessions.clone(),
+            },
+            SessionEvent::Touch(s) => EntryTag::Touch(*s),
+            SessionEvent::Close(sessions) => {
+                if shrinking {
+                    // 1. Remove the sessions' touch entries.
+                    self.entries.retain(|e| {
+                        let kill = matches!(&e.tag, EntryTag::Touch(s) if sessions.contains(s));
+                        if kill {
+                            removed += 1;
+                        }
+                        !kill
+                    });
+                    // 2. Retire the sessions from their creating entries;
+                    //    entries with no live sessions left are removed, and
+                    //    everything they originally created is now dead.
+                    let mut fully_dead: Vec<u64> = Vec::new();
+                    self.entries.retain_mut(|e| {
+                        if let EntryTag::Open { created, live } = &mut e.tag {
+                            live.retain(|s| !sessions.contains(s));
+                            if live.is_empty() {
+                                fully_dead.extend(created.iter().copied());
+                                removed += 1;
+                                return false;
+                            }
+                        }
+                        true
+                    });
+                    // 3. Cascade: previously kept canceling entries whose
+                    //    every session lost its creator replay against
+                    //    nothing — remove them too.
+                    if !fully_dead.is_empty() {
+                        self.entries.retain(|e| {
+                            let kill = matches!(
+                                &e.tag,
+                                EntryTag::Close(ss)
+                                    if ss.iter().all(|s| fully_dead.contains(s))
+                            );
+                            if kill {
+                                removed += 1;
+                            }
+                            !kill
+                        });
+                    }
+                    self.removed_total += removed as u64;
+                    // 4. Keep this canceling entry only while some surviving
+                    //    entry would recreate one of its sessions on replay.
+                    let still_recreated = self.entries.iter().any(|e| {
+                        matches!(
+                            &e.tag,
+                            EntryTag::Open { created, .. }
+                                if created.iter().any(|s| sessions.contains(s))
+                        )
+                    });
+                    if !still_recreated {
+                        return AppendOutcome {
+                            net_entries: self.entries.len() as i64 - before,
+                            removed,
+                        };
+                    }
+                    EntryTag::Close(sessions.clone())
+                } else {
+                    EntryTag::Free
+                }
+            }
+        };
+
+        let entry = LogEntry {
+            seq: self.next_seq,
+            caller: caller.to_owned(),
+            func: func.to_owned(),
+            args: args.to_vec(),
+            ret: ret.clone(),
+            downcalls,
+            tag,
+            synthetic: false,
+        };
+        self.next_seq += 1;
+        self.appended_total += 1;
+        self.entries.push(entry);
+        AppendOutcome {
+            net_entries: self.entries.len() as i64 - before,
+            removed,
+        }
+    }
+
+    /// All sessions with at least one `Touch` entry (compaction candidates).
+    pub fn touched_sessions(&self) -> Vec<u64> {
+        let mut sessions: Vec<u64> = self
+            .entries
+            .iter()
+            .filter_map(|e| match e.tag {
+                EntryTag::Touch(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        sessions.sort_unstable();
+        sessions.dedup();
+        sessions
+    }
+
+    /// Applies one session's compaction decision: removes its `Touch`
+    /// entries and, for [`TouchSynthesis::Replace`], appends the synthetic
+    /// summary entry. Returns the number of entries removed.
+    pub fn compact_session(&mut self, session: u64, decision: TouchSynthesis) -> usize {
+        match decision {
+            TouchSynthesis::Keep => 0,
+            TouchSynthesis::Drop | TouchSynthesis::Replace { .. } => {
+                let before = self.entries.len();
+                self.entries
+                    .retain(|e| !matches!(e.tag, EntryTag::Touch(s) if s == session));
+                let removed = before - self.entries.len();
+                self.removed_total += removed as u64;
+                if let TouchSynthesis::Replace { func, args, ret } = decision {
+                    if removed > 0 {
+                        self.entries.push(LogEntry {
+                            seq: self.next_seq,
+                            caller: "compactor".to_owned(),
+                            func,
+                            args,
+                            ret,
+                            downcalls: Vec::new(),
+                            tag: EntryTag::Touch(session),
+                            synthetic: true,
+                        });
+                        self.next_seq += 1;
+                        self.compactions += 1;
+                        return removed.saturating_sub(1);
+                    }
+                }
+                self.compactions += u64::from(removed > 0);
+                removed
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn append_simple(
+        log: &mut FunctionLog,
+        func: &str,
+        event: SessionEvent,
+        shrinking: bool,
+    ) -> AppendOutcome {
+        log.append("app", func, &[], &Value::Unit, Vec::new(), event, shrinking)
+    }
+
+    #[test]
+    fn appends_accumulate_in_order() {
+        let mut log = FunctionLog::new();
+        append_simple(&mut log, "a", SessionEvent::None, true);
+        append_simple(&mut log, "b", SessionEvent::None, true);
+        let funcs: Vec<&str> = log.iter().map(|e| e.func.as_str()).collect();
+        assert_eq!(funcs, ["a", "b"]);
+        assert_eq!(log.record_count(), 2);
+    }
+
+    #[test]
+    fn close_cancels_a_whole_session() {
+        let mut log = FunctionLog::new();
+        append_simple(&mut log, "open", SessionEvent::Open(vec![3]), true);
+        append_simple(&mut log, "read", SessionEvent::Touch(3), true);
+        append_simple(&mut log, "write", SessionEvent::Touch(3), true);
+        let out = append_simple(&mut log, "close", SessionEvent::Close(vec![3]), true);
+        assert_eq!(out.removed, 3);
+        assert!(log.is_empty(), "open/read/write/close all gone");
+    }
+
+    #[test]
+    fn close_spares_other_sessions() {
+        let mut log = FunctionLog::new();
+        append_simple(&mut log, "open", SessionEvent::Open(vec![3]), true);
+        append_simple(&mut log, "open", SessionEvent::Open(vec![4]), true);
+        append_simple(&mut log, "read", SessionEvent::Touch(4), true);
+        append_simple(&mut log, "close", SessionEvent::Close(vec![3]), true);
+        let funcs: Vec<&str> = log.iter().map(|e| e.func.as_str()).collect();
+        assert_eq!(funcs, ["open", "read"]);
+    }
+
+    #[test]
+    fn pipe_close_is_kept_until_both_ends_close() {
+        // Pipe case: one entry creates two sessions. The close of one end
+        // must stay in the log (replaying `pipe` recreates both fds), and
+        // everything cascades away when the second end closes.
+        let mut log = FunctionLog::new();
+        append_simple(&mut log, "pipe", SessionEvent::Open(vec![3, 4]), true);
+        append_simple(&mut log, "write", SessionEvent::Touch(4), true);
+        append_simple(&mut log, "close", SessionEvent::Close(vec![4]), true);
+        let funcs: Vec<&str> = log.iter().map(|e| e.func.as_str()).collect();
+        assert_eq!(funcs, ["pipe", "close"]);
+
+        // Closing the read end empties the pipe entry's live set; the kept
+        // close of the write end is cascaded away too.
+        append_simple(&mut log, "close", SessionEvent::Close(vec![3]), true);
+        assert!(
+            log.is_empty(),
+            "log = {:?}",
+            log.iter().map(|e| &e.func).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn shrinking_disabled_keeps_everything() {
+        let mut log = FunctionLog::new();
+        append_simple(&mut log, "open", SessionEvent::Open(vec![3]), false);
+        append_simple(&mut log, "close", SessionEvent::Close(vec![3]), false);
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.removed_total(), 0);
+    }
+
+    #[test]
+    fn multi_session_close_requires_all_opens() {
+        let mut log = FunctionLog::new();
+        append_simple(&mut log, "open", SessionEvent::Open(vec![3]), true);
+        append_simple(
+            &mut log,
+            "vget",
+            SessionEvent::Open(vec![1 << 32 | 7]),
+            true,
+        );
+        let out = append_simple(
+            &mut log,
+            "close",
+            SessionEvent::Close(vec![3, 1 << 32 | 7]),
+            true,
+        );
+        assert_eq!(out.removed, 2);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn compaction_replaces_touches_with_synthetic_entry() {
+        let mut log = FunctionLog::new();
+        append_simple(&mut log, "open", SessionEvent::Open(vec![3]), true);
+        for _ in 0..10 {
+            append_simple(&mut log, "read", SessionEvent::Touch(3), true);
+        }
+        let removed = log.compact_session(
+            3,
+            TouchSynthesis::Replace {
+                func: "vfs_set_offset".into(),
+                args: vec![Value::U64(3), Value::U64(40)],
+                ret: Value::Unit,
+            },
+        );
+        assert_eq!(removed, 9); // 10 touches → 1 synthetic
+        assert_eq!(log.len(), 2);
+        let last = log.iter().last().unwrap();
+        assert!(last.synthetic);
+        assert_eq!(last.func, "vfs_set_offset");
+        // The synthetic entry is still session-bound: a later close removes it.
+        append_simple(&mut log, "close", SessionEvent::Close(vec![3]), true);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn compaction_drop_removes_without_replacement() {
+        let mut log = FunctionLog::new();
+        append_simple(&mut log, "open", SessionEvent::Open(vec![5]), true);
+        append_simple(&mut log, "read", SessionEvent::Touch(5), true);
+        append_simple(&mut log, "read", SessionEvent::Touch(5), true);
+        assert_eq!(log.compact_session(5, TouchSynthesis::Drop), 2);
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn compaction_keep_is_a_no_op() {
+        let mut log = FunctionLog::new();
+        append_simple(&mut log, "read", SessionEvent::Touch(5), true);
+        assert_eq!(log.compact_session(5, TouchSynthesis::Keep), 0);
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn touched_sessions_deduplicates() {
+        let mut log = FunctionLog::new();
+        append_simple(&mut log, "read", SessionEvent::Touch(5), true);
+        append_simple(&mut log, "read", SessionEvent::Touch(5), true);
+        append_simple(&mut log, "read", SessionEvent::Touch(9), true);
+        assert_eq!(log.touched_sessions(), vec![5, 9]);
+    }
+
+    #[test]
+    fn byte_len_grows_with_payloads() {
+        let mut log = FunctionLog::new();
+        log.append(
+            "app",
+            "write",
+            &[Value::U64(3), Value::Bytes(vec![0; 1000])],
+            &Value::U64(1000),
+            Vec::new(),
+            SessionEvent::Touch(3),
+            true,
+        );
+        assert!(log.byte_len() > 1000);
+    }
+
+    #[test]
+    fn downcalls_count_as_records() {
+        let mut log = FunctionLog::new();
+        log.append(
+            "app",
+            "open",
+            &[],
+            &Value::U64(3),
+            vec![
+                DownRec {
+                    target: "9pfs".into(),
+                    func: "lookup".into(),
+                    ret: Ok(Value::U64(1)),
+                },
+                DownRec {
+                    target: "9pfs".into(),
+                    func: "open".into(),
+                    ret: Ok(Value::Unit),
+                },
+            ],
+            SessionEvent::Open(vec![3]),
+            true,
+        );
+        assert_eq!(log.record_count(), 3);
+    }
+
+    #[test]
+    fn replay_entries_is_a_snapshot() {
+        let mut log = FunctionLog::new();
+        append_simple(&mut log, "open", SessionEvent::Open(vec![3]), true);
+        let snap = log.replay_entries();
+        append_simple(&mut log, "read", SessionEvent::Touch(3), true);
+        assert_eq!(snap.len(), 1);
+        assert_eq!(log.len(), 2);
+    }
+}

@@ -1,0 +1,433 @@
+//! The reboot engine: component-level reboots with checkpoint-based
+//! initialization (§V-E) and encapsulated restoration (§V-B), failure
+//! handling with in-line recovery and fail-stop on recurrence (§II-B), and
+//! the full-reboot baseline (§II-A).
+
+use std::collections::VecDeque;
+
+use vampos_sim::{Nanos, TraceEvent};
+use vampos_ukernel::{OsError, Value};
+
+use crate::runtime::{Ctx, ReplayState, System};
+use crate::stats::DowntimeWindow;
+
+/// The result of a component-level reboot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RebootOutcome {
+    /// The rebooted component (composite reboots join names with `+`).
+    pub component: String,
+    /// Virtual time the reboot occupied.
+    pub downtime: Nanos,
+    /// Log entries replayed during encapsulated restoration.
+    pub replayed: usize,
+    /// Bytes of checkpoint snapshot restored.
+    pub snapshot_bytes: usize,
+}
+
+/// The result of a full (whole-application) reboot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FullRebootOutcome {
+    /// Virtual time the boot occupied (application state restoration, e.g.
+    /// an AOF replay, is charged by the application on top of this).
+    pub downtime: Nanos,
+    /// Client connections that were reset.
+    pub connections_reset: u64,
+}
+
+impl System {
+    /// Reboots one component (or, if it is merged, its composite group)
+    /// while the application and the remaining components keep running.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::UnknownComponent`] for unknown names,
+    /// [`OsError::Unrebootable`] for components whose state is shared with
+    /// the host (VIRTIO), [`OsError::ReplayMismatch`] when restoration
+    /// cannot reproduce the pre-reboot state (the system then fail-stops).
+    pub fn reboot_component(&mut self, name: &str) -> Result<RebootOutcome, OsError> {
+        let &idx = self
+            .by_name
+            .get(name)
+            .ok_or_else(|| OsError::UnknownComponent(name.to_owned()))?;
+        if !self.slots[idx].desc.is_rebootable() {
+            return Err(OsError::Unrebootable {
+                component: name.to_owned(),
+            });
+        }
+        self.reboot_index(idx)
+    }
+
+    /// Reboots a component even if it is marked unrebootable. Exists to
+    /// demonstrate §VIII: forcing a VIRTIO reboot desynchronises the
+    /// host-shared rings and subsequent I/O fails.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`System::reboot_component`], minus the rebootability check.
+    pub fn force_reboot_component(&mut self, name: &str) -> Result<RebootOutcome, OsError> {
+        let &idx = self
+            .by_name
+            .get(name)
+            .ok_or_else(|| OsError::UnknownComponent(name.to_owned()))?;
+        self.reboot_index(idx)
+    }
+
+    /// Proactively reboots every rebootable component, one at a time —
+    /// the software-rejuvenation pattern of §VII-D.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first failed reboot.
+    pub fn rejuvenate_all(&mut self) -> Result<Vec<RebootOutcome>, OsError> {
+        let names: Vec<String> = self
+            .slots
+            .iter()
+            .filter(|s| s.desc.is_rebootable())
+            .map(|s| s.name.clone())
+            .collect();
+        let mut outcomes = Vec::new();
+        let mut done_groups = Vec::new();
+        for name in names {
+            let idx = self.by_name[&name];
+            let group = self.slots[idx].group;
+            if done_groups.contains(&group) {
+                continue; // composite already rebooted with its leader
+            }
+            done_groups.push(group);
+            outcomes.push(self.reboot_component(&name)?);
+        }
+        Ok(outcomes)
+    }
+
+    pub(crate) fn reboot_index(&mut self, idx: usize) -> Result<RebootOutcome, OsError> {
+        // A merged component reboots as a composite: load every member's
+        // snapshot and replay each member's log (§V-F).
+        let group = self.slots[idx].group;
+        let members: Vec<usize> = (0..self.slots.len())
+            .filter(|&i| self.slots[i].group == group)
+            .collect();
+        let label = members
+            .iter()
+            .map(|&i| self.slots[i].name.as_str())
+            .collect::<Vec<_>>()
+            .join("+");
+
+        let start = self.clock.now();
+        self.trace.push(TraceEvent::RebootStart {
+            component: label.clone(),
+        });
+        let mut replayed_total = 0usize;
+        let mut snapshot_total = 0usize;
+        for &member in &members {
+            let (replayed, snap) = self.reboot_one(member)?;
+            replayed_total += replayed;
+            snapshot_total += snap;
+        }
+        let end = self.clock.now();
+        self.stats.component_reboots += 1;
+        self.stats.replayed_entries += replayed_total as u64;
+        self.stats.downtime.push(DowntimeWindow {
+            component: label.clone(),
+            start,
+            end,
+        });
+        self.trace.push(TraceEvent::RebootDone {
+            component: label.clone(),
+            replayed: replayed_total,
+        });
+        Ok(RebootOutcome {
+            component: label,
+            downtime: end.saturating_sub(start),
+            replayed: replayed_total,
+            snapshot_bytes: snapshot_total,
+        })
+    }
+
+    /// Reboots a single slot: stop thread → checkpoint restore → respawn →
+    /// encapsulated replay → runtime-data restore.
+    fn reboot_one(&mut self, idx: usize) -> Result<(usize, usize), OsError> {
+        self.slots[idx].up = false;
+        self.clock.advance(self.costs.ctx_switch); // stop the thread
+
+        let mut comp = self.slots[idx]
+            .comp
+            .take()
+            .ok_or_else(|| OsError::Io(format!("{} busy during reboot", self.slots[idx].name)))?;
+
+        // Runtime-data extraction (§V-B): data replay cannot rebuild.
+        let extract = comp.extract_runtime();
+
+        // Checkpoint-based initialization (§V-E): restore the boot-phase
+        // memory image instead of running shutdown/boot routines.
+        let prior_rejuvenations = comp.arena().aging().rejuvenations();
+        comp.reset();
+        let mut snapshot_bytes = 0usize;
+        if let Some(snap) = &self.slots[idx].boot_snapshot {
+            snapshot_bytes = snap.byte_len();
+            comp.arena_mut()
+                .restore(snap)
+                .map_err(|e| OsError::Io(format!("checkpoint restore: {e}")))?;
+            self.clock
+                .advance(self.costs.snapshot_restore(snapshot_bytes));
+            // The boot image predates every rejuvenation; re-establish the
+            // cumulative count (each call also clears the aging counters,
+            // which the boot image already has at zero).
+            for _ in 0..=prior_rejuvenations {
+                comp.arena_mut().aging_mut().rejuvenate();
+            }
+        }
+
+        // Attach a fresh thread (§V-A).
+        self.clock.advance(self.costs.thread_spawn);
+
+        // Encapsulated restoration: replay the selected log entries with
+        // downcalls answered from the return-value log.
+        let mut replayed = 0usize;
+        if self.slots[idx].desc.is_stateful() {
+            let entries = self.slots[idx].log.replay_entries();
+            let name = self.slots[idx].name.clone();
+            for entry in entries {
+                self.clock.advance(self.costs.replay_entry);
+                let mut ctx = Ctx {
+                    sys: self,
+                    me: idx,
+                    pending: None,
+                    replay: Some(ReplayState {
+                        downcalls: VecDeque::from(entry.downcalls.clone()),
+                        hint: entry.ret.clone(),
+                        component: name.clone(),
+                    }),
+                };
+                let result = comp.call(&mut ctx, &entry.func, &entry.args);
+                match result {
+                    Ok(ret) if ret == entry.ret => {}
+                    Ok(ret) => {
+                        self.failed = true;
+                        self.slots[idx].comp = Some(comp);
+                        return Err(OsError::ReplayMismatch {
+                            component: name,
+                            detail: format!(
+                                "{} replayed to {ret} (logged {})",
+                                entry.func, entry.ret
+                            ),
+                        });
+                    }
+                    Err(e) => {
+                        self.failed = true;
+                        self.slots[idx].comp = Some(comp);
+                        return Err(OsError::ReplayMismatch {
+                            component: name,
+                            detail: format!("{} failed during replay: {e}", entry.func),
+                        });
+                    }
+                }
+                replayed += 1;
+            }
+        }
+
+        if let Some(data) = extract {
+            comp.restore_runtime(data)?;
+        }
+        comp.finish_replay();
+
+        self.slots[idx].comp = Some(comp);
+        self.slots[idx].up = true;
+        self.slots[idx].reboots += 1;
+        Ok((replayed, snapshot_bytes))
+    }
+
+    /// Forces a fail-stop failure of `component` right now — the §VII-E
+    /// experiment "intentionally inject\[s\] a fail-stop failure into 9PFS …
+    /// we force 9PFS to call `panic()` and trigger its reboot". The failure
+    /// detector fires immediately and (under auto-recovery) the component is
+    /// rebooted and restored.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::FailStop`] when the component is unrebootable or
+    /// auto-recovery is off; reboot errors otherwise.
+    pub fn force_component_failure(&mut self, component: &str) -> Result<RebootOutcome, OsError> {
+        let &tid = self
+            .by_name
+            .get(component)
+            .ok_or_else(|| OsError::UnknownComponent(component.to_owned()))?;
+        self.stats.failures += 1;
+        self.clock.advance(self.costs.detector_check);
+        self.trace.push(TraceEvent::FailureDetected {
+            component: component.to_owned(),
+            kind: "panic".to_owned(),
+        });
+        if !self.auto_recover || !self.slots[tid].desc.is_rebootable() {
+            return Err(self.terminal_failure(
+                tid,
+                &format!("component {component} fail-stopped without recovery"),
+            ));
+        }
+        self.reboot_index(tid)
+    }
+
+    /// The conventional recovery baseline: restart the whole
+    /// unikernel-linked application. Every client connection is reset, all
+    /// component state and logs are discarded, and the application layer
+    /// must rebuild its own state afterwards (e.g. Redis replays its AOF).
+    ///
+    /// # Errors
+    ///
+    /// Propagates boot-time failures (e.g. the root re-mount).
+    pub fn full_reboot(&mut self) -> Result<FullRebootOutcome, OsError> {
+        let start = self.clock.now();
+        let resets_before = self.host.with(|w| w.network().resets_seen());
+
+        // The VM goes down: peers see their connections die; the host side
+        // of the devices is reinitialised by the hypervisor.
+        self.host.with(|w| {
+            w.network_mut().reset_all();
+            w.ninep_mut().drop_all_fids();
+        });
+        for slot in &mut self.slots {
+            if let Some(comp) = slot.comp.as_mut() {
+                comp.reset();
+            }
+            slot.log.clear();
+            slot.up = true;
+            slot.condemned = false;
+        }
+        // VIRTIO's reset cleared the guest ring mirrors; a *full* reboot
+        // resets the host side too (the hypervisor re-creates the device) —
+        // unlike a component-local VIRTIO reboot.
+        self.host.with(|w| w.host_device_reset());
+
+        self.clock.advance(self.costs.full_boot);
+        self.failed = false;
+        self.faults.clear();
+
+        if self.by_name.contains_key("9pfs") {
+            self.syscall(
+                vampos_ukernel::names::VFS,
+                vampos_oslib::funcs::vfs::MOUNT,
+                &[Value::from("9pfs"), Value::from("/")],
+            )?;
+        }
+        // Refresh boot checkpoints.
+        for idx in 0..self.slots.len() {
+            if self.slots[idx].desc.uses_checkpoint_init() {
+                let snap = self.slots[idx]
+                    .comp
+                    .as_ref()
+                    .expect("present after reboot")
+                    .arena()
+                    .snapshot();
+                self.slots[idx].boot_snapshot = Some(snap);
+            }
+        }
+
+        let end = self.clock.now();
+        self.stats.full_reboots += 1;
+        self.stats.downtime.push(DowntimeWindow {
+            component: "*".to_owned(),
+            start,
+            end,
+        });
+        let resets_after = self.host.with(|w| w.network().resets_seen());
+        Ok(FullRebootOutcome {
+            downtime: end.saturating_sub(start),
+            connections_reset: resets_after - resets_before,
+        })
+    }
+
+    /// Failure handling: detect → reboot the failed component → replay the
+    /// in-flight message once. A failure that recurs on the retry is
+    /// treated as deterministic and the system fail-stops (§II-B).
+    pub(crate) fn handle_failure(
+        &mut self,
+        tid: usize,
+        err: OsError,
+        caller: Option<usize>,
+        target: &str,
+        func: &str,
+        args: &[Value],
+    ) -> Result<Value, OsError> {
+        self.stats.failures += 1;
+        self.clock.advance(self.costs.detector_check);
+        let kind = match &err {
+            OsError::Panic { .. } => "panic",
+            OsError::Hang { .. } => "hang",
+            OsError::ProtectionFault(_) => "mpk-violation",
+            _ => "failure",
+        };
+        self.trace.push(TraceEvent::FailureDetected {
+            component: target.to_owned(),
+            kind: kind.to_owned(),
+        });
+
+        if !self.auto_recover {
+            return Err(err);
+        }
+        if !self.slots[tid].desc.is_rebootable() {
+            return Err(
+                self.terminal_failure(tid, &format!("unrebootable component failed: {err}"))
+            );
+        }
+        match self.retry_depth {
+            0 => {
+                self.reboot_index(tid)?;
+            }
+            1 if self.alternates.contains_key(target) => {
+                // The failure recurred on the re-executed input: a
+                // deterministic bug in the component's code. Swap in the
+                // registered alternate version (§VIII multi-versioning) —
+                // its code differs, so the buggy path is gone — restore it
+                // from the same log, and try once more.
+                let alt = self
+                    .alternates
+                    .remove(target)
+                    .expect("checked contains_key");
+                self.faults.clear_component(target);
+                self.swap_component(tid, alt)?;
+                self.stats.version_swaps += 1;
+            }
+            _ => {
+                // No more remedies: deterministic fault, outside the fault
+                // model (§II-B).
+                return Err(
+                    self.terminal_failure(tid, &format!("failure recurred after recovery: {err}"))
+                );
+            }
+        }
+
+        // Re-execute the in-flight message.
+        self.retry_depth += 1;
+        let result = self.invoke_from(caller, target, func, args);
+        self.retry_depth -= 1;
+        match result {
+            Ok(v) => {
+                self.stats.recovered_calls += 1;
+                Ok(v)
+            }
+            // Deeper failure handling already produced the terminal error
+            // (fail-stop or condemnation); pass it through.
+            Err(e) => Err(e),
+        }
+    }
+
+    /// The end of the line for one component's recovery: either the whole
+    /// system fail-stops (§II-B) or, under graceful degradation (§VIII),
+    /// only the component is condemned and the rest keeps serving.
+    pub(crate) fn terminal_failure(&mut self, tid: usize, reason: &str) -> OsError {
+        let name = self.slots[tid].name.clone();
+        if self.graceful {
+            self.slots[tid].up = false;
+            self.slots[tid].condemned = true;
+            self.trace.push(TraceEvent::Note(format!(
+                "component {name} condemned; system degraded: {reason}"
+            )));
+            return OsError::FailStop {
+                reason: format!("{reason} (component {name} condemned; system degraded)"),
+            };
+        }
+        self.failed = true;
+        OsError::FailStop {
+            reason: reason.to_owned(),
+        }
+    }
+}

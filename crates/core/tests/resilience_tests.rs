@@ -1,0 +1,373 @@
+//! Tests for the §VIII extension features: graceful degradation,
+//! multi-version component recovery, live component updates, and
+//! aging-driven rejuvenation.
+
+use vampos_core::{ComponentSet, InjectedFault, Mode, System};
+use vampos_host::HostHandle;
+use vampos_mem::{ArenaLayout, MemoryArena};
+use vampos_oslib::vfs::OpenFlags;
+use vampos_ukernel::{CallContext, Component, ComponentDescriptor, OsError, SessionEvent, Value};
+
+fn staged_host() -> HostHandle {
+    let host = HostHandle::new();
+    host.with(|w| w.ninep_mut().put_file("/f", &vec![b'd'; 256]));
+    host
+}
+
+// ---------- graceful degradation ----------
+
+#[test]
+fn graceful_degradation_condemns_only_the_failed_component() {
+    let mut sys = System::builder()
+        .mode(Mode::vampos_das())
+        .components(ComponentSet::sqlite())
+        .host(staged_host())
+        .graceful_degradation(true)
+        .build()
+        .unwrap();
+    let fd = sys.os().open("/f", OpenFlags::RDWR).unwrap();
+
+    // A deterministic fault in SYSINFO: recovery fails, but only SYSINFO
+    // dies — the rest keeps serving.
+    sys.inject_fault(InjectedFault::panic_deterministic("sysinfo"));
+    let err = sys.os().uname().unwrap_err();
+    assert!(matches!(err, OsError::FailStop { .. }));
+
+    assert!(sys.is_degraded());
+    assert!(
+        !sys.has_failed(),
+        "graceful mode must not fail-stop globally"
+    );
+    assert_eq!(sys.condemned_components(), vec!["sysinfo".to_owned()]);
+
+    // The condemned component stays down…
+    assert!(matches!(
+        sys.os().uname(),
+        Err(OsError::ComponentUnavailable { .. })
+    ));
+    // …while file I/O (the salvage path of §VIII's Redis example) works.
+    assert_eq!(sys.os().read(fd, 4).unwrap(), b"dddd");
+    let dump = sys.os().create("/salvage").unwrap();
+    sys.os().write(dump, b"rescued state").unwrap();
+    sys.os().fsync(dump).unwrap();
+    assert_eq!(
+        sys.host()
+            .with(|w| w.ninep().read_file("/salvage"))
+            .unwrap(),
+        b"rescued state"
+    );
+}
+
+#[test]
+fn full_reboot_clears_degradation() {
+    let mut sys = System::builder()
+        .mode(Mode::vampos_das())
+        .components(ComponentSet::sqlite())
+        .graceful_degradation(true)
+        .build()
+        .unwrap();
+    sys.inject_fault(InjectedFault::panic_deterministic("user"));
+    let _ = sys.os().getuid();
+    assert!(sys.is_degraded());
+    sys.full_reboot().unwrap();
+    assert!(!sys.is_degraded());
+    assert_eq!(sys.os().getuid().unwrap(), 0);
+}
+
+#[test]
+fn without_graceful_mode_the_system_fail_stops() {
+    let mut sys = System::builder()
+        .mode(Mode::vampos_das())
+        .components(ComponentSet::sqlite())
+        .build()
+        .unwrap();
+    sys.inject_fault(InjectedFault::panic_deterministic("user"));
+    let _ = sys.os().getuid();
+    assert!(sys.has_failed());
+    assert!(matches!(sys.os().getpid(), Err(OsError::FailStop { .. })));
+}
+
+// ---------- multi-version components ----------
+
+/// A counter component whose v1 has a deterministic bug in `bump`.
+struct Counter {
+    desc: ComponentDescriptor,
+    arena: MemoryArena,
+    count: u64,
+    buggy: bool,
+}
+
+impl Counter {
+    fn new(buggy: bool) -> Self {
+        Counter {
+            desc: ComponentDescriptor::new("counter", ArenaLayout::small())
+                .stateful()
+                .logs(&["bump"]),
+            arena: MemoryArena::new("counter", ArenaLayout::small()),
+            count: 0,
+            buggy,
+        }
+    }
+}
+
+impl Component for Counter {
+    fn descriptor(&self) -> &ComponentDescriptor {
+        &self.desc
+    }
+    fn arena(&self) -> &MemoryArena {
+        &self.arena
+    }
+    fn arena_mut(&mut self) -> &mut MemoryArena {
+        &mut self.arena
+    }
+    fn call(
+        &mut self,
+        _ctx: &mut dyn CallContext,
+        func: &str,
+        _args: &[Value],
+    ) -> Result<Value, OsError> {
+        match func {
+            "bump" => {
+                // v1's deterministic bug: the fifth increment crashes —
+                // every time, including after a reboot-and-replay.
+                if self.buggy && self.count == 4 {
+                    return Err(OsError::Panic {
+                        component: "counter".into(),
+                        reason: "deterministic overflow bug in v1".into(),
+                    });
+                }
+                self.count += 1;
+                Ok(Value::U64(self.count))
+            }
+            "value" => Ok(Value::U64(self.count)),
+            other => Err(OsError::UnknownFunc {
+                component: "counter".into(),
+                func: other.into(),
+            }),
+        }
+    }
+    fn reset(&mut self) {
+        self.count = 0;
+        self.arena.reset();
+    }
+    fn session_event(&self, _f: &str, _a: &[Value], _r: &Value) -> SessionEvent {
+        SessionEvent::None
+    }
+    fn state_digest(&self) -> u64 {
+        self.count
+    }
+}
+
+#[test]
+fn alternate_version_recovers_a_deterministic_bug() {
+    let mut sys = System::builder()
+        .mode(Mode::vampos_das())
+        .components(ComponentSet::echo())
+        .extra_component(Box::new(Counter::new(true)))
+        .alternate(Box::new(Counter::new(false)))
+        .build()
+        .unwrap();
+    for i in 1..=4 {
+        assert_eq!(sys.syscall("counter", "bump", &[]).unwrap(), Value::U64(i));
+    }
+    // The fifth bump hits the bug; a plain reboot replays the same inputs
+    // and hits it again — then the v2 alternate is swapped in, restored
+    // from the log, and the call succeeds.
+    assert_eq!(sys.syscall("counter", "bump", &[]).unwrap(), Value::U64(5));
+    assert!(!sys.has_failed());
+    assert_eq!(sys.stats().version_swaps, 1);
+    assert!(sys.stats().component_reboots >= 1);
+    // State carried over: the counter kept its history.
+    assert_eq!(sys.syscall("counter", "value", &[]).unwrap(), Value::U64(5));
+}
+
+#[test]
+fn without_an_alternate_the_deterministic_bug_fail_stops() {
+    let mut sys = System::builder()
+        .mode(Mode::vampos_das())
+        .components(ComponentSet::echo())
+        .extra_component(Box::new(Counter::new(true)))
+        .build()
+        .unwrap();
+    for _ in 0..4 {
+        sys.syscall("counter", "bump", &[]).unwrap();
+    }
+    assert!(matches!(
+        sys.syscall("counter", "bump", &[]),
+        Err(OsError::FailStop { .. })
+    ));
+    assert!(sys.has_failed());
+}
+
+// ---------- live component updates ----------
+
+#[test]
+fn update_component_preserves_state_across_the_swap() {
+    let mut sys = System::builder()
+        .mode(Mode::vampos_das())
+        .components(ComponentSet::echo())
+        .extra_component(Box::new(Counter::new(true)))
+        .build()
+        .unwrap();
+    for _ in 0..3 {
+        sys.syscall("counter", "bump", &[]).unwrap();
+    }
+    // Update v1 → v2 before the bug ever fires (a patch deployment).
+    let outcome = sys
+        .update_component("counter", Box::new(Counter::new(false)))
+        .unwrap();
+    assert_eq!(outcome.replayed, 3);
+    assert_eq!(sys.stats().component_updates, 1);
+    assert_eq!(sys.syscall("counter", "value", &[]).unwrap(), Value::U64(3));
+    // The buggy fifth bump is gone in v2.
+    sys.syscall("counter", "bump", &[]).unwrap();
+    assert_eq!(sys.syscall("counter", "bump", &[]).unwrap(), Value::U64(5));
+    assert!(!sys.has_failed());
+}
+
+#[test]
+fn update_rejects_a_differently_named_component() {
+    let mut sys = System::builder()
+        .mode(Mode::vampos_das())
+        .components(ComponentSet::echo())
+        .extra_component(Box::new(Counter::new(true)))
+        .build()
+        .unwrap();
+    let err = sys
+        .update_component("counter", Box::new(vampos_oslib::Process::new()))
+        .unwrap_err();
+    assert!(matches!(err, OsError::Io(_)));
+}
+
+// ---------- aging-driven rejuvenation ----------
+
+#[test]
+fn aging_report_and_targeted_rejuvenation() {
+    let mut sys = System::builder()
+        .mode(Mode::vampos_das())
+        .components(ComponentSet::sqlite())
+        .host(staged_host())
+        .build()
+        .unwrap();
+    sys.inject_fault(InjectedFault::leak_per_op("vfs", 2048));
+    let fd = sys.os().open("/f", OpenFlags::RDWR).unwrap();
+    for _ in 0..20 {
+        sys.os().pread(fd, 8, 0).unwrap();
+    }
+    let report = sys.aging_report();
+    let vfs = report.iter().find(|e| e.component == "vfs").unwrap();
+    assert!(vfs.leaked_bytes >= 20 * 2048, "leaked {}", vfs.leaked_bytes);
+    let ninepfs = report.iter().find(|e| e.component == "9pfs").unwrap();
+    assert_eq!(ninepfs.leaked_bytes, 0);
+
+    // Targeted rejuvenation reboots exactly the aged component.
+    // (Disarm the continuous fault first so the leak does not re-accrue.)
+    let outcomes = sys.rejuvenate_aged(20_000).unwrap();
+    assert_eq!(outcomes.len(), 1);
+    assert!(outcomes[0].component.contains("vfs"));
+    let report = sys.aging_report();
+    let vfs = report.iter().find(|e| e.component == "vfs").unwrap();
+    assert_eq!(vfs.leaked_bytes, 0);
+    assert_eq!(vfs.rejuvenations, 1);
+    // And the fd still works afterwards.
+    assert_eq!(sys.os().pread(fd, 4, 0).unwrap(), b"dddd");
+}
+
+// ---------- dependency-aware scheduling model ----------
+
+/// A component that calls PROCESS without declaring the dependency.
+struct Undeclared {
+    desc: ComponentDescriptor,
+    arena: MemoryArena,
+}
+
+impl Undeclared {
+    fn new(declare: bool) -> Self {
+        let mut desc = ComponentDescriptor::new("chatty", ArenaLayout::small());
+        if declare {
+            desc = desc.depends_on(&["process"]);
+        }
+        Undeclared {
+            desc,
+            arena: MemoryArena::new("chatty", ArenaLayout::small()),
+        }
+    }
+}
+
+impl Component for Undeclared {
+    fn descriptor(&self) -> &ComponentDescriptor {
+        &self.desc
+    }
+    fn arena(&self) -> &MemoryArena {
+        &self.arena
+    }
+    fn arena_mut(&mut self) -> &mut MemoryArena {
+        &mut self.arena
+    }
+    fn call(
+        &mut self,
+        ctx: &mut dyn CallContext,
+        func: &str,
+        _args: &[Value],
+    ) -> Result<Value, OsError> {
+        match func {
+            "relay" => ctx.invoke("process", "getpid", &[]),
+            other => Err(OsError::UnknownFunc {
+                component: "chatty".into(),
+                func: other.into(),
+            }),
+        }
+    }
+    fn reset(&mut self) {
+        self.arena.reset();
+    }
+}
+
+#[test]
+fn undeclared_dependencies_mispredict_and_cost_more() {
+    let mut run = |declare: bool| {
+        let mut sys = System::builder()
+            .mode(Mode::vampos_das())
+            .components(ComponentSet::echo())
+            .extra_component(Box::new(Undeclared::new(declare)))
+            .build()
+            .unwrap();
+        let t0 = sys.clock().now();
+        sys.syscall("chatty", "relay", &[]).unwrap();
+        (sys.clock().now() - t0, sys.stats().das_mispredicts)
+    };
+    let (declared_time, declared_miss) = run(true);
+    let (undeclared_time, undeclared_miss) = run(false);
+    assert_eq!(declared_miss, 0);
+    assert_eq!(undeclared_miss, 1);
+    assert!(
+        undeclared_time > declared_time,
+        "mispredicted dispatch must pay the ring scan: {undeclared_time} vs {declared_time}"
+    );
+}
+
+#[test]
+fn built_in_call_graph_is_fully_declared() {
+    // The nine components' declared dependencies must cover every hop a
+    // real workload performs — zero mispredicts end to end.
+    let host = staged_host();
+    let mut sys = System::builder()
+        .mode(Mode::vampos_das())
+        .components(ComponentSet::nginx())
+        .host(host)
+        .build()
+        .unwrap();
+    let listen = sys.os().socket().unwrap();
+    sys.os().bind(listen, 80).unwrap();
+    sys.os().listen(listen, 8).unwrap();
+    let client = sys.host().with(|w| w.network_mut().connect(80));
+    let conn = sys.os().accept(listen).unwrap();
+    sys.host()
+        .with(|w| w.network_mut().send(client, b"ping").unwrap());
+    sys.os().recv(conn, 64).unwrap();
+    sys.os().send(conn, b"pong").unwrap();
+    let fd = sys.os().open("/f", OpenFlags::RDWR).unwrap();
+    sys.os().write(fd, b"x").unwrap();
+    sys.os().close(fd).unwrap();
+    assert_eq!(sys.stats().das_mispredicts, 0);
+}

@@ -1,0 +1,325 @@
+//! Virtio-style descriptor queues shared between guest and host.
+//!
+//! §VIII of the paper explains why VIRTIO is the one component VampOS cannot
+//! reboot: its ring buffers are *shared with the host*. "The restart of
+//! VIRTIO initializes the ring buffers, causing I/O requests to become lost
+//! in the operation and pointers to be misaligned to the ring buffers
+//! between VIRTIO and Linux."
+//!
+//! [`VirtQueue`] reproduces that failure mode concretely. The guest submits
+//! descriptors carrying monotonically increasing ids (its private index
+//! mirror); the host services them in order and verifies the id sequence. A
+//! guest-side reset restarts the guest's ids at zero **without** resetting
+//! the host's expectation — the queue becomes desynchronised and the host
+//! backend refuses further service until the *host* performs a device reset,
+//! which a component-local reboot cannot do.
+
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+/// A descriptor submitted on a queue: guest-assigned id + payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Descriptor<T> {
+    /// Guest-assigned sequential id.
+    pub id: u64,
+    /// The request or response payload.
+    pub payload: T,
+}
+
+/// Errors surfaced by a [`VirtQueue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VirtQueueError {
+    /// The ring is full; the guest must wait for completions.
+    Full,
+    /// Guest and host disagree about the descriptor sequence — the state
+    /// after a one-sided (guest) reset. Requires a host-side device reset.
+    Desynchronized {
+        /// The id the host expected next.
+        expected: u64,
+        /// The id the guest actually submitted.
+        got: u64,
+    },
+}
+
+impl fmt::Display for VirtQueueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VirtQueueError::Full => f.write_str("virtqueue full"),
+            VirtQueueError::Desynchronized { expected, got } => write!(
+                f,
+                "virtqueue desynchronized: host expected descriptor {expected}, guest submitted {got}"
+            ),
+        }
+    }
+}
+
+impl Error for VirtQueueError {}
+
+/// One direction of a virtio device: guest submits requests, host services
+/// them and pushes completions.
+///
+/// # Example
+///
+/// ```
+/// use vampos_host::VirtQueue;
+///
+/// let mut q: VirtQueue<String, usize> = VirtQueue::new(8);
+/// let id = q.guest_submit("do-something".into())?;
+/// q.host_service(|req| req.len());
+/// assert_eq!(q.guest_complete(), Some((id, 12)));
+/// # Ok::<(), vampos_host::VirtQueueError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct VirtQueue<Req, Resp> {
+    capacity: usize,
+    pending: VecDeque<Descriptor<Req>>,
+    completed: VecDeque<Descriptor<Resp>>,
+    /// Guest-private submission index mirror (lost on guest reset).
+    guest_next_id: u64,
+    /// Host-private expectation (survives guest reset — that's the bug).
+    host_expected_id: u64,
+    desynced: bool,
+    kicks: u64,
+    serviced: u64,
+    lost: u64,
+}
+
+impl<Req, Resp> VirtQueue<Req, Resp> {
+    /// Creates a queue with room for `capacity` in-flight descriptors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "virtqueue capacity must be positive");
+        VirtQueue {
+            capacity,
+            pending: VecDeque::new(),
+            completed: VecDeque::new(),
+            guest_next_id: 0,
+            host_expected_id: 0,
+            desynced: false,
+            kicks: 0,
+            serviced: 0,
+            lost: 0,
+        }
+    }
+
+    /// Guest side: submit a request descriptor and kick the device.
+    ///
+    /// # Errors
+    ///
+    /// [`VirtQueueError::Full`] when `capacity` requests are in flight;
+    /// [`VirtQueueError::Desynchronized`] once the queue is broken.
+    pub fn guest_submit(&mut self, payload: Req) -> Result<u64, VirtQueueError> {
+        if self.desynced {
+            return Err(VirtQueueError::Desynchronized {
+                expected: self.host_expected_id,
+                got: self.guest_next_id,
+            });
+        }
+        if self.pending.len() + self.completed.len() >= self.capacity {
+            return Err(VirtQueueError::Full);
+        }
+        let id = self.guest_next_id;
+        self.guest_next_id += 1;
+        self.pending.push_back(Descriptor { id, payload });
+        self.kicks += 1;
+        Ok(id)
+    }
+
+    /// Host side: service every pending descriptor with `backend`,
+    /// validating the id sequence. On a sequence violation the queue enters
+    /// the desynchronised state and in-flight requests are dropped (lost
+    /// I/O), mirroring §VIII.
+    pub fn host_service(&mut self, mut backend: impl FnMut(Req) -> Resp) {
+        while let Some(desc) = self.pending.pop_front() {
+            if desc.id != self.host_expected_id {
+                self.desynced = true;
+                self.lost += 1 + self.pending.len() as u64;
+                self.pending.clear();
+                return;
+            }
+            self.host_expected_id += 1;
+            self.serviced += 1;
+            let resp = backend(desc.payload);
+            self.completed.push_back(Descriptor {
+                id: desc.id,
+                payload: resp,
+            });
+        }
+    }
+
+    /// Guest side: pop the next completion, if any.
+    pub fn guest_complete(&mut self) -> Option<(u64, Resp)> {
+        self.completed.pop_front().map(|d| (d.id, d.payload))
+    }
+
+    /// Guest-side component reset: clears the guest's private index mirror
+    /// and any visible completions, but **not** the host's expectation.
+    /// After in-flight traffic existed, the next submission desynchronises
+    /// the queue — this is why VIRTIO is unrebootable from inside.
+    pub fn guest_reset(&mut self) {
+        self.lost += (self.pending.len() + self.completed.len()) as u64;
+        self.guest_next_id = 0;
+        self.completed.clear();
+        // pending descriptors stay: the host may already be processing them.
+    }
+
+    /// Host-side device reset: the orchestrated recovery §VIII says would be
+    /// required. Clears both sides and re-synchronises.
+    pub fn host_device_reset(&mut self) {
+        self.pending.clear();
+        self.completed.clear();
+        self.guest_next_id = 0;
+        self.host_expected_id = 0;
+        self.desynced = false;
+    }
+
+    /// Whether the queue is desynchronised.
+    pub fn is_desynced(&self) -> bool {
+        self.desynced
+    }
+
+    /// Descriptors waiting for host service.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Completions waiting for the guest.
+    pub fn completed_len(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// Total kicks (guest notifications) so far.
+    pub fn kicks(&self) -> u64 {
+        self.kicks
+    }
+
+    /// Descriptors successfully serviced by the host.
+    pub fn serviced(&self) -> u64 {
+        self.serviced
+    }
+
+    /// Descriptors lost to resets/desyncs.
+    pub fn lost(&self) -> u64 {
+        self.lost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo_backend(req: u32) -> u32 {
+        req * 2
+    }
+
+    #[test]
+    fn submit_service_complete_round_trip() {
+        let mut q: VirtQueue<u32, u32> = VirtQueue::new(4);
+        let id = q.guest_submit(21).unwrap();
+        q.host_service(echo_backend);
+        assert_eq!(q.guest_complete(), Some((id, 42)));
+        assert_eq!(q.guest_complete(), None);
+    }
+
+    #[test]
+    fn ids_are_sequential() {
+        let mut q: VirtQueue<u32, u32> = VirtQueue::new(8);
+        assert_eq!(q.guest_submit(1).unwrap(), 0);
+        assert_eq!(q.guest_submit(2).unwrap(), 1);
+        assert_eq!(q.guest_submit(3).unwrap(), 2);
+    }
+
+    #[test]
+    fn full_queue_rejects() {
+        let mut q: VirtQueue<u32, u32> = VirtQueue::new(2);
+        q.guest_submit(1).unwrap();
+        q.guest_submit(2).unwrap();
+        assert_eq!(q.guest_submit(3), Err(VirtQueueError::Full));
+        // Completions also occupy ring slots until consumed.
+        q.host_service(echo_backend);
+        assert_eq!(q.guest_submit(3), Err(VirtQueueError::Full));
+        q.guest_complete();
+        q.guest_complete();
+        assert!(q.guest_submit(3).is_ok());
+    }
+
+    #[test]
+    fn guest_reset_after_traffic_desynchronizes() {
+        let mut q: VirtQueue<u32, u32> = VirtQueue::new(8);
+        q.guest_submit(1).unwrap();
+        q.host_service(echo_backend); // host_expected_id = 1
+        q.guest_reset(); // guest restarts ids at 0
+        q.guest_submit(9).unwrap(); // id 0 again
+        q.host_service(echo_backend);
+        assert!(q.is_desynced());
+        assert_eq!(q.guest_complete(), None); // request was lost
+        assert!(matches!(
+            q.guest_submit(10),
+            Err(VirtQueueError::Desynchronized {
+                expected: 1,
+                got: 1
+            })
+        ));
+        assert!(q.lost() >= 1);
+    }
+
+    #[test]
+    fn guest_reset_before_any_traffic_is_harmless() {
+        let mut q: VirtQueue<u32, u32> = VirtQueue::new(8);
+        q.guest_reset();
+        q.guest_submit(5).unwrap();
+        q.host_service(echo_backend);
+        assert!(!q.is_desynced());
+        assert_eq!(q.guest_complete(), Some((0, 10)));
+    }
+
+    #[test]
+    fn guest_reset_drops_visible_completions() {
+        let mut q: VirtQueue<u32, u32> = VirtQueue::new(8);
+        q.guest_submit(1).unwrap();
+        q.host_service(echo_backend);
+        q.guest_reset();
+        assert_eq!(q.guest_complete(), None);
+        assert_eq!(q.lost(), 1);
+    }
+
+    #[test]
+    fn host_device_reset_recovers() {
+        let mut q: VirtQueue<u32, u32> = VirtQueue::new(8);
+        q.guest_submit(1).unwrap();
+        q.host_service(echo_backend);
+        q.guest_reset();
+        q.guest_submit(2).unwrap();
+        q.host_service(echo_backend);
+        assert!(q.is_desynced());
+
+        q.host_device_reset();
+        assert!(!q.is_desynced());
+        let id = q.guest_submit(3).unwrap();
+        q.host_service(echo_backend);
+        assert_eq!(q.guest_complete(), Some((id, 6)));
+    }
+
+    #[test]
+    fn counters_track_activity() {
+        let mut q: VirtQueue<u32, u32> = VirtQueue::new(8);
+        for i in 0..3 {
+            q.guest_submit(i).unwrap();
+        }
+        q.host_service(echo_backend);
+        assert_eq!(q.kicks(), 3);
+        assert_eq!(q.serviced(), 3);
+        assert_eq!(q.completed_len(), 3);
+        assert_eq!(q.pending_len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _: VirtQueue<u32, u32> = VirtQueue::new(0);
+    }
+}

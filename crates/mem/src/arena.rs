@@ -1,0 +1,544 @@
+//! A component's address space: fixed regions + a buddy-managed heap.
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::aging::AgingState;
+use crate::buddy::{BuddyAllocator, BuddyError};
+use crate::region::{Region, RegionKind};
+use crate::snapshot::Snapshot;
+
+/// An address in a component's local address space.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Addr(pub u64);
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#010x}", self.0)
+    }
+}
+
+/// A live heap allocation inside an arena.
+///
+/// The handle is deliberately `Copy`-free: dropping it does **not** free the
+/// block (that would hide leaks — the very thing the aging experiments
+/// inject); call [`MemoryArena::free`] explicitly.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AllocHandle {
+    addr: Addr,
+    len: usize,
+}
+
+impl AllocHandle {
+    /// Start address of the block.
+    pub fn addr(&self) -> Addr {
+        self.addr
+    }
+
+    /// Usable length of the block in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True for zero-length handles (never produced by `alloc`).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Sizes for each region of a component arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArenaLayout {
+    /// Text (code) bytes; read-only.
+    pub text: usize,
+    /// Initialised data bytes.
+    pub data: usize,
+    /// Zero-initialised data bytes.
+    pub bss: usize,
+    /// Heap bytes; must be a power of two.
+    pub heap: usize,
+    /// Stack bytes.
+    pub stack: usize,
+}
+
+impl ArenaLayout {
+    /// Minimum heap block granted by the buddy allocator.
+    pub const MIN_BLOCK: usize = 32;
+
+    /// A small layout for utility components (PROCESS, USER, ...).
+    pub fn small() -> Self {
+        ArenaLayout {
+            text: 16 << 10,
+            data: 4 << 10,
+            bss: 4 << 10,
+            heap: 64 << 10,
+            stack: 16 << 10,
+        }
+    }
+
+    /// A medium layout for protocol components (9PFS, NETDEV, ...).
+    pub fn medium() -> Self {
+        ArenaLayout {
+            text: 64 << 10,
+            data: 16 << 10,
+            bss: 32 << 10,
+            heap: 1 << 20,
+            stack: 32 << 10,
+        }
+    }
+
+    /// A large layout for heavyweight components (VFS, LWIP).
+    pub fn large() -> Self {
+        ArenaLayout {
+            text: 256 << 10,
+            data: 128 << 10,
+            bss: 256 << 10,
+            heap: 8 << 20,
+            stack: 64 << 10,
+        }
+    }
+
+    /// A layout with no data/bss payload, mirroring the paper's observation
+    /// that 9PFS only needs its heap snapshot restored.
+    pub fn heap_only(heap: usize) -> Self {
+        ArenaLayout {
+            text: 32 << 10,
+            data: 0,
+            bss: 0,
+            heap,
+            stack: 16 << 10,
+        }
+    }
+
+    /// Total bytes across all regions.
+    pub fn total(&self) -> usize {
+        self.text + self.data + self.bss + self.heap + self.stack
+    }
+}
+
+/// Errors returned by [`MemoryArena`] operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemError {
+    /// Access touched no region or crossed a region boundary.
+    OutOfBounds {
+        /// Faulting address.
+        addr: Addr,
+        /// Access length.
+        len: usize,
+    },
+    /// Write to a read-only (text) region.
+    ReadOnly {
+        /// Faulting address.
+        addr: Addr,
+    },
+    /// Heap allocator failure.
+    Alloc(BuddyError),
+    /// Snapshot belongs to a different arena or layout.
+    SnapshotMismatch,
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::OutOfBounds { addr, len } => {
+                write!(f, "access of {len} bytes at {addr} is out of bounds")
+            }
+            MemError::ReadOnly { addr } => write!(f, "write to read-only memory at {addr}"),
+            MemError::Alloc(e) => write!(f, "heap allocation failed: {e}"),
+            MemError::SnapshotMismatch => f.write_str("snapshot does not match this arena"),
+        }
+    }
+}
+
+impl Error for MemError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MemError::Alloc(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BuddyError> for MemError {
+    fn from(e: BuddyError) -> Self {
+        MemError::Alloc(e)
+    }
+}
+
+/// A component's simulated memory: text/data/bss/heap/stack regions over a
+/// flat local address space, with a buddy-managed heap and aging accounting.
+///
+/// # Example
+///
+/// ```
+/// use vampos_mem::{ArenaLayout, MemoryArena};
+///
+/// let mut arena = MemoryArena::new("lwip", ArenaLayout::medium());
+/// let buf = arena.alloc(256)?;
+/// arena.write(buf.addr(), &[0xAB; 256])?;
+/// assert_eq!(arena.read(buf.addr(), 4)?, vec![0xAB; 4]);
+/// arena.free(&buf)?;
+/// # Ok::<(), vampos_mem::MemError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoryArena {
+    name: String,
+    layout: ArenaLayout,
+    regions: Vec<Region>,
+    heap_base: u64,
+    allocator: BuddyAllocator,
+    aging: AgingState,
+}
+
+impl MemoryArena {
+    /// Creates a zeroed arena with the given layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layout.heap` is not a power of two (buddy requirement).
+    pub fn new(name: impl Into<String>, layout: ArenaLayout) -> Self {
+        let mut regions = Vec::with_capacity(5);
+        let mut base = 0u64;
+        let mut heap_base = 0u64;
+        for kind in RegionKind::ALL {
+            let size = match kind {
+                RegionKind::Text => layout.text,
+                RegionKind::Data => layout.data,
+                RegionKind::Bss => layout.bss,
+                RegionKind::Heap => layout.heap,
+                RegionKind::Stack => layout.stack,
+            };
+            if kind == RegionKind::Heap {
+                heap_base = base;
+            }
+            regions.push(Region::new(kind, base, size));
+            base += size as u64;
+        }
+        MemoryArena {
+            name: name.into(),
+            layout,
+            regions,
+            heap_base,
+            allocator: BuddyAllocator::new(
+                layout.heap.max(ArenaLayout::MIN_BLOCK),
+                ArenaLayout::MIN_BLOCK,
+            ),
+            aging: AgingState::new(),
+        }
+    }
+
+    /// The arena's (component) name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The arena's layout.
+    pub fn layout(&self) -> &ArenaLayout {
+        &self.layout
+    }
+
+    /// Base address of the heap region.
+    pub fn heap_base(&self) -> Addr {
+        Addr(self.heap_base)
+    }
+
+    /// Total mapped bytes (all regions).
+    pub fn footprint(&self) -> usize {
+        self.layout.total()
+    }
+
+    /// Bytes of heap in use (live + leaked allocations).
+    pub fn heap_used(&self) -> usize {
+        self.allocator.allocated_bytes() + self.allocator.leaked_bytes()
+    }
+
+    /// Aging counters for this arena.
+    pub fn aging(&self) -> &AgingState {
+        &self.aging
+    }
+
+    /// Mutable aging counters (used by the fault injector).
+    pub fn aging_mut(&mut self) -> &mut AgingState {
+        &mut self.aging
+    }
+
+    /// Allocator metrics (fragmentation, free bytes, ...).
+    pub fn allocator(&self) -> &BuddyAllocator {
+        &self.allocator
+    }
+
+    /// Allocates `bytes` from the heap.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocator failures as [`MemError::Alloc`].
+    pub fn alloc(&mut self, bytes: usize) -> Result<AllocHandle, MemError> {
+        let off = self.allocator.alloc(bytes)?;
+        Ok(AllocHandle {
+            addr: Addr(self.heap_base + off),
+            len: bytes,
+        })
+    }
+
+    /// Frees a previously allocated block.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::Alloc`] wrapping an invalid-free when the handle does not
+    /// refer to a live allocation (e.g. double free).
+    pub fn free(&mut self, handle: &AllocHandle) -> Result<(), MemError> {
+        self.allocator
+            .free(handle.addr.0 - self.heap_base)
+            .map_err(MemError::from)
+    }
+
+    /// Simulates an aging bug: leaks `bytes` of heap.
+    ///
+    /// # Errors
+    ///
+    /// Propagates allocator OOM.
+    pub fn leak(&mut self, bytes: usize) -> Result<(), MemError> {
+        self.allocator.leak(bytes)?;
+        self.aging.record_leak(bytes);
+        Ok(())
+    }
+
+    fn region_for(&self, addr: Addr, len: usize) -> Result<usize, MemError> {
+        self.regions
+            .iter()
+            .position(|r| r.contains(addr.0, len))
+            .ok_or(MemError::OutOfBounds { addr, len })
+    }
+
+    /// Reads `len` bytes at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfBounds`] when the range is not inside one region.
+    pub fn read(&self, addr: Addr, len: usize) -> Result<Vec<u8>, MemError> {
+        let idx = self.region_for(addr, len)?;
+        let r = &self.regions[idx];
+        let start = (addr.0 - r.base()) as usize;
+        Ok(r.bytes()[start..start + len].to_vec())
+    }
+
+    /// Writes `bytes` at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfBounds`] when outside every region,
+    /// [`MemError::ReadOnly`] for writes into text.
+    pub fn write(&mut self, addr: Addr, bytes: &[u8]) -> Result<(), MemError> {
+        let idx = self.region_for(addr, bytes.len())?;
+        let r = &mut self.regions[idx];
+        if !r.kind().is_writable() {
+            return Err(MemError::ReadOnly { addr });
+        }
+        let start = (addr.0 - r.base()) as usize;
+        r.bytes_mut()[start..start + bytes.len()].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Flips one bit at `addr` (non-deterministic hardware-fault injection).
+    /// Unlike [`MemoryArena::write`], this ignores write permissions — a bit
+    /// flip does not consult the MMU.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfBounds`] when `addr` maps to no region.
+    pub fn flip_bit(&mut self, addr: Addr, bit: u8) -> Result<(), MemError> {
+        let idx = self.region_for(addr, 1)?;
+        let r = &mut self.regions[idx];
+        let start = (addr.0 - r.base()) as usize;
+        r.bytes_mut()[start] ^= 1 << (bit % 8);
+        Ok(())
+    }
+
+    /// Captures a checkpoint of the arena.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            arena_name: self.name.clone(),
+            regions: self
+                .regions
+                .iter()
+                .map(|r| (r.kind(), r.bytes().to_vec()))
+                .collect(),
+            allocator: self.allocator.clone(),
+            aging: self.aging.clone(),
+        }
+    }
+
+    /// Restores a checkpoint captured from this arena.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::SnapshotMismatch`] when the snapshot belongs to a
+    /// different arena or a different layout.
+    pub fn restore(&mut self, snap: &Snapshot) -> Result<(), MemError> {
+        if snap.arena_name != self.name || snap.regions.len() != self.regions.len() {
+            return Err(MemError::SnapshotMismatch);
+        }
+        for (region, (kind, bytes)) in self.regions.iter_mut().zip(&snap.regions) {
+            if region.kind() != *kind || region.len() != bytes.len() {
+                return Err(MemError::SnapshotMismatch);
+            }
+        }
+        for (region, (_, bytes)) in self.regions.iter_mut().zip(&snap.regions) {
+            region.overwrite(bytes);
+        }
+        self.allocator = snap.allocator.clone();
+        self.aging = snap.aging.clone();
+        Ok(())
+    }
+
+    /// Resets the arena to pristine boot state: zero fill of writable
+    /// regions, a fresh allocator, and rejuvenated aging counters.
+    pub fn reset(&mut self) {
+        for region in &mut self.regions {
+            if region.kind().is_writable() {
+                region.bytes_mut().fill(0);
+            }
+        }
+        self.allocator.reset();
+        self.aging.rejuvenate();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arena() -> MemoryArena {
+        MemoryArena::new("test", ArenaLayout::small())
+    }
+
+    #[test]
+    fn layout_regions_are_contiguous_and_sized() {
+        let a = arena();
+        assert_eq!(a.footprint(), ArenaLayout::small().total());
+        // Heap base is text+data+bss.
+        let l = ArenaLayout::small();
+        assert_eq!(a.heap_base().0, (l.text + l.data + l.bss) as u64);
+    }
+
+    #[test]
+    fn alloc_write_read_round_trip() {
+        let mut a = arena();
+        let h = a.alloc(64).unwrap();
+        a.write(h.addr(), &[7; 64]).unwrap();
+        assert_eq!(a.read(h.addr(), 64).unwrap(), vec![7; 64]);
+        a.free(&h).unwrap();
+    }
+
+    #[test]
+    fn out_of_bounds_access_fails() {
+        let a = arena();
+        let end = Addr(a.footprint() as u64);
+        assert!(matches!(a.read(end, 1), Err(MemError::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn cross_region_access_fails() {
+        let a = arena();
+        // 1 byte before the heap, 2 bytes long → crosses bss/heap boundary.
+        let addr = Addr(a.heap_base().0 - 1);
+        assert!(matches!(a.read(addr, 2), Err(MemError::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn text_is_write_protected_but_bit_flippable() {
+        let mut a = arena();
+        assert!(matches!(
+            a.write(Addr(0), &[1]),
+            Err(MemError::ReadOnly { .. })
+        ));
+        a.flip_bit(Addr(0), 3).unwrap();
+        assert_eq!(a.read(Addr(0), 1).unwrap(), vec![8]);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_heap_and_allocator() {
+        let mut a = arena();
+        let h = a.alloc(128).unwrap();
+        a.write(h.addr(), b"persistent state................")
+            .unwrap();
+        let snap = a.snapshot();
+
+        // Mutate after the snapshot: new allocation + overwrite.
+        let h2 = a.alloc(64).unwrap();
+        a.write(h.addr(), &[0xFF; 32]).unwrap();
+        a.restore(&snap).unwrap();
+
+        assert_eq!(
+            a.read(h.addr(), 32).unwrap(),
+            b"persistent state................".to_vec()
+        );
+        // h2 was allocated after the snapshot → freeing it now must fail,
+        // because the allocator state was rolled back too.
+        assert!(a.free(&h2).is_err());
+        assert!(a.free(&h).is_ok());
+    }
+
+    #[test]
+    fn restore_rejects_foreign_snapshot() {
+        let mut a = arena();
+        let other = MemoryArena::new("other", ArenaLayout::small());
+        assert_eq!(
+            a.restore(&other.snapshot()),
+            Err(MemError::SnapshotMismatch)
+        );
+        let bigger = MemoryArena::new("test", ArenaLayout::medium());
+        assert_eq!(
+            a.restore(&bigger.snapshot()),
+            Err(MemError::SnapshotMismatch)
+        );
+    }
+
+    #[test]
+    fn snapshot_byte_len_excludes_text() {
+        let a = arena();
+        let snap = a.snapshot();
+        let l = ArenaLayout::small();
+        assert_eq!(snap.byte_len(), l.data + l.bss + l.heap + l.stack);
+    }
+
+    #[test]
+    fn reset_rejuvenates() {
+        let mut a = arena();
+        let h = a.alloc(32).unwrap();
+        a.write(h.addr(), &[9; 32]).unwrap();
+        a.leak(64).unwrap();
+        assert!(a.aging().is_aged());
+
+        a.reset();
+        assert!(!a.aging().is_aged());
+        assert_eq!(a.aging().rejuvenations(), 1);
+        assert_eq!(a.heap_used(), 0);
+        // Old handle no longer valid.
+        assert!(a.free(&h).is_err());
+        // Memory zeroed.
+        assert_eq!(a.read(h.addr(), 32).unwrap(), vec![0; 32]);
+    }
+
+    #[test]
+    fn heap_only_layout_has_empty_data_and_bss() {
+        let a = MemoryArena::new("9pfs", ArenaLayout::heap_only(1 << 20));
+        let snap = a.snapshot();
+        assert_eq!(snap.byte_len(), (1 << 20) + (16 << 10));
+    }
+
+    #[test]
+    fn leak_reduces_free_heap_until_reset() {
+        let mut a = arena();
+        let before = a.allocator().free_bytes();
+        a.leak(1024).unwrap();
+        assert!(a.allocator().free_bytes() < before);
+        assert_eq!(a.heap_used(), 1024);
+        a.reset();
+        assert_eq!(a.allocator().free_bytes(), before);
+    }
+}

@@ -1,0 +1,185 @@
+//! Memory regions: the segments making up a component's address space.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The kind of a memory region inside a component.
+///
+/// Mirrors the segments the paper's prototype places per component: the
+/// read-only text, the initialised `.data`, zero-initialised `.bss`, the
+/// buddy-managed heap, and the component thread's stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RegionKind {
+    /// Executable code; read-only.
+    Text,
+    /// Initialised static data.
+    Data,
+    /// Zero-initialised static data.
+    Bss,
+    /// Dynamically allocated memory, managed by the buddy allocator.
+    Heap,
+    /// The component thread's stack.
+    Stack,
+}
+
+impl RegionKind {
+    /// All region kinds in layout order (ascending base address).
+    pub const ALL: [RegionKind; 5] = [
+        RegionKind::Text,
+        RegionKind::Data,
+        RegionKind::Bss,
+        RegionKind::Heap,
+        RegionKind::Stack,
+    ];
+
+    /// Whether writes to this region are legal.
+    pub fn is_writable(self) -> bool {
+        !matches!(self, RegionKind::Text)
+    }
+}
+
+impl fmt::Display for RegionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RegionKind::Text => "text",
+            RegionKind::Data => "data",
+            RegionKind::Bss => "bss",
+            RegionKind::Heap => "heap",
+            RegionKind::Stack => "stack",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One contiguous memory region: a kind, a base address in the component's
+/// local address space, and backing bytes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Region {
+    kind: RegionKind,
+    base: u64,
+    bytes: Vec<u8>,
+}
+
+impl Region {
+    /// Creates a zero-filled region of `size` bytes at `base`.
+    pub fn new(kind: RegionKind, base: u64, size: usize) -> Self {
+        Region {
+            kind,
+            base,
+            bytes: vec![0; size],
+        }
+    }
+
+    /// The region's kind.
+    pub fn kind(&self) -> RegionKind {
+        self.kind
+    }
+
+    /// Base address in the component-local address space.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True when the region has zero size.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// One past the last address of the region.
+    pub fn end(&self) -> u64 {
+        self.base + self.bytes.len() as u64
+    }
+
+    /// Whether `addr..addr+len` falls entirely inside this region.
+    pub fn contains(&self, addr: u64, len: usize) -> bool {
+        addr >= self.base && addr.saturating_add(len as u64) <= self.end()
+    }
+
+    /// Borrow the backing bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Mutably borrow the backing bytes.
+    ///
+    /// Write-permission checks are performed by the arena, not here; this is
+    /// also the hook fault injection uses to corrupt memory directly.
+    pub fn bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.bytes
+    }
+
+    /// Replaces the backing bytes (used by snapshot restore).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` has a different length than the region.
+    pub fn overwrite(&mut self, bytes: &[u8]) {
+        assert_eq!(
+            bytes.len(),
+            self.bytes.len(),
+            "snapshot size mismatch for {} region",
+            self.kind
+        );
+        self.bytes.copy_from_slice(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_is_read_only_every_other_region_writable() {
+        assert!(!RegionKind::Text.is_writable());
+        for kind in [
+            RegionKind::Data,
+            RegionKind::Bss,
+            RegionKind::Heap,
+            RegionKind::Stack,
+        ] {
+            assert!(kind.is_writable(), "{kind} should be writable");
+        }
+    }
+
+    #[test]
+    fn contains_respects_bounds() {
+        let r = Region::new(RegionKind::Heap, 0x1000, 64);
+        assert!(r.contains(0x1000, 64));
+        assert!(r.contains(0x1020, 8));
+        assert!(!r.contains(0x0fff, 1));
+        assert!(!r.contains(0x1000, 65));
+        assert!(!r.contains(0x1040, 1));
+    }
+
+    #[test]
+    fn contains_handles_address_overflow() {
+        let r = Region::new(RegionKind::Heap, 0x1000, 64);
+        assert!(!r.contains(u64::MAX, 2));
+    }
+
+    #[test]
+    fn overwrite_round_trips() {
+        let mut r = Region::new(RegionKind::Data, 0, 4);
+        r.overwrite(&[1, 2, 3, 4]);
+        assert_eq!(r.bytes(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot size mismatch")]
+    fn overwrite_rejects_wrong_size() {
+        let mut r = Region::new(RegionKind::Data, 0, 4);
+        r.overwrite(&[1, 2]);
+    }
+
+    #[test]
+    fn display_names() {
+        let names: Vec<String> = RegionKind::ALL.iter().map(|k| k.to_string()).collect();
+        assert_eq!(names, ["text", "data", "bss", "heap", "stack"]);
+    }
+}

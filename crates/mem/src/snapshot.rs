@@ -1,0 +1,53 @@
+//! Byte-exact arena checkpoints.
+//!
+//! VampOS's checkpoint-based initialization (§V-E of the paper) restores the
+//! memory image a component had *just after boot* instead of re-running its
+//! shutdown/boot routines, because those routines would call into other
+//! components and perturb their state. A [`Snapshot`] is that image: every
+//! region's bytes plus the allocator and aging state at capture time.
+
+use serde::{Deserialize, Serialize};
+
+use crate::aging::AgingState;
+use crate::buddy::BuddyAllocator;
+use crate::region::RegionKind;
+
+/// A checkpoint of a [`MemoryArena`](crate::MemoryArena).
+///
+/// Obtained from [`MemoryArena::snapshot`](crate::MemoryArena::snapshot) and
+/// consumed by [`MemoryArena::restore`](crate::MemoryArena::restore). The
+/// total byte size ([`Snapshot::byte_len`]) drives the restore-time cost
+/// model — the paper found snapshot loading to be the dominant factor in
+/// stateful component reboot times (Fig. 6).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    pub(crate) arena_name: String,
+    pub(crate) regions: Vec<(RegionKind, Vec<u8>)>,
+    pub(crate) allocator: BuddyAllocator,
+    pub(crate) aging: AgingState,
+}
+
+impl Snapshot {
+    /// Name of the arena this snapshot was captured from.
+    pub fn arena_name(&self) -> &str {
+        &self.arena_name
+    }
+
+    /// Total size of the captured region images in bytes.
+    ///
+    /// Text regions are shared with the image on disk and never modified, so
+    /// they are excluded — matching the paper's observation that 9PFS (which
+    /// has no data/bss payload) restores fastest.
+    pub fn byte_len(&self) -> usize {
+        self.regions
+            .iter()
+            .filter(|(kind, _)| *kind != RegionKind::Text)
+            .map(|(_, bytes)| bytes.len())
+            .sum()
+    }
+
+    /// Captured region kinds, in layout order.
+    pub fn region_kinds(&self) -> impl Iterator<Item = RegionKind> + '_ {
+        self.regions.iter().map(|(k, _)| *k)
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests for the memory substrate: buddy-allocator
+//! invariants and snapshot/restore fidelity under arbitrary operation mixes.
+
+use proptest::prelude::*;
+
+use vampos_mem::{ArenaLayout, BuddyAllocator, MemoryArena};
+
+#[derive(Debug, Clone)]
+enum HeapOp {
+    Alloc(usize),
+    FreeNth(usize),
+    Leak(usize),
+}
+
+fn heap_op() -> impl Strategy<Value = HeapOp> {
+    prop_oneof![
+        (1usize..2048).prop_map(HeapOp::Alloc),
+        (0usize..64).prop_map(HeapOp::FreeNth),
+        (1usize..512).prop_map(HeapOp::Leak),
+    ]
+}
+
+proptest! {
+    /// Live blocks never overlap, regardless of the alloc/free/leak mix.
+    #[test]
+    fn buddy_blocks_never_overlap(ops in proptest::collection::vec(heap_op(), 1..200)) {
+        let mut b = BuddyAllocator::new(1 << 14, 32);
+        let mut live: Vec<u64> = Vec::new();
+        for op in ops {
+            match op {
+                HeapOp::Alloc(n) => {
+                    if let Ok(off) = b.alloc(n) {
+                        live.push(off);
+                    }
+                }
+                HeapOp::FreeNth(i) => {
+                    if !live.is_empty() {
+                        let off = live.remove(i % live.len());
+                        b.free(off).unwrap();
+                    }
+                }
+                HeapOp::Leak(n) => {
+                    let _ = b.leak(n);
+                }
+            }
+            // Check pairwise disjointness of live blocks.
+            let mut ranges: Vec<(u64, u64)> = live
+                .iter()
+                .map(|&off| (off, off + b.allocation_size(off).unwrap() as u64))
+                .collect();
+            ranges.sort_unstable();
+            for w in ranges.windows(2) {
+                prop_assert!(w[0].1 <= w[1].0, "blocks overlap: {:?}", w);
+            }
+        }
+    }
+
+    /// Conservation: free + allocated + leaked always equals heap size.
+    #[test]
+    fn buddy_accounting_is_conserved(ops in proptest::collection::vec(heap_op(), 1..200)) {
+        let mut b = BuddyAllocator::new(1 << 14, 32);
+        let mut live: Vec<u64> = Vec::new();
+        for op in ops {
+            match op {
+                HeapOp::Alloc(n) => {
+                    if let Ok(off) = b.alloc(n) {
+                        live.push(off);
+                    }
+                }
+                HeapOp::FreeNth(i) => {
+                    if !live.is_empty() {
+                        let off = live.remove(i % live.len());
+                        b.free(off).unwrap();
+                    }
+                }
+                HeapOp::Leak(n) => {
+                    let _ = b.leak(n);
+                }
+            }
+            prop_assert_eq!(
+                b.free_bytes() + b.allocated_bytes() + b.leaked_bytes(),
+                1 << 14
+            );
+        }
+    }
+
+    /// Freeing everything always coalesces back to one maximal block.
+    #[test]
+    fn buddy_full_free_fully_coalesces(sizes in proptest::collection::vec(1usize..1024, 1..50)) {
+        let mut b = BuddyAllocator::new(1 << 14, 32);
+        let offs: Vec<u64> = sizes.iter().filter_map(|&n| b.alloc(n).ok()).collect();
+        for off in offs {
+            b.free(off).unwrap();
+        }
+        prop_assert_eq!(b.free_bytes(), 1 << 14);
+        prop_assert_eq!(b.largest_free_block(), 1 << 14);
+    }
+
+    /// Restoring a snapshot makes the arena byte-identical to capture time,
+    /// no matter what happened in between.
+    #[test]
+    fn snapshot_restore_is_exact(
+        writes_before in proptest::collection::vec((0usize..4096, 0u8..=255), 0..20),
+        writes_after in proptest::collection::vec((0usize..4096, 0u8..=255), 0..20),
+    ) {
+        let mut arena = MemoryArena::new("prop", ArenaLayout::small());
+        let block = arena.alloc(4096).unwrap();
+        for (off, val) in writes_before {
+            let addr = vampos_mem::Addr(block.addr().0 + off as u64);
+            arena.write(addr, &[val]).unwrap();
+        }
+        let snap = arena.snapshot();
+        let reference = arena.clone();
+
+        for (off, val) in writes_after {
+            let addr = vampos_mem::Addr(block.addr().0 + off as u64);
+            arena.write(addr, &[val]).unwrap();
+        }
+        let _ = arena.leak(256);
+        arena.restore(&snap).unwrap();
+
+        prop_assert_eq!(arena, reference);
+    }
+}

@@ -1,0 +1,42 @@
+//! Simulated Intel Memory Protection Keys (MPK) for VampOS-RS.
+//!
+//! The paper isolates each VampOS component with Intel MPK (§V-D): every
+//! component's memory is tagged with a 4-bit protection key, and a per-thread
+//! `PKRU` register decides which keys the running thread may read or write.
+//! Switching components rewrites PKRU (a cheap `WRPKRU`); an access whose key
+//! is disabled faults, which VampOS turns into a component failure signal.
+//!
+//! This crate reproduces those semantics in software:
+//!
+//! * [`ProtKey`] — a hardware protection key (16 on x86, like the paper's
+//!   testbed; ARM Memory Domains would be 32),
+//! * [`Pkru`] — the per-thread permission register with MPK's two-bit
+//!   (access-disable / write-disable) encoding,
+//! * [`KeyRegistry`] — assignment of keys to named protection domains, with
+//!   optional **key virtualisation** (libmpk-style) when an application needs
+//!   more domains than hardware keys — the paper's Redis/Nginx prototypes use
+//!   12 of the 16 keys, and §V-D discusses virtualisation for larger systems,
+//! * [`AccessKind`] / [`MpkViolation`] — the fault surface the VampOS failure
+//!   detector consumes.
+//!
+//! # Example
+//!
+//! ```
+//! use vampos_mpk::{AccessKind, KeyRegistry, Pkru};
+//!
+//! let mut reg = KeyRegistry::hardware();
+//! let vfs = reg.register("vfs")?;
+//! let lwip = reg.register("lwip")?;
+//!
+//! // A thread running the VFS component: full access to vfs only.
+//! let pkru = Pkru::deny_all().allowing(reg.physical(vfs)?, AccessKind::Write);
+//! assert!(pkru.permits(reg.physical(vfs)?, AccessKind::Write));
+//! assert!(!pkru.permits(reg.physical(lwip)?, AccessKind::Read));
+//! # Ok::<(), vampos_mpk::MpkError>(())
+//! ```
+
+pub mod pkru;
+pub mod registry;
+
+pub use pkru::{AccessKind, Pkru, ProtKey};
+pub use registry::{DomainId, KeyRegistry, MpkError, MpkViolation};

@@ -1,0 +1,230 @@
+//! The PKRU register and hardware protection keys.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Number of hardware protection keys (Intel MPK).
+pub const HW_KEYS: u8 = 16;
+
+/// A hardware protection key: a 4-bit tag attached to pages.
+///
+/// Key 0 is conventionally the *default* key covering memory that every
+/// thread may touch (in VampOS: nothing — even the application gets its own
+/// key, see §VI's tag accounting).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct ProtKey(u8);
+
+impl ProtKey {
+    /// Creates a key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= 16` (MPK has 16 hardware keys).
+    pub fn new(k: u8) -> Self {
+        assert!(k < HW_KEYS, "hardware protection key out of range: {k}");
+        ProtKey(k)
+    }
+
+    /// The raw key index (0..16).
+    pub fn index(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for ProtKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pkey{}", self.0)
+    }
+}
+
+/// The kind of memory access being checked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AccessKind::Read => "read",
+            AccessKind::Write => "write",
+        })
+    }
+}
+
+/// The per-thread protection-key rights register.
+///
+/// MPK encodes two bits per key: **AD** (access disable — all access denied)
+/// and **WD** (write disable — reads allowed, writes denied). This type uses
+/// the same encoding in a `u32`, exactly as the hardware register does.
+///
+/// `Pkru` is a value type: "writing PKRU" in the runtime is just storing a
+/// new value, mirroring the cheap `WRPKRU` instruction.
+///
+/// # Example
+///
+/// ```
+/// use vampos_mpk::{AccessKind, Pkru, ProtKey};
+///
+/// let k = ProtKey::new(3);
+/// let pkru = Pkru::deny_all().allowing(k, AccessKind::Read);
+/// assert!(pkru.permits(k, AccessKind::Read));
+/// assert!(!pkru.permits(k, AccessKind::Write));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Pkru(u32);
+
+impl Pkru {
+    /// All keys fully accessible (the hardware reset value is close to this).
+    pub fn allow_all() -> Self {
+        Pkru(0)
+    }
+
+    /// All keys fully inaccessible.
+    pub fn deny_all() -> Self {
+        Pkru(u32::MAX)
+    }
+
+    fn ad_bit(key: ProtKey) -> u32 {
+        1 << (key.index() as u32 * 2)
+    }
+
+    fn wd_bit(key: ProtKey) -> u32 {
+        1 << (key.index() as u32 * 2 + 1)
+    }
+
+    /// Returns a copy with `key` opened up for `kind` (granting `Write` also
+    /// grants `Read`, as on real hardware where WD without AD still reads).
+    #[must_use]
+    pub fn allowing(self, key: ProtKey, kind: AccessKind) -> Self {
+        let mut v = self.0;
+        v &= !Self::ad_bit(key);
+        if kind == AccessKind::Write {
+            v &= !Self::wd_bit(key);
+        } else {
+            v |= Self::wd_bit(key);
+        }
+        Pkru(v)
+    }
+
+    /// Returns a copy with all access to `key` revoked.
+    #[must_use]
+    pub fn denying(self, key: ProtKey) -> Self {
+        Pkru(self.0 | Self::ad_bit(key) | Self::wd_bit(key))
+    }
+
+    /// Whether this register permits `kind` access to pages tagged `key`.
+    pub fn permits(self, key: ProtKey, kind: AccessKind) -> bool {
+        if self.0 & Self::ad_bit(key) != 0 {
+            return false;
+        }
+        match kind {
+            AccessKind::Read => true,
+            AccessKind::Write => self.0 & Self::wd_bit(key) == 0,
+        }
+    }
+
+    /// The raw 32-bit register value.
+    pub fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Reconstructs a register from raw bits.
+    pub fn from_bits(bits: u32) -> Self {
+        Pkru(bits)
+    }
+}
+
+impl Default for Pkru {
+    fn default() -> Self {
+        Pkru::deny_all()
+    }
+}
+
+impl fmt::Display for Pkru {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PKRU({:#010x})", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deny_all_denies_everything() {
+        let p = Pkru::deny_all();
+        for k in 0..HW_KEYS {
+            assert!(!p.permits(ProtKey::new(k), AccessKind::Read));
+            assert!(!p.permits(ProtKey::new(k), AccessKind::Write));
+        }
+    }
+
+    #[test]
+    fn allow_all_permits_everything() {
+        let p = Pkru::allow_all();
+        for k in 0..HW_KEYS {
+            assert!(p.permits(ProtKey::new(k), AccessKind::Read));
+            assert!(p.permits(ProtKey::new(k), AccessKind::Write));
+        }
+    }
+
+    #[test]
+    fn read_grant_does_not_grant_write() {
+        let k = ProtKey::new(5);
+        let p = Pkru::deny_all().allowing(k, AccessKind::Read);
+        assert!(p.permits(k, AccessKind::Read));
+        assert!(!p.permits(k, AccessKind::Write));
+    }
+
+    #[test]
+    fn write_grant_implies_read() {
+        let k = ProtKey::new(9);
+        let p = Pkru::deny_all().allowing(k, AccessKind::Write);
+        assert!(p.permits(k, AccessKind::Read));
+        assert!(p.permits(k, AccessKind::Write));
+    }
+
+    #[test]
+    fn grants_are_per_key() {
+        let a = ProtKey::new(1);
+        let b = ProtKey::new(2);
+        let p = Pkru::deny_all().allowing(a, AccessKind::Write);
+        assert!(!p.permits(b, AccessKind::Read));
+    }
+
+    #[test]
+    fn denying_revokes_a_grant() {
+        let k = ProtKey::new(4);
+        let p = Pkru::deny_all().allowing(k, AccessKind::Write).denying(k);
+        assert!(!p.permits(k, AccessKind::Read));
+    }
+
+    #[test]
+    fn downgrading_write_to_read_revokes_write() {
+        let k = ProtKey::new(6);
+        let p = Pkru::deny_all()
+            .allowing(k, AccessKind::Write)
+            .allowing(k, AccessKind::Read);
+        assert!(p.permits(k, AccessKind::Read));
+        assert!(!p.permits(k, AccessKind::Write));
+    }
+
+    #[test]
+    fn bits_round_trip() {
+        let p = Pkru::deny_all().allowing(ProtKey::new(7), AccessKind::Write);
+        assert_eq!(Pkru::from_bits(p.bits()), p);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn key_out_of_range_panics() {
+        let _ = ProtKey::new(16);
+    }
+}

@@ -1,0 +1,44 @@
+//! The nine OS components of VampOS-RS (paper Table I).
+//!
+//! | Component | Statefulness | Description |
+//! |-----------|--------------|-------------|
+//! | [`vfs::Vfs`] | stateful, logged, checkpoint-init | POSIX APIs for file systems and networks |
+//! | [`ninepfs::NinePFs`] | stateful, logged, checkpoint-init | File system over the 9P protocol |
+//! | [`lwip::Lwip`] | stateful, logged, checkpoint-init, runtime-extract | TCP/IP protocol stack |
+//! | [`netdev::NetDev`] | stateless | Low-level packet operations |
+//! | [`virtio::Virtio`] | **unrebootable** | Driver for host-shared virtio devices |
+//! | [`util::Process`] | stateless | `getpid()` and friends |
+//! | [`util::SysInfo`] | stateless | `uname()` and friends |
+//! | [`util::User`] | stateless | `getuid()` and friends |
+//! | [`util::Timer`] | stateless | time operations |
+//!
+//! Components interact only through
+//! [`CallContext::invoke`](vampos_ukernel::CallContext::invoke); the call
+//! graph is a DAG:
+//!
+//! ```text
+//! app → VFS → 9PFS  → VIRTIO → host (9P server)
+//!           ↘ LWIP → NETDEV → VIRTIO → host (network peer)
+//! ```
+//!
+//! The stateful components implement the restoration hooks VampOS needs:
+//! the logged-function sets of paper Table II, session tagging for
+//! log shrinking, LWIP's runtime-data extraction (TCP sequence/ACK state),
+//! and replay-hint-guided identifier allocation so replayed `open()` calls
+//! hand back exactly the fds the application still holds.
+
+pub mod funcs;
+pub mod lwip;
+pub mod netdev;
+pub mod ninepfs;
+pub mod testutil;
+pub mod util;
+pub mod vfs;
+pub mod virtio;
+
+pub use lwip::Lwip;
+pub use netdev::NetDev;
+pub use ninepfs::NinePFs;
+pub use util::{Process, SysInfo, Timer, User};
+pub use vfs::{OpenFlags, Vfs};
+pub use virtio::Virtio;

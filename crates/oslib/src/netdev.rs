@@ -1,0 +1,183 @@
+//! NETDEV: low-level packet operations (paper Table I).
+//!
+//! A thin, stateless shim between LWIP and the VIRTIO network queues: it
+//! owns the frame counters and would own NIC configuration; rebooting it is
+//! a bare restart (no logging, no restoration — §VI).
+
+use vampos_host::Frame;
+use vampos_mem::{ArenaLayout, MemoryArena};
+use vampos_ukernel::{names, CallContext, Component, ComponentDescriptor, OsError, Value};
+
+use crate::funcs::{netdev as f, virtio as vio};
+
+/// The NETDEV component.
+#[derive(Debug)]
+pub struct NetDev {
+    desc: ComponentDescriptor,
+    arena: MemoryArena,
+    tx_frames: u64,
+    rx_frames: u64,
+}
+
+impl Default for NetDev {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NetDev {
+    /// Creates the component.
+    pub fn new() -> Self {
+        NetDev {
+            desc: ComponentDescriptor::new(names::NETDEV, ArenaLayout::medium())
+                .depends_on(&[names::VIRTIO]),
+            arena: MemoryArena::new(names::NETDEV, ArenaLayout::medium()),
+            tx_frames: 0,
+            rx_frames: 0,
+        }
+    }
+
+    /// Frames transmitted since boot/reboot.
+    pub fn tx_frames(&self) -> u64 {
+        self.tx_frames
+    }
+
+    /// Frames received since boot/reboot.
+    pub fn rx_frames(&self) -> u64 {
+        self.rx_frames
+    }
+}
+
+impl Component for NetDev {
+    fn descriptor(&self) -> &ComponentDescriptor {
+        &self.desc
+    }
+    fn arena(&self) -> &MemoryArena {
+        &self.arena
+    }
+    fn arena_mut(&mut self) -> &mut MemoryArena {
+        &mut self.arena
+    }
+
+    fn call(
+        &mut self,
+        ctx: &mut dyn CallContext,
+        func: &str,
+        args: &[Value],
+    ) -> Result<Value, OsError> {
+        match func {
+            f::TX => {
+                let frame: &Frame = match args.first() {
+                    Some(Value::Frame(Some(frame))) => frame,
+                    Some(other) => return Err(OsError::bad_value("frame", other)),
+                    None => return Err(OsError::Inval),
+                };
+                self.tx_frames += 1;
+                ctx.invoke(
+                    names::VIRTIO,
+                    vio::NET_TX,
+                    &[Value::Frame(Some(frame.clone()))],
+                )?;
+                Ok(Value::Unit)
+            }
+            f::RX => {
+                let v = ctx.invoke(names::VIRTIO, vio::NET_RX, &[])?;
+                if matches!(v, Value::Frame(Some(_))) {
+                    self.rx_frames += 1;
+                }
+                Ok(v)
+            }
+            f::RX_BATCH => {
+                let v = ctx.invoke(names::VIRTIO, vio::NET_RX_BATCH, &[])?;
+                if let Value::List(frames) = &v {
+                    self.rx_frames += frames.len() as u64;
+                }
+                Ok(v)
+            }
+            other => Err(OsError::UnknownFunc {
+                component: names::NETDEV.to_owned(),
+                func: other.to_owned(),
+            }),
+        }
+    }
+
+    fn reset(&mut self) {
+        self.tx_frames = 0;
+        self.rx_frames = 0;
+        self.arena.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::StubCtx;
+    use vampos_host::TcpFlags;
+
+    fn frame() -> Frame {
+        Frame {
+            src_port: 80,
+            dst_port: 40_000,
+            seq: 1,
+            ack: 2,
+            flags: TcpFlags::ACK,
+            payload: b"hi".to_vec(),
+        }
+    }
+
+    #[test]
+    fn tx_forwards_to_virtio() {
+        let mut nd = NetDev::new();
+        let mut ctx = StubCtx::new();
+        ctx.expect(Ok(Value::Unit));
+        nd.call(&mut ctx, f::TX, &[Value::Frame(Some(frame()))])
+            .unwrap();
+        assert_eq!(nd.tx_frames(), 1);
+        let (target, func, _) = &ctx.calls()[0];
+        assert_eq!(target, names::VIRTIO);
+        assert_eq!(func, vio::NET_TX);
+    }
+
+    #[test]
+    fn rx_counts_only_delivered_frames() {
+        let mut nd = NetDev::new();
+        let mut ctx = StubCtx::new();
+        ctx.expect(Ok(Value::Frame(None)));
+        ctx.expect(Ok(Value::Frame(Some(frame()))));
+        assert_eq!(nd.call(&mut ctx, f::RX, &[]).unwrap(), Value::Frame(None));
+        assert_eq!(nd.rx_frames(), 0);
+        assert!(matches!(
+            nd.call(&mut ctx, f::RX, &[]).unwrap(),
+            Value::Frame(Some(_))
+        ));
+        assert_eq!(nd.rx_frames(), 1);
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let mut nd = NetDev::new();
+        let mut ctx = StubCtx::new();
+        ctx.expect(Ok(Value::Unit));
+        nd.call(&mut ctx, f::TX, &[Value::Frame(Some(frame()))])
+            .unwrap();
+        nd.reset();
+        assert_eq!(nd.tx_frames(), 0);
+    }
+
+    #[test]
+    fn stateless_descriptor() {
+        let nd = NetDev::new();
+        assert!(!nd.descriptor().is_stateful());
+        assert_eq!(nd.descriptor().dependencies().len(), 1);
+    }
+
+    #[test]
+    fn tx_requires_a_present_frame() {
+        let mut nd = NetDev::new();
+        let mut ctx = StubCtx::new();
+        assert!(matches!(
+            nd.call(&mut ctx, f::TX, &[Value::Frame(None)]),
+            Err(OsError::BadValue { .. })
+        ));
+    }
+}

@@ -1,0 +1,312 @@
+//! The stateless utility components: PROCESS, SYSINFO, USER, TIMER.
+//!
+//! These are the components the paper reboots "by restarting them without
+//! function call logging or encapsulated restoration" (§VI): they keep no
+//! state an application observes across calls, so a bare reset is a correct
+//! reboot.
+
+use vampos_mem::{ArenaLayout, MemoryArena};
+use vampos_ukernel::{CallContext, Component, ComponentDescriptor, OsError, Value};
+
+use crate::funcs::util as f;
+
+fn unknown(component: &str, func: &str) -> OsError {
+    OsError::UnknownFunc {
+        component: component.to_owned(),
+        func: func.to_owned(),
+    }
+}
+
+/// PROCESS: process-related functions (`getpid()` and friends).
+///
+/// A unikernel hosts exactly one process, so the answers are constants —
+/// which is precisely why the component is stateless and trivially
+/// rebootable.
+#[derive(Debug)]
+pub struct Process {
+    desc: ComponentDescriptor,
+    arena: MemoryArena,
+    calls: u64,
+}
+
+impl Default for Process {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Process {
+    /// Creates the component.
+    pub fn new() -> Self {
+        Process {
+            desc: ComponentDescriptor::new(vampos_ukernel::names::PROCESS, ArenaLayout::small()),
+            arena: MemoryArena::new(vampos_ukernel::names::PROCESS, ArenaLayout::small()),
+            calls: 0,
+        }
+    }
+}
+
+impl Component for Process {
+    fn descriptor(&self) -> &ComponentDescriptor {
+        &self.desc
+    }
+    fn arena(&self) -> &MemoryArena {
+        &self.arena
+    }
+    fn arena_mut(&mut self) -> &mut MemoryArena {
+        &mut self.arena
+    }
+    fn call(
+        &mut self,
+        _ctx: &mut dyn CallContext,
+        func: &str,
+        _args: &[Value],
+    ) -> Result<Value, OsError> {
+        self.calls += 1;
+        match func {
+            f::GETPID | f::GETTID => Ok(Value::U64(1)),
+            f::GETPPID => Ok(Value::U64(0)),
+            other => Err(unknown(vampos_ukernel::names::PROCESS, other)),
+        }
+    }
+    fn reset(&mut self) {
+        self.calls = 0;
+        self.arena.reset();
+    }
+}
+
+/// SYSINFO: system-information functions (`uname()` and friends).
+#[derive(Debug)]
+pub struct SysInfo {
+    desc: ComponentDescriptor,
+    arena: MemoryArena,
+}
+
+impl Default for SysInfo {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SysInfo {
+    /// Creates the component.
+    pub fn new() -> Self {
+        SysInfo {
+            desc: ComponentDescriptor::new(vampos_ukernel::names::SYSINFO, ArenaLayout::small()),
+            arena: MemoryArena::new(vampos_ukernel::names::SYSINFO, ArenaLayout::small()),
+        }
+    }
+}
+
+impl Component for SysInfo {
+    fn descriptor(&self) -> &ComponentDescriptor {
+        &self.desc
+    }
+    fn arena(&self) -> &MemoryArena {
+        &self.arena
+    }
+    fn arena_mut(&mut self) -> &mut MemoryArena {
+        &mut self.arena
+    }
+    fn call(
+        &mut self,
+        _ctx: &mut dyn CallContext,
+        func: &str,
+        _args: &[Value],
+    ) -> Result<Value, OsError> {
+        match func {
+            f::UNAME => Ok(Value::from("VampOS-RS 0.1.0 x86_64")),
+            f::GETHOSTNAME => Ok(Value::from("vampos")),
+            f::SYSINFO => Ok(Value::List(vec![
+                Value::U64(88 << 20), // total memory (the 88 MB cap of §VI)
+                Value::U64(1),        // cpus
+            ])),
+            other => Err(unknown(vampos_ukernel::names::SYSINFO, other)),
+        }
+    }
+    fn reset(&mut self) {
+        self.arena.reset();
+    }
+}
+
+/// USER: user-information functions (`getuid()` and friends). A unikernel
+/// runs as a single implicit root user.
+#[derive(Debug)]
+pub struct User {
+    desc: ComponentDescriptor,
+    arena: MemoryArena,
+}
+
+impl Default for User {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl User {
+    /// Creates the component.
+    pub fn new() -> Self {
+        User {
+            desc: ComponentDescriptor::new(vampos_ukernel::names::USER, ArenaLayout::small()),
+            arena: MemoryArena::new(vampos_ukernel::names::USER, ArenaLayout::small()),
+        }
+    }
+}
+
+impl Component for User {
+    fn descriptor(&self) -> &ComponentDescriptor {
+        &self.desc
+    }
+    fn arena(&self) -> &MemoryArena {
+        &self.arena
+    }
+    fn arena_mut(&mut self) -> &mut MemoryArena {
+        &mut self.arena
+    }
+    fn call(
+        &mut self,
+        _ctx: &mut dyn CallContext,
+        func: &str,
+        _args: &[Value],
+    ) -> Result<Value, OsError> {
+        match func {
+            f::GETUID | f::GETEUID | f::GETGID | f::GETEGID => Ok(Value::U64(0)),
+            other => Err(unknown(vampos_ukernel::names::USER, other)),
+        }
+    }
+    fn reset(&mut self) {
+        self.arena.reset();
+    }
+}
+
+/// TIMER: time-related operations, backed by the virtual clock.
+#[derive(Debug)]
+pub struct Timer {
+    desc: ComponentDescriptor,
+    arena: MemoryArena,
+}
+
+impl Default for Timer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Timer {
+    /// Creates the component.
+    pub fn new() -> Self {
+        Timer {
+            desc: ComponentDescriptor::new(vampos_ukernel::names::TIMER, ArenaLayout::small()),
+            arena: MemoryArena::new(vampos_ukernel::names::TIMER, ArenaLayout::small()),
+        }
+    }
+}
+
+impl Component for Timer {
+    fn descriptor(&self) -> &ComponentDescriptor {
+        &self.desc
+    }
+    fn arena(&self) -> &MemoryArena {
+        &self.arena
+    }
+    fn arena_mut(&mut self) -> &mut MemoryArena {
+        &mut self.arena
+    }
+    fn call(
+        &mut self,
+        ctx: &mut dyn CallContext,
+        func: &str,
+        args: &[Value],
+    ) -> Result<Value, OsError> {
+        match func {
+            f::CLOCK_GETTIME => Ok(Value::U64(ctx.now().as_nanos())),
+            f::TIME => Ok(Value::U64(ctx.now().as_nanos() / 1_000_000_000)),
+            f::NANOSLEEP => {
+                let ns = args.first().ok_or(OsError::Inval)?.as_u64()?;
+                ctx.charge(vampos_sim::Nanos::from_nanos(ns));
+                Ok(Value::Unit)
+            }
+            other => Err(unknown(vampos_ukernel::names::TIMER, other)),
+        }
+    }
+    fn reset(&mut self) {
+        self.arena.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::StubCtx;
+    use vampos_sim::Nanos;
+
+    #[test]
+    fn process_returns_constant_ids() {
+        let mut c = Process::new();
+        let mut ctx = StubCtx::new();
+        assert_eq!(c.call(&mut ctx, f::GETPID, &[]).unwrap(), Value::U64(1));
+        assert_eq!(c.call(&mut ctx, f::GETPPID, &[]).unwrap(), Value::U64(0));
+        assert_eq!(c.call(&mut ctx, f::GETTID, &[]).unwrap(), Value::U64(1));
+        assert!(c.call(&mut ctx, "fork", &[]).is_err());
+    }
+
+    #[test]
+    fn process_is_stateless_and_rebootable() {
+        let c = Process::new();
+        assert!(!c.descriptor().is_stateful());
+        assert!(c.descriptor().is_rebootable());
+        assert_eq!(c.descriptor().logged_functions().count(), 0);
+    }
+
+    #[test]
+    fn sysinfo_reports_identity() {
+        let mut c = SysInfo::new();
+        let mut ctx = StubCtx::new();
+        let uname = c.call(&mut ctx, f::UNAME, &[]).unwrap();
+        assert!(uname.as_str().unwrap().contains("VampOS"));
+        let info = c.call(&mut ctx, f::SYSINFO, &[]).unwrap();
+        assert_eq!(info.as_list().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn user_is_root() {
+        let mut c = User::new();
+        let mut ctx = StubCtx::new();
+        for func in [f::GETUID, f::GETEUID, f::GETGID, f::GETEGID] {
+            assert_eq!(c.call(&mut ctx, func, &[]).unwrap(), Value::U64(0));
+        }
+    }
+
+    #[test]
+    fn timer_reads_virtual_clock() {
+        let mut c = Timer::new();
+        let mut ctx = StubCtx::new();
+        ctx.charge(Nanos::from_secs(2));
+        assert_eq!(
+            c.call(&mut ctx, f::CLOCK_GETTIME, &[]).unwrap(),
+            Value::U64(2_000_000_000)
+        );
+        assert_eq!(c.call(&mut ctx, f::TIME, &[]).unwrap(), Value::U64(2));
+    }
+
+    #[test]
+    fn nanosleep_advances_virtual_time() {
+        let mut c = Timer::new();
+        let mut ctx = StubCtx::new();
+        c.call(&mut ctx, f::NANOSLEEP, &[Value::U64(5_000)])
+            .unwrap();
+        assert_eq!(ctx.clock().now(), Nanos::from_nanos(5_000));
+        assert!(matches!(
+            c.call(&mut ctx, f::NANOSLEEP, &[]),
+            Err(OsError::Inval)
+        ));
+    }
+
+    #[test]
+    fn reset_clears_arenas() {
+        let mut c = Process::new();
+        c.arena_mut().leak(64).unwrap();
+        c.reset();
+        assert!(!c.arena().aging().is_aged());
+    }
+}

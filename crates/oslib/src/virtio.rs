@@ -1,0 +1,209 @@
+//! VIRTIO: the driver for host-shared virtio devices.
+//!
+//! This is the one component the paper's prototypes do **not** reboot (§VI,
+//! §VIII): its ring buffers are shared with the host, so a component-local
+//! reset desynchronises them — I/O requests are lost and "pointers \[are\]
+//! misaligned to the ring buffers between VIRTIO and Linux". The descriptor
+//! is marked unrebootable; the runtime refuses to reboot it unless forced,
+//! and the forced path demonstrably breaks the device (see the crate tests
+//! and the `virtio_unrebootable` integration test).
+
+use vampos_host::HostHandle;
+use vampos_mem::{ArenaLayout, MemoryArena};
+use vampos_ukernel::{names, CallContext, Component, ComponentDescriptor, OsError, Value};
+
+use crate::funcs::virtio as f;
+
+/// The VIRTIO component. Holds the only guest-side handle to the host.
+#[derive(Debug)]
+pub struct Virtio {
+    desc: ComponentDescriptor,
+    arena: MemoryArena,
+    host: HostHandle,
+    transactions: u64,
+}
+
+impl Virtio {
+    /// Creates the component attached to `host`.
+    pub fn new(host: HostHandle) -> Self {
+        Virtio {
+            desc: ComponentDescriptor::new(names::VIRTIO, ArenaLayout::medium()).unrebootable(),
+            arena: MemoryArena::new(names::VIRTIO, ArenaLayout::medium()),
+            host,
+            transactions: 0,
+        }
+    }
+
+    /// Total device transactions performed.
+    pub fn transactions(&self) -> u64 {
+        self.transactions
+    }
+}
+
+fn ring_error(e: vampos_host::VirtQueueError) -> OsError {
+    OsError::Io(format!("virtio: {e}"))
+}
+
+impl Component for Virtio {
+    fn descriptor(&self) -> &ComponentDescriptor {
+        &self.desc
+    }
+    fn arena(&self) -> &MemoryArena {
+        &self.arena
+    }
+    fn arena_mut(&mut self) -> &mut MemoryArena {
+        &mut self.arena
+    }
+
+    fn call(
+        &mut self,
+        ctx: &mut dyn CallContext,
+        func: &str,
+        args: &[Value],
+    ) -> Result<Value, OsError> {
+        self.transactions += 1;
+        match func {
+            f::NINEP => {
+                let req = match args.first() {
+                    Some(Value::NinePReq(req)) => req.clone(),
+                    Some(other) => return Err(OsError::bad_value("9p-request", other)),
+                    None => return Err(OsError::Inval),
+                };
+                let payload = Value::NinePReq(req.clone()).byte_len();
+                ctx.charge(ctx.costs().virtio_kick + ctx.costs().host_9p(payload));
+                let resp = self
+                    .host
+                    .with(|w| w.ninep_transact(req))
+                    .map_err(ring_error)?;
+                Ok(Value::NinePResp(resp))
+            }
+            f::NET_TX => {
+                let frame = match args.first() {
+                    Some(Value::Frame(Some(frame))) => frame.clone(),
+                    Some(other) => return Err(OsError::bad_value("frame", other)),
+                    None => return Err(OsError::Inval),
+                };
+                ctx.charge(
+                    ctx.costs().virtio_kick + ctx.costs().net_per_byte * frame.wire_len() as u64,
+                );
+                self.host.with(|w| w.net_send(frame)).map_err(ring_error)?;
+                Ok(Value::Unit)
+            }
+            f::NET_RX => {
+                ctx.charge(ctx.costs().virtio_kick);
+                let frame = self.host.with(|w| w.net_recv()).map_err(ring_error)?;
+                Ok(Value::Frame(frame))
+            }
+            f::NET_RX_BATCH => {
+                // Real virtio drivers harvest the whole used ring per kick.
+                ctx.charge(ctx.costs().virtio_kick);
+                let mut frames = Vec::new();
+                while let Some(frame) = self.host.with(|w| w.net_recv()).map_err(ring_error)? {
+                    ctx.charge(ctx.costs().net_per_byte * frame.wire_len() as u64);
+                    frames.push(Value::Frame(Some(frame)));
+                }
+                Ok(Value::List(frames))
+            }
+            other => Err(OsError::UnknownFunc {
+                component: names::VIRTIO.to_owned(),
+                func: other.to_owned(),
+            }),
+        }
+    }
+
+    /// A naive guest-side reset: clears the guest's ring mirrors. After any
+    /// prior traffic this leaves the device desynchronised — which is why
+    /// the descriptor forbids rebooting this component in the first place.
+    fn reset(&mut self) {
+        self.transactions = 0;
+        self.arena.reset();
+        self.host.with(|w| w.guest_reset_rings());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::StubCtx;
+    use vampos_host::{Fid, NinePRequest, NinePResponse};
+
+    fn setup() -> (Virtio, HostHandle, StubCtx) {
+        let host = HostHandle::new();
+        (Virtio::new(host.clone()), host, StubCtx::new())
+    }
+
+    #[test]
+    fn descriptor_is_unrebootable() {
+        let (v, _, _) = setup();
+        assert!(!v.descriptor().is_rebootable());
+    }
+
+    #[test]
+    fn ninep_transactions_reach_the_server() {
+        let (mut v, host, mut ctx) = setup();
+        host.with(|w| w.ninep_mut().put_file("/x", b"1"));
+        let resp = v
+            .call(
+                &mut ctx,
+                f::NINEP,
+                &[Value::NinePReq(NinePRequest::Attach { fid: Fid(0) })],
+            )
+            .unwrap();
+        assert!(matches!(
+            resp,
+            Value::NinePResp(NinePResponse::Qid(q)) if q.dir
+        ));
+        assert_eq!(v.transactions(), 1);
+        // Host 9P costs were charged.
+        assert!(ctx.clock().now() > vampos_sim::Nanos::ZERO);
+    }
+
+    #[test]
+    fn net_rx_polls_the_host_network() {
+        let (mut v, host, mut ctx) = setup();
+        assert_eq!(
+            v.call(&mut ctx, f::NET_RX, &[]).unwrap(),
+            Value::Frame(None)
+        );
+        host.with(|w| {
+            w.network_mut().connect(80);
+        });
+        let got = v.call(&mut ctx, f::NET_RX, &[]).unwrap();
+        assert!(matches!(got, Value::Frame(Some(_))));
+    }
+
+    #[test]
+    fn reset_after_traffic_breaks_the_rings() {
+        let (mut v, _host, mut ctx) = setup();
+        v.call(
+            &mut ctx,
+            f::NINEP,
+            &[Value::NinePReq(NinePRequest::Attach { fid: Fid(0) })],
+        )
+        .unwrap();
+        v.reset();
+        let err = v.call(
+            &mut ctx,
+            f::NINEP,
+            &[Value::NinePReq(NinePRequest::Attach { fid: Fid(1) })],
+        );
+        assert!(matches!(err, Err(OsError::Io(msg)) if msg.contains("desynchronized")));
+    }
+
+    #[test]
+    fn bad_arguments_are_rejected() {
+        let (mut v, _, mut ctx) = setup();
+        assert!(matches!(
+            v.call(&mut ctx, f::NINEP, &[Value::U64(1)]),
+            Err(OsError::BadValue { .. })
+        ));
+        assert!(matches!(
+            v.call(&mut ctx, f::NET_TX, &[]),
+            Err(OsError::Inval)
+        ));
+        assert!(matches!(
+            v.call(&mut ctx, "nope", &[]),
+            Err(OsError::UnknownFunc { .. })
+        ));
+    }
+}

@@ -1,0 +1,40 @@
+//! Deterministic simulation substrate for VampOS-RS.
+//!
+//! The whole reproduction runs as a *discrete-cost simulation*: components
+//! execute real logic (file descriptor tables, TCP state machines, function
+//! logs, snapshots) on a single OS thread, while **time is virtual**. Every
+//! modeled action — a message hop, a context switch, an MPK register write, a
+//! snapshot restore — advances a [`SimClock`] by an amount taken from a
+//! [`CostModel`].
+//!
+//! This crate provides the pieces that everything else builds on:
+//!
+//! * [`Nanos`] / [`SimClock`] — virtual time,
+//! * [`SimRng`] — a deterministic, seedable random number generator,
+//! * [`CostModel`] — the tunable constants of the performance model,
+//! * [`stats`] — summary statistics and histograms used by the benchmark
+//!   harness,
+//! * [`trace`] — a lightweight event trace for debugging and assertions in
+//!   tests.
+//!
+//! # Example
+//!
+//! ```
+//! use vampos_sim::{SimClock, Nanos};
+//!
+//! let clock = SimClock::new();
+//! clock.advance(Nanos::from_micros(3));
+//! assert_eq!(clock.now().as_micros_f64(), 3.0);
+//! ```
+
+pub mod cost;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use cost::CostModel;
+pub use rng::SimRng;
+pub use stats::{Histogram, Summary};
+pub use time::{Nanos, SimClock};
+pub use trace::{EventTrace, TraceEvent};

@@ -1,0 +1,226 @@
+//! A lightweight, bounded event trace.
+//!
+//! The VampOS runtime emits [`TraceEvent`]s for the interesting transitions
+//! (message hops, reboots, detector firings, MPK violations). Tests assert on
+//! the trace; the `repro` harness can dump it for debugging. The trace is a
+//! bounded ring buffer so long experiments cannot exhaust memory.
+
+use std::collections::VecDeque;
+
+/// One traced simulation event.
+///
+/// Component identity is carried as a `String` name rather than a typed id so
+/// that this substrate crate stays independent of the component framework.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A message hop `caller → target` for function `func`.
+    MessageHop {
+        /// Sending component.
+        caller: String,
+        /// Receiving component.
+        target: String,
+        /// Invoked interface function.
+        func: String,
+    },
+    /// A component reboot began.
+    RebootStart {
+        /// Component being rebooted.
+        component: String,
+    },
+    /// A component reboot finished; `replayed` log entries were replayed.
+    RebootDone {
+        /// Component that was rebooted.
+        component: String,
+        /// Number of log entries replayed during encapsulated restoration.
+        replayed: usize,
+    },
+    /// The failure detector flagged a component.
+    FailureDetected {
+        /// Component that failed.
+        component: String,
+        /// Human-readable failure kind (panic / hang / mpk-violation / ...).
+        kind: String,
+    },
+    /// An MPK access check denied an access.
+    MpkViolation {
+        /// Component whose thread performed the access.
+        component: String,
+        /// Owner of the region that was illegally touched.
+        region_owner: String,
+    },
+    /// Session-aware log shrinking removed entries.
+    LogShrunk {
+        /// Component whose log was shrunk.
+        component: String,
+        /// Entries removed by this shrink.
+        removed: usize,
+    },
+    /// Free-form annotation (used sparingly by tests and apps).
+    Note(String),
+}
+
+/// A bounded ring buffer of [`TraceEvent`]s.
+///
+/// # Example
+///
+/// ```
+/// use vampos_sim::{EventTrace, TraceEvent};
+///
+/// let mut t = EventTrace::with_capacity(2);
+/// t.push(TraceEvent::Note("a".into()));
+/// t.push(TraceEvent::Note("b".into()));
+/// t.push(TraceEvent::Note("c".into()));
+/// assert_eq!(t.len(), 2); // "a" was evicted
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventTrace {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    enabled: bool,
+    dropped: u64,
+}
+
+impl Default for EventTrace {
+    fn default() -> Self {
+        EventTrace::with_capacity(4096)
+    }
+}
+
+impl EventTrace {
+    /// Creates a trace that retains at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventTrace {
+            events: VecDeque::with_capacity(capacity.min(4096)),
+            capacity: capacity.max(1),
+            enabled: true,
+            dropped: 0,
+        }
+    }
+
+    /// Enables or disables recording. Disabled pushes are counted as dropped.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Whether recording is currently enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event (evicting the oldest when full).
+    pub fn push(&mut self, event: TraceEvent) {
+        if !self.enabled {
+            self.dropped += 1;
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of events evicted or suppressed so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Clears all retained events (the dropped counter is kept).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Counts retained events matching `pred`.
+    pub fn count_matching(&self, pred: impl Fn(&TraceEvent) -> bool) -> usize {
+        self.events.iter().filter(|e| pred(e)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn note(s: &str) -> TraceEvent {
+        TraceEvent::Note(s.to_owned())
+    }
+
+    #[test]
+    fn push_and_iterate_in_order() {
+        let mut t = EventTrace::default();
+        t.push(note("one"));
+        t.push(note("two"));
+        let got: Vec<_> = t.iter().cloned().collect();
+        assert_eq!(got, vec![note("one"), note("two")]);
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut t = EventTrace::with_capacity(3);
+        for i in 0..5 {
+            t.push(note(&i.to_string()));
+        }
+        let got: Vec<_> = t.iter().cloned().collect();
+        assert_eq!(got, vec![note("2"), note("3"), note("4")]);
+        assert_eq!(t.dropped(), 2);
+    }
+
+    #[test]
+    fn disabled_trace_counts_drops() {
+        let mut t = EventTrace::default();
+        t.set_enabled(false);
+        t.push(note("x"));
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 1);
+        t.set_enabled(true);
+        t.push(note("y"));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn count_matching_filters() {
+        let mut t = EventTrace::default();
+        t.push(TraceEvent::RebootStart {
+            component: "vfs".into(),
+        });
+        t.push(TraceEvent::RebootDone {
+            component: "vfs".into(),
+            replayed: 3,
+        });
+        t.push(note("misc"));
+        let reboots = t.count_matching(|e| matches!(e, TraceEvent::RebootDone { .. }));
+        assert_eq!(reboots, 1);
+    }
+
+    #[test]
+    fn clear_keeps_dropped_counter() {
+        let mut t = EventTrace::with_capacity(1);
+        t.push(note("a"));
+        t.push(note("b"));
+        assert_eq!(t.dropped(), 1);
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut t = EventTrace::with_capacity(0);
+        t.push(note("a"));
+        assert_eq!(t.len(), 1);
+    }
+}

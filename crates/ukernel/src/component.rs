@@ -1,0 +1,505 @@
+//! The [`Component`] trait and its static metadata.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use vampos_mem::{ArenaLayout, MemoryArena};
+use vampos_sim::{CostModel, Nanos, SimRng};
+
+use crate::error::OsError;
+use crate::value::Value;
+
+/// A component's name (also its protection-domain name).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ComponentName(String);
+
+impl ComponentName {
+    /// Creates a name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ComponentName(name.into())
+    }
+
+    /// The name as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for ComponentName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for ComponentName {
+    fn from(s: &str) -> Self {
+        ComponentName(s.to_owned())
+    }
+}
+
+impl From<String> for ComponentName {
+    fn from(s: String) -> Self {
+        ComponentName(s)
+    }
+}
+
+impl AsRef<str> for ComponentName {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+/// Static metadata describing a component to the VampOS runtime.
+///
+/// Construct with [`ComponentDescriptor::new`] and the builder-style
+/// methods:
+///
+/// ```
+/// use vampos_ukernel::ComponentDescriptor;
+/// use vampos_mem::ArenaLayout;
+///
+/// let desc = ComponentDescriptor::new("vfs", ArenaLayout::large())
+///     .stateful()
+///     .checkpoint_init()
+///     .depends_on(&["9pfs", "lwip"])
+///     .logs(&["open", "close", "read", "write"]);
+/// assert!(desc.is_logged("open"));
+/// assert!(!desc.is_logged("fstat"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentDescriptor {
+    name: ComponentName,
+    stateful: bool,
+    rebootable: bool,
+    hang_exempt: bool,
+    checkpoint_init: bool,
+    dependencies: Vec<ComponentName>,
+    logged: BTreeSet<&'static str>,
+    layout: ArenaLayout,
+}
+
+impl ComponentDescriptor {
+    /// Creates a descriptor for a stateless, rebootable component with no
+    /// logged functions.
+    pub fn new(name: impl Into<ComponentName>, layout: ArenaLayout) -> Self {
+        ComponentDescriptor {
+            name: name.into(),
+            stateful: false,
+            rebootable: true,
+            hang_exempt: false,
+            checkpoint_init: false,
+            dependencies: Vec::new(),
+            logged: BTreeSet::new(),
+            layout,
+        }
+    }
+
+    /// Marks the component stateful: its reboot requires encapsulated
+    /// restoration (log replay) rather than a bare restart.
+    #[must_use]
+    pub fn stateful(mut self) -> Self {
+        self.stateful = true;
+        self
+    }
+
+    /// Marks the component unrebootable (state shared with the host).
+    #[must_use]
+    pub fn unrebootable(mut self) -> Self {
+        self.rebootable = false;
+        self
+    }
+
+    /// Exempts the component from hang detection (it legitimately waits on
+    /// external events — LWIP in the prototypes).
+    #[must_use]
+    pub fn hang_exempt(mut self) -> Self {
+        self.hang_exempt = true;
+        self
+    }
+
+    /// Uses checkpoint-based initialization: reboot restores the boot-phase
+    /// memory snapshot instead of running init (whose downcalls would
+    /// disturb other components) — VFS and LWIP in the prototypes (§VI).
+    #[must_use]
+    pub fn checkpoint_init(mut self) -> Self {
+        self.checkpoint_init = true;
+        self
+    }
+
+    /// Declares the components this one sends messages to (the input of
+    /// dependency-aware scheduling, §V-C).
+    #[must_use]
+    pub fn depends_on(mut self, deps: &[&str]) -> Self {
+        self.dependencies = deps.iter().map(|&d| ComponentName::from(d)).collect();
+        self
+    }
+
+    /// Declares the logged-function set (paper Table II). Calls to functions
+    /// outside this set are not logged — they do not change component state
+    /// that restoration needs.
+    #[must_use]
+    pub fn logs(mut self, funcs: &[&'static str]) -> Self {
+        self.logged = funcs.iter().copied().collect();
+        self
+    }
+
+    /// The component's name.
+    pub fn name(&self) -> &ComponentName {
+        &self.name
+    }
+
+    /// Whether the component is stateful.
+    pub fn is_stateful(&self) -> bool {
+        self.stateful
+    }
+
+    /// Whether the component can be rebooted at all.
+    pub fn is_rebootable(&self) -> bool {
+        self.rebootable
+    }
+
+    /// Whether the hang detector should skip this component.
+    pub fn is_hang_exempt(&self) -> bool {
+        self.hang_exempt
+    }
+
+    /// Whether reboot restores the boot-phase checkpoint.
+    pub fn uses_checkpoint_init(&self) -> bool {
+        self.checkpoint_init
+    }
+
+    /// Declared message targets.
+    pub fn dependencies(&self) -> &[ComponentName] {
+        &self.dependencies
+    }
+
+    /// Whether calls to `func` are logged for restoration.
+    pub fn is_logged(&self, func: &str) -> bool {
+        self.logged.contains(func)
+    }
+
+    /// The logged-function set.
+    pub fn logged_functions(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.logged.iter().copied()
+    }
+
+    /// The component's memory layout.
+    pub fn layout(&self) -> &ArenaLayout {
+        &self.layout
+    }
+}
+
+/// Session classification of a logged call, for session-aware log shrinking
+/// (§V-F). Sessions are keyed by a component-chosen `u64` (fd numbers in
+/// VFS, socket fds in LWIP, fids in 9PFS; components may carve namespaces
+/// out of the key space, e.g. VFS tags vnode sessions with a high bit).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SessionEvent {
+    /// Not tied to a session; the entry is always kept (e.g. `mount`).
+    None,
+    /// Creates the listed sessions (usually one — `open` returning an fd;
+    /// `pipe` creates two). Replaying this entry recreates all of them.
+    Open(Vec<u64>),
+    /// Belongs to a session (e.g. `read`/`write` on the fd).
+    Touch(u64),
+    /// A *canceling function*: ends the listed sessions and makes their
+    /// entries unnecessary (e.g. `close`, which may retire both the fd
+    /// session and the vnode session). The log removes the sessions'
+    /// entries — and this entry itself once no surviving entry would
+    /// recreate any of the closed sessions on replay.
+    Close(Vec<u64>),
+}
+
+/// How compaction should treat the `Touch` entries of one open session.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TouchSynthesis {
+    /// The touches carry irreplaceable information; keep them.
+    Keep,
+    /// The touches carry no restorable state (e.g. socket reads whose
+    /// payloads are gone anyway); drop them.
+    Drop,
+    /// Replace all touches with this single synthetic `(func, args, ret)`
+    /// entry (e.g. `vfs_set_offset` summarising a run of reads/writes).
+    Replace {
+        /// Synthetic function name.
+        func: String,
+        /// Its arguments.
+        args: Vec<Value>,
+        /// Its expected return value.
+        ret: Value,
+    },
+}
+
+/// The services the runtime offers a component while it executes a call.
+///
+/// A component must reach other components **only** through
+/// [`CallContext::invoke`]: that is the hook where VampOS interposes message
+/// passing, scheduling, logging — and, during encapsulated restoration, the
+/// substitution of logged return values for live downcalls.
+pub trait CallContext {
+    /// Invokes `func` on the component named `target`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the callee's error, or a framework error (unknown
+    /// component/function, unavailable component, protection fault).
+    fn invoke(&mut self, target: &str, func: &str, args: &[Value]) -> Result<Value, OsError>;
+
+    /// The current virtual time.
+    fn now(&self) -> Nanos;
+
+    /// Charges extra virtual time for modeled work (e.g. a block copy).
+    fn charge(&mut self, cost: Nanos);
+
+    /// Deterministic randomness (e.g. initial TCP sequence numbers).
+    fn rng(&mut self) -> &mut SimRng;
+
+    /// The active cost model (components charge host/device costs with it).
+    fn costs(&self) -> &CostModel;
+
+    /// True while the component is being replayed during encapsulated
+    /// restoration; downcalls are then answered from the log.
+    fn is_replay(&self) -> bool;
+
+    /// During replay, the return value the call produced originally.
+    ///
+    /// Components that allocate identifiers (fds, fids, socket ids) consult
+    /// this so replayed allocations yield exactly the ids the application
+    /// already holds — the paper's restoration "feeds the same inputs to the
+    /// restarted components" (§II-B), and identifiers are part of those
+    /// inputs. `None` outside replay.
+    fn replay_hint(&self) -> Option<&Value> {
+        None
+    }
+}
+
+/// A unikernel component.
+///
+/// Implementations hold *real* state (fd tables, TCP control blocks, fid
+/// maps) as Rust data, mirror their dynamic footprint in their
+/// [`MemoryArena`], and expose their interface through [`Component::call`].
+///
+/// The default implementations of the optional hooks suit stateless
+/// components; stateful ones override the restoration-related hooks.
+pub trait Component {
+    /// Static metadata.
+    fn descriptor(&self) -> &ComponentDescriptor;
+
+    /// The component's memory arena.
+    fn arena(&self) -> &MemoryArena;
+
+    /// Mutable access to the arena (runtime snapshot/restore, faults).
+    fn arena_mut(&mut self) -> &mut MemoryArena;
+
+    /// Boot-time initialization. May downcall into other components —
+    /// which is exactly why reboot uses [`Component::reset`] +
+    /// checkpoint restore instead (§V-E).
+    ///
+    /// # Errors
+    ///
+    /// Initialization failures abort the boot.
+    fn init(&mut self, _ctx: &mut dyn CallContext) -> Result<(), OsError> {
+        Ok(())
+    }
+
+    /// Handles one interface call.
+    ///
+    /// # Errors
+    ///
+    /// POSIX-ish errors for the caller; failure errors ([`OsError::Panic`],
+    /// …) signal the failure detector.
+    fn call(
+        &mut self,
+        ctx: &mut dyn CallContext,
+        func: &str,
+        args: &[Value],
+    ) -> Result<Value, OsError>;
+
+    /// Resets in-memory state to just-after-boot **without any downcalls**
+    /// (invoked under checkpoint-based initialization).
+    fn reset(&mut self);
+
+    /// Extracts runtime data that log replay cannot reconstruct (LWIP's TCP
+    /// sequence/ACK numbers, §V-B). `None` when the component has none.
+    fn extract_runtime(&self) -> Option<Value> {
+        None
+    }
+
+    /// Restores previously extracted runtime data after replay.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::ReplayMismatch`] when the data is malformed.
+    fn restore_runtime(&mut self, _data: Value) -> Result<(), OsError> {
+        Ok(())
+    }
+
+    /// Classifies a logged call for session-aware shrinking.
+    fn session_event(&self, _func: &str, _args: &[Value], _ret: &Value) -> SessionEvent {
+        SessionEvent::None
+    }
+
+    /// Decides how threshold-triggered compaction (§V-F: "we can shrink a
+    /// series of `write()` by preserving the offset") handles the `Touch`
+    /// entries of a still-open session: keep them, drop them outright, or
+    /// replace them all with one synthetic entry. Synthetic functions must
+    /// be executable without downcalls.
+    fn synthesize_touch(&self, _session: u64) -> TouchSynthesis {
+        TouchSynthesis::Keep
+    }
+
+    /// Called once after encapsulated restoration completes (log replayed,
+    /// runtime data restored). Components fix up allocation counters here
+    /// (e.g. `next_fd = max(live fds) + 1` after a shrunk log replays fewer
+    /// allocations than originally happened).
+    fn finish_replay(&mut self) {}
+
+    /// A digest of the component's logical state, used by tests to verify
+    /// that restoration reproduces the pre-reboot state and that running
+    /// components are untouched by another component's restoration.
+    fn state_digest(&self) -> u64 {
+        0
+    }
+}
+
+/// A boxed component, as stored by the runtime.
+pub type ComponentBox = Box<dyn Component>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Dummy {
+        desc: ComponentDescriptor,
+        arena: MemoryArena,
+        hits: u32,
+    }
+
+    impl Dummy {
+        fn new() -> Self {
+            Dummy {
+                desc: ComponentDescriptor::new("dummy", ArenaLayout::small()),
+                arena: MemoryArena::new("dummy", ArenaLayout::small()),
+                hits: 0,
+            }
+        }
+    }
+
+    impl Component for Dummy {
+        fn descriptor(&self) -> &ComponentDescriptor {
+            &self.desc
+        }
+        fn arena(&self) -> &MemoryArena {
+            &self.arena
+        }
+        fn arena_mut(&mut self) -> &mut MemoryArena {
+            &mut self.arena
+        }
+        fn call(
+            &mut self,
+            _ctx: &mut dyn CallContext,
+            func: &str,
+            _args: &[Value],
+        ) -> Result<Value, OsError> {
+            match func {
+                "ping" => {
+                    self.hits += 1;
+                    Ok(Value::U64(self.hits as u64))
+                }
+                other => Err(OsError::UnknownFunc {
+                    component: "dummy".into(),
+                    func: other.into(),
+                }),
+            }
+        }
+        fn reset(&mut self) {
+            self.hits = 0;
+            self.arena.reset();
+        }
+    }
+
+    struct NullCtx(SimRng, CostModel);
+
+    impl CallContext for NullCtx {
+        fn invoke(&mut self, target: &str, _f: &str, _a: &[Value]) -> Result<Value, OsError> {
+            Err(OsError::UnknownComponent(target.into()))
+        }
+        fn now(&self) -> Nanos {
+            Nanos::ZERO
+        }
+        fn charge(&mut self, _cost: Nanos) {}
+        fn rng(&mut self) -> &mut SimRng {
+            &mut self.0
+        }
+        fn costs(&self) -> &CostModel {
+            &self.1
+        }
+        fn is_replay(&self) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn descriptor_builder_sets_flags() {
+        let d = ComponentDescriptor::new("lwip", ArenaLayout::large())
+            .stateful()
+            .hang_exempt()
+            .checkpoint_init()
+            .depends_on(&["netdev", "vfs"])
+            .logs(&["socket", "bind"]);
+        assert!(d.is_stateful());
+        assert!(d.is_rebootable());
+        assert!(d.is_hang_exempt());
+        assert!(d.uses_checkpoint_init());
+        assert_eq!(d.dependencies().len(), 2);
+        assert!(d.is_logged("socket"));
+        assert!(!d.is_logged("send"));
+        assert_eq!(d.logged_functions().count(), 2);
+    }
+
+    #[test]
+    fn unrebootable_flag() {
+        let d = ComponentDescriptor::new("virtio", ArenaLayout::small()).unrebootable();
+        assert!(!d.is_rebootable());
+    }
+
+    #[test]
+    fn default_hooks_are_benign() {
+        let mut c = Dummy::new();
+        let mut ctx = NullCtx(SimRng::seed_from(1), CostModel::default());
+        assert!(c.init(&mut ctx).is_ok());
+        assert_eq!(c.extract_runtime(), None);
+        assert!(c.restore_runtime(Value::Unit).is_ok());
+        assert_eq!(
+            c.session_event("ping", &[], &Value::Unit),
+            SessionEvent::None
+        );
+        assert_eq!(c.synthesize_touch(0), TouchSynthesis::Keep);
+        assert_eq!(c.state_digest(), 0);
+    }
+
+    #[test]
+    fn call_and_reset_round_trip() {
+        let mut c = Dummy::new();
+        let mut ctx = NullCtx(SimRng::seed_from(1), CostModel::default());
+        assert_eq!(c.call(&mut ctx, "ping", &[]).unwrap(), Value::U64(1));
+        assert_eq!(c.call(&mut ctx, "ping", &[]).unwrap(), Value::U64(2));
+        c.reset();
+        assert_eq!(c.call(&mut ctx, "ping", &[]).unwrap(), Value::U64(1));
+        assert!(matches!(
+            c.call(&mut ctx, "nope", &[]),
+            Err(OsError::UnknownFunc { .. })
+        ));
+    }
+
+    #[test]
+    fn component_name_conversions() {
+        let n = ComponentName::from("vfs");
+        assert_eq!(n.as_str(), "vfs");
+        assert_eq!(n.to_string(), "vfs");
+        assert_eq!(n.as_ref(), "vfs");
+        assert_eq!(ComponentName::new(String::from("x")).as_str(), "x");
+    }
+}

@@ -1,0 +1,243 @@
+//! The unified error surface of the simulated unikernel.
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::value::Value;
+
+/// Errors crossing component interfaces and the syscall surface.
+///
+/// The first group mirrors POSIX errno values the applications see; the
+/// second group is the framework's failure surface — what the VampOS failure
+/// detector and reboot engine consume.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OsError {
+    // ---- POSIX-ish ----
+    /// `ENOENT`.
+    NotFound,
+    /// `EBADF`.
+    BadFd,
+    /// `ENOTDIR`.
+    NotADirectory,
+    /// `EEXIST`.
+    AlreadyExists,
+    /// `ENOTEMPTY`.
+    NotEmpty,
+    /// `EINVAL`.
+    Inval,
+    /// `ENOTCONN`.
+    NotConnected,
+    /// `ECONNRESET`.
+    ConnReset,
+    /// `ECONNREFUSED`.
+    ConnRefused,
+    /// `EAGAIN` — no data/connection available right now.
+    WouldBlock,
+    /// `EMFILE`.
+    TooManyFiles,
+    /// `ENOMEM`.
+    NoMem,
+    /// `EADDRINUSE`.
+    AddrInUse,
+    /// Catch-all I/O failure with detail.
+    Io(String),
+
+    // ---- framework failure surface ----
+    /// A component fail-stopped (crash / `panic()` invocation).
+    Panic {
+        /// The failed component.
+        component: String,
+        /// Crash reason.
+        reason: String,
+    },
+    /// A component exceeded the hang-detection threshold.
+    Hang {
+        /// The hung component.
+        component: String,
+    },
+    /// The target component is down (being rebooted).
+    ComponentUnavailable {
+        /// The unavailable component.
+        component: String,
+    },
+    /// An MPK protection violation was detected.
+    ProtectionFault(String),
+    /// Reboot requested on a component whose state is shared with the host.
+    Unrebootable {
+        /// The component (VIRTIO in the prototypes).
+        component: String,
+    },
+    /// Encapsulated restoration could not replay the log consistently.
+    ReplayMismatch {
+        /// Component being restored.
+        component: String,
+        /// What went wrong.
+        detail: String,
+    },
+    /// The system fail-stopped (failure recurred after recovery, §II-B).
+    FailStop {
+        /// Why recovery was abandoned.
+        reason: String,
+    },
+    /// An argument had the wrong [`Value`] variant.
+    BadValue {
+        /// Expected variant name.
+        expected: String,
+        /// Received variant name.
+        got: String,
+    },
+    /// The component does not expose the requested function.
+    UnknownFunc {
+        /// Target component.
+        component: String,
+        /// Requested function.
+        func: String,
+    },
+    /// No component with that name is registered.
+    UnknownComponent(String),
+}
+
+impl OsError {
+    /// Builds a [`OsError::BadValue`] from the expected variant and the
+    /// offending value.
+    pub fn bad_value(expected: &str, got: &Value) -> Self {
+        OsError::BadValue {
+            expected: expected.to_owned(),
+            got: got.kind().to_owned(),
+        }
+    }
+
+    /// True for errors that indicate a *component failure* (as opposed to a
+    /// legitimate errno the application should handle). The failure detector
+    /// keys off this predicate.
+    pub fn is_failure(&self) -> bool {
+        matches!(
+            self,
+            OsError::Panic { .. }
+                | OsError::Hang { .. }
+                | OsError::ProtectionFault(_)
+                | OsError::FailStop { .. }
+                | OsError::ReplayMismatch { .. }
+        )
+    }
+
+    /// The component a failure error names, if any.
+    pub fn failed_component(&self) -> Option<&str> {
+        match self {
+            OsError::Panic { component, .. }
+            | OsError::Hang { component }
+            | OsError::ComponentUnavailable { component }
+            | OsError::Unrebootable { component }
+            | OsError::ReplayMismatch { component, .. } => Some(component),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for OsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OsError::NotFound => f.write_str("no such file or directory"),
+            OsError::BadFd => f.write_str("bad file descriptor"),
+            OsError::NotADirectory => f.write_str("not a directory"),
+            OsError::AlreadyExists => f.write_str("file exists"),
+            OsError::NotEmpty => f.write_str("directory not empty"),
+            OsError::Inval => f.write_str("invalid argument"),
+            OsError::NotConnected => f.write_str("not connected"),
+            OsError::ConnReset => f.write_str("connection reset by peer"),
+            OsError::ConnRefused => f.write_str("connection refused"),
+            OsError::WouldBlock => f.write_str("resource temporarily unavailable"),
+            OsError::TooManyFiles => f.write_str("too many open files"),
+            OsError::NoMem => f.write_str("out of memory"),
+            OsError::AddrInUse => f.write_str("address already in use"),
+            OsError::Io(detail) => write!(f, "i/o error: {detail}"),
+            OsError::Panic { component, reason } => {
+                write!(f, "component {component} panicked: {reason}")
+            }
+            OsError::Hang { component } => write!(f, "component {component} hung"),
+            OsError::ComponentUnavailable { component } => {
+                write!(f, "component {component} unavailable (rebooting)")
+            }
+            OsError::ProtectionFault(detail) => write!(f, "protection fault: {detail}"),
+            OsError::Unrebootable { component } => {
+                write!(
+                    f,
+                    "component {component} shares state with the host and cannot be rebooted"
+                )
+            }
+            OsError::ReplayMismatch { component, detail } => {
+                write!(f, "replay mismatch restoring {component}: {detail}")
+            }
+            OsError::FailStop { reason } => write!(f, "system fail-stop: {reason}"),
+            OsError::BadValue { expected, got } => {
+                write!(f, "expected {expected} value, got {got}")
+            }
+            OsError::UnknownFunc { component, func } => {
+                write!(f, "component {component} has no function {func}")
+            }
+            OsError::UnknownComponent(name) => write!(f, "unknown component {name}"),
+        }
+    }
+}
+
+impl Error for OsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failure_predicate_separates_errno_from_failures() {
+        assert!(!OsError::NotFound.is_failure());
+        assert!(!OsError::WouldBlock.is_failure());
+        assert!(!OsError::ComponentUnavailable {
+            component: "vfs".into()
+        }
+        .is_failure());
+        assert!(OsError::Panic {
+            component: "9pfs".into(),
+            reason: "injected".into()
+        }
+        .is_failure());
+        assert!(OsError::Hang {
+            component: "vfs".into()
+        }
+        .is_failure());
+        assert!(OsError::ProtectionFault("x".into()).is_failure());
+    }
+
+    #[test]
+    fn failed_component_extraction() {
+        let e = OsError::Panic {
+            component: "lwip".into(),
+            reason: "bit flip".into(),
+        };
+        assert_eq!(e.failed_component(), Some("lwip"));
+        assert_eq!(OsError::NotFound.failed_component(), None);
+    }
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        assert_eq!(OsError::NotFound.to_string(), "no such file or directory");
+        let msg = OsError::Unrebootable {
+            component: "virtio".into(),
+        }
+        .to_string();
+        assert!(msg.contains("virtio"));
+        assert!(msg.contains("cannot be rebooted"));
+    }
+
+    #[test]
+    fn bad_value_reports_both_kinds() {
+        let e = OsError::bad_value("u64", &Value::Str("x".into()));
+        assert_eq!(e.to_string(), "expected u64 value, got str");
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<OsError>();
+    }
+}

@@ -1,0 +1,143 @@
+//! Per-request records and aggregate load reports.
+
+use vampos_sim::{Histogram, Nanos};
+
+/// One client request's outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestRecord {
+    /// When the client issued the request (virtual time).
+    pub start: Nanos,
+    /// When the response (or failure) was observed.
+    pub end: Nanos,
+    /// Whether a valid response arrived.
+    pub ok: bool,
+}
+
+impl RequestRecord {
+    /// Request latency.
+    pub fn latency(&self) -> Nanos {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+/// Aggregate outcome of one load run.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Every request, in issue order.
+    pub records: Vec<RequestRecord>,
+    /// Client connections that had to be re-established.
+    pub reconnects: u64,
+    /// Virtual time the run covered.
+    pub duration: Nanos,
+}
+
+impl LoadReport {
+    /// Successful requests.
+    pub fn successes(&self) -> usize {
+        self.records.iter().filter(|r| r.ok).count()
+    }
+
+    /// Failed requests.
+    pub fn failures(&self) -> usize {
+        self.records.len() - self.successes()
+    }
+
+    /// Success ratio in `[0, 1]`; 1.0 for an empty run.
+    pub fn success_ratio(&self) -> f64 {
+        if self.records.is_empty() {
+            return 1.0;
+        }
+        self.successes() as f64 / self.records.len() as f64
+    }
+
+    /// Successful requests per virtual second.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.duration.as_secs_f64();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.successes() as f64 / secs
+    }
+
+    /// Latency histogram (microseconds) over successful requests.
+    pub fn latency_histogram(&self) -> Histogram {
+        let mut h = Histogram::new();
+        for r in self.records.iter().filter(|r| r.ok) {
+            h.record_nanos(r.latency());
+        }
+        h
+    }
+
+    /// Mean latency over successful requests.
+    pub fn mean_latency(&self) -> Nanos {
+        let oks: Vec<&RequestRecord> = self.records.iter().filter(|r| r.ok).collect();
+        if oks.is_empty() {
+            return Nanos::ZERO;
+        }
+        let total: Nanos = oks.iter().map(|r| r.latency()).sum();
+        total / oks.len() as u64
+    }
+
+    /// The worst single latency observed (successful requests).
+    pub fn max_latency(&self) -> Nanos {
+        self.records
+            .iter()
+            .filter(|r| r.ok)
+            .map(RequestRecord::latency)
+            .fold(Nanos::ZERO, Nanos::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(start_us: u64, end_us: u64, ok: bool) -> RequestRecord {
+        RequestRecord {
+            start: Nanos::from_micros(start_us),
+            end: Nanos::from_micros(end_us),
+            ok,
+        }
+    }
+
+    #[test]
+    fn ratios_and_counts() {
+        let report = LoadReport {
+            records: vec![
+                record(0, 10, true),
+                record(5, 20, true),
+                record(9, 30, false),
+            ],
+            reconnects: 1,
+            duration: Nanos::from_secs(1),
+        };
+        assert_eq!(report.successes(), 2);
+        assert_eq!(report.failures(), 1);
+        assert!((report.success_ratio() - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(report.throughput(), 2.0);
+    }
+
+    #[test]
+    fn empty_report_is_benign() {
+        let report = LoadReport::default();
+        assert_eq!(report.success_ratio(), 1.0);
+        assert_eq!(report.throughput(), 0.0);
+        assert_eq!(report.mean_latency(), Nanos::ZERO);
+    }
+
+    #[test]
+    fn latency_stats_ignore_failures() {
+        let report = LoadReport {
+            records: vec![
+                record(0, 10, true),
+                record(0, 1000, false),
+                record(0, 30, true),
+            ],
+            reconnects: 0,
+            duration: Nanos::from_secs(1),
+        };
+        assert_eq!(report.mean_latency(), Nanos::from_micros(20));
+        assert_eq!(report.max_latency(), Nanos::from_micros(30));
+        assert_eq!(report.latency_histogram().len(), 2);
+    }
+}

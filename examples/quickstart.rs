@@ -1,0 +1,71 @@
+//! Quickstart: boot a VampOS unikernel, run syscalls through the
+//! message-passing component layer, and reboot a component under the
+//! application's feet.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use vampos::prelude::*;
+
+fn main() -> Result<(), OsError> {
+    // Boot with SQLite's component set (PROCESS, SYSINFO, USER, TIMER,
+    // VFS, 9PFS, VIRTIO) under dependency-aware scheduling.
+    let mut sys = System::builder()
+        .mode(Mode::vampos_das())
+        .components(ComponentSet::sqlite())
+        .build()?;
+    println!(
+        "booted {} with {} components, {} MPK tags",
+        sys.mode().label(),
+        sys.component_names().len(),
+        sys.mpk_tags()
+    );
+
+    // Ordinary POSIX-ish work: the calls hop between component threads via
+    // message domains, and the stateful components log them.
+    let fd = sys
+        .os()
+        .open("/notes.txt", OpenFlags::RDWR | OpenFlags::CREAT)?;
+    sys.os().write(fd, b"first line\n")?;
+    sys.os().write(fd, b"second line\n")?;
+    println!(
+        "wrote {} bytes; vfs log holds {} entries",
+        sys.os().fstat(fd)?,
+        sys.log_len("vfs")
+    );
+
+    // Reboot the VFS component alone. Checkpoint-based initialization
+    // restores its boot-phase memory image; encapsulated restoration
+    // replays the logged calls with recorded return values — so the fd and
+    // its offset come back exactly, and 9PFS never notices.
+    let outcome = sys.reboot_component("vfs")?;
+    println!(
+        "rebooted {} in {} (replayed {} log entries, {} KiB snapshot)",
+        outcome.component,
+        outcome.downtime,
+        outcome.replayed,
+        outcome.snapshot_bytes / 1024
+    );
+
+    // The application continues where it left off.
+    sys.os().write(fd, b"third line (after reboot)\n")?;
+    let size = sys.os().fstat(fd)?;
+    println!("file is now {size} bytes — the offset survived the reboot");
+
+    // Proactive software rejuvenation: reboot every rebootable component.
+    let outcomes = sys.rejuvenate_all()?;
+    let total: Nanos = outcomes.iter().map(|o| o.downtime).sum();
+    println!(
+        "rejuvenated {} components in {total} total downtime",
+        outcomes.len()
+    );
+
+    // VIRTIO shares its ring buffers with the host and cannot be rebooted.
+    assert!(matches!(
+        sys.reboot_component("virtio"),
+        Err(OsError::Unrebootable { .. })
+    ));
+    println!("virtio correctly refused to reboot (host-shared state)");
+    Ok(())
+}

@@ -1,0 +1,329 @@
+//! Cross-crate integration tests: full applications over the full simulated
+//! unikernel, exercising the recovery scenarios end to end.
+
+use vampos::apps::{App, Echo, MiniHttpd, MiniKv, MiniSql, QueryResult};
+use vampos::core::InjectedFault;
+use vampos::prelude::*;
+use vampos::workloads::{Disruption, EchoLoad, HttpLoad, KvLoad, SqlLoad};
+use vampos_host::HostHandle;
+
+fn staged_host() -> HostHandle {
+    let host = HostHandle::new();
+    host.with(|w| {
+        w.ninep_mut().put_file("/www/index.html", &[b'x'; 180]);
+    });
+    host
+}
+
+fn nginx_sys(mode: Mode) -> (MiniHttpd, System) {
+    let mut sys = System::builder()
+        .mode(mode)
+        .components(ComponentSet::nginx())
+        .host(staged_host())
+        .build()
+        .unwrap();
+    let mut app = MiniHttpd::default();
+    app.boot(&mut sys).unwrap();
+    (app, sys)
+}
+
+#[test]
+fn every_rebootable_component_survives_reboot_under_http_load() {
+    // Reboot each component mid-workload; the connection and service state
+    // must survive every single one.
+    let (mut app, mut sys) = nginx_sys(Mode::vampos_das());
+    let conn = sys.host().with(|w| w.network_mut().connect(80));
+    app.poll(&mut sys).unwrap();
+
+    let components = sys.component_names();
+    for component in components.iter().filter(|c| *c != "virtio") {
+        sys.host().with(|w| {
+            w.network_mut()
+                .send(conn, b"GET /index.html HTTP/1.1\r\n\r\n")
+                .unwrap()
+        });
+        app.poll(&mut sys).unwrap();
+        let resp = sys.host().with(|w| w.network_mut().recv(conn).unwrap());
+        assert!(
+            resp.starts_with(b"HTTP/1.1 200"),
+            "before rebooting {component}"
+        );
+
+        sys.reboot_component(component)
+            .unwrap_or_else(|e| panic!("reboot {component}: {e}"));
+
+        sys.host().with(|w| {
+            w.network_mut()
+                .send(conn, b"GET /index.html HTTP/1.1\r\n\r\n")
+                .unwrap()
+        });
+        app.poll(&mut sys).unwrap();
+        let resp = sys.host().with(|w| w.network_mut().recv(conn).unwrap());
+        assert!(
+            resp.starts_with(b"HTTP/1.1 200"),
+            "after rebooting {component}"
+        );
+    }
+    assert_eq!(sys.host().with(|w| w.network().seq_errors()), 0);
+    assert_eq!(sys.stats().component_reboots, 8);
+}
+
+#[test]
+fn sql_database_consistent_across_interleaved_rejuvenation() {
+    let mut sys = System::builder()
+        .mode(Mode::vampos_das())
+        .components(ComponentSet::sqlite())
+        .build()
+        .unwrap();
+    let mut db = MiniSql::new();
+    db.boot(&mut sys).unwrap();
+    db.execute(&mut sys, "CREATE TABLE t (id, v)").unwrap();
+    for i in 0..30 {
+        db.execute(&mut sys, &format!("INSERT INTO t VALUES ({i}, 'x')"))
+            .unwrap();
+        if i % 10 == 9 {
+            sys.rejuvenate_all().unwrap();
+        }
+    }
+    assert_eq!(
+        db.execute(&mut sys, "SELECT COUNT(*) FROM t").unwrap(),
+        QueryResult::Count(30)
+    );
+    // And the on-storage image agrees after a full restart.
+    sys.full_reboot().unwrap();
+    let mut cold = MiniSql::new();
+    cold.boot(&mut sys).unwrap();
+    assert_eq!(
+        cold.execute(&mut sys, "SELECT COUNT(*) FROM t").unwrap(),
+        QueryResult::Count(30)
+    );
+}
+
+#[test]
+fn deterministic_fault_fail_stops_then_full_reboot_restores_service() {
+    let (mut app, mut sys) = nginx_sys(Mode::vampos_das());
+    sys.inject_fault(InjectedFault::panic_deterministic("9pfs"));
+    // The fault re-fires on the post-recovery retry → system fail-stop.
+    let err = sys.os().stat("/www/index.html").unwrap_err();
+    assert!(matches!(err, OsError::FailStop { .. }));
+    assert!(sys.has_failed());
+
+    // The last-resort remedy is the conventional full reboot.
+    sys.full_reboot().unwrap();
+    app.boot(&mut sys).unwrap();
+    assert!(!sys.has_failed());
+    assert_eq!(sys.os().stat("/www/index.html").unwrap(), 180);
+}
+
+#[test]
+fn echo_load_is_lossless_across_mixed_disruptions() {
+    let mut sys = System::builder()
+        .mode(Mode::vampos_das())
+        .components(ComponentSet::echo())
+        .build()
+        .unwrap();
+    let mut app = Echo::new();
+    app.boot(&mut sys).unwrap();
+    // Inject a one-shot panic into LWIP *and* schedule reboots around it.
+    sys.inject_fault(InjectedFault::panic_next("user"));
+    let report = EchoLoad {
+        messages: 300,
+        payload_len: 159,
+        connections: 3,
+        remote: false,
+    }
+    .run(&mut sys, &mut app)
+    .unwrap();
+    assert_eq!(report.successes(), 300);
+    sys.os().getuid().unwrap(); // triggers the armed fault + recovery
+    assert_eq!(sys.stats().component_reboots, 1);
+    assert!(!sys.has_failed());
+}
+
+#[test]
+fn kv_store_and_connections_survive_forced_9pfs_failure() {
+    let mut sys = System::builder()
+        .mode(Mode::vampos_das())
+        .components(ComponentSet::redis())
+        .build()
+        .unwrap();
+    let mut kv = MiniKv::new(false);
+    kv.boot(&mut sys).unwrap();
+    kv.warm_up(&mut sys, 1_000, 3).unwrap();
+
+    let points = KvLoad::default()
+        .latency_probe(
+            &mut sys,
+            &mut kv,
+            Nanos::from_secs(6),
+            Nanos::from_millis(300),
+            2,
+            vec![Disruption::fail(Nanos::from_secs(3), "9pfs")],
+        )
+        .unwrap();
+    assert!(points.iter().all(|p| p.ok));
+    assert_eq!(kv.len(), 1_000);
+    assert_eq!(sys.stats().component_reboots, 1);
+    // The recovery hiccup is bounded by tens of milliseconds.
+    let worst = points
+        .iter()
+        .map(|p| p.latency)
+        .fold(Nanos::ZERO, Nanos::max);
+    assert!(worst < Nanos::from_millis(50), "worst = {worst}");
+}
+
+#[test]
+fn log_stays_bounded_over_a_long_session_heavy_workload() {
+    let (mut app, mut sys) = nginx_sys(Mode::vampos_das());
+    // 300 short-lived connections, each one request.
+    for _ in 0..300 {
+        let conn = sys.host().with(|w| w.network_mut().connect(80));
+        app.poll(&mut sys).unwrap();
+        sys.host().with(|w| {
+            w.network_mut()
+                .send(conn, b"GET /index.html HTTP/1.1\r\n\r\n")
+                .unwrap()
+        });
+        app.poll(&mut sys).unwrap();
+        sys.host().with(|w| w.network_mut().recv(conn).unwrap());
+        sys.host().with(|w| w.network_mut().close(conn).unwrap());
+        app.poll(&mut sys).unwrap();
+    }
+    // Session-aware shrinking keeps every component's log near its floor.
+    for component in ["vfs", "lwip", "9pfs"] {
+        assert!(
+            sys.log_len(component) < 40,
+            "{component} log grew to {}",
+            sys.log_len(component)
+        );
+    }
+    assert!(sys.stats().log_removed > 500);
+}
+
+#[test]
+fn full_reboot_is_the_only_thing_that_loses_kv_state() {
+    let mut sys = System::builder()
+        .mode(Mode::vampos_das())
+        .components(ComponentSet::redis())
+        .build()
+        .unwrap();
+    let mut kv = MiniKv::new(false);
+    kv.boot(&mut sys).unwrap();
+    kv.warm_up(&mut sys, 500, 3).unwrap();
+
+    sys.rejuvenate_all().unwrap();
+    assert_eq!(kv.len(), 500, "component reboots keep the store");
+
+    sys.full_reboot().unwrap();
+    let mut cold = MiniKv::new(false);
+    cold.boot(&mut sys).unwrap();
+    assert_eq!(cold.len(), 0, "a full reboot without AOF loses everything");
+}
+
+#[test]
+fn workload_reports_are_deterministic_for_a_seed() {
+    let run = || {
+        let (mut app, mut sys) = nginx_sys(Mode::vampos_das());
+        let report = HttpLoad {
+            clients: 5,
+            duration: Nanos::from_secs(2),
+            think_time: Nanos::from_millis(100),
+            path: "/index.html".to_owned(),
+            remote: false,
+        }
+        .run(
+            &mut sys,
+            &mut app,
+            vec![Disruption::component_reboot(Nanos::from_secs(1), "lwip")],
+        )
+        .unwrap();
+        (
+            report.records.len(),
+            report.successes(),
+            report.mean_latency(),
+            sys.clock().now(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn sqlite_workload_overhead_is_bounded_in_all_vampos_modes() {
+    let run = |mode: Mode| {
+        let mut sys = System::builder()
+            .mode(mode)
+            .components(ComponentSet::sqlite())
+            .build()
+            .unwrap();
+        let mut db = MiniSql::new();
+        db.boot(&mut sys).unwrap();
+        SqlLoad {
+            inserts: 100,
+            item_len: 1,
+        }
+        .run(&mut sys, &mut db)
+        .unwrap()
+        .duration
+    };
+    let base = run(Mode::unikraft());
+    for mode in [Mode::vampos_das(), Mode::vampos_fsm(), Mode::vampos_netm()] {
+        let label = mode.label();
+        let took = run(mode);
+        assert!(
+            took.as_nanos() < base.as_nanos() * 3 / 2,
+            "{label}: {took} vs base {base}"
+        );
+    }
+}
+
+#[test]
+fn forced_virtio_reboot_breaks_io_until_full_reboot() {
+    let mut sys = System::builder()
+        .mode(Mode::vampos_das())
+        .components(ComponentSet::sqlite())
+        .host(staged_host())
+        .auto_recover(false)
+        .build()
+        .unwrap();
+    sys.os().stat("/www/index.html").unwrap();
+    sys.force_reboot_component("virtio").unwrap();
+    assert!(sys.os().stat("/www/index.html").is_err());
+    // Only host cooperation (modelled by the full reboot) fixes the rings.
+    sys.full_reboot().unwrap();
+    assert_eq!(sys.os().stat("/www/index.html").unwrap(), 180);
+}
+
+#[test]
+fn degraded_kv_salvages_its_store_before_the_final_restart() {
+    // The §VIII Redis salvage scenario, end to end: SYSINFO dies
+    // unrecoverably, the system degrades gracefully, and Redis "can handle
+    // client requests and store its KVs into storage when Sysinfo stops".
+    let mut sys = System::builder()
+        .mode(Mode::vampos_das())
+        .components(ComponentSet::redis())
+        .graceful_degradation(true)
+        .build()
+        .unwrap();
+    let mut kv = MiniKv::new(false);
+    kv.boot(&mut sys).unwrap();
+    kv.warm_up(&mut sys, 200, 3).unwrap();
+
+    sys.inject_fault(InjectedFault::panic_deterministic("sysinfo"));
+    let _ = sys.os().uname();
+    assert!(sys.is_degraded());
+    assert!(!sys.has_failed());
+
+    // Salvage the store through the undamaged file-system components,
+    // straight into the AOF path the next boot reads.
+    let dumped = kv
+        .emergency_dump(&mut sys, vampos::apps::kv::AOF_PATH)
+        .unwrap();
+    assert_eq!(dumped, 200);
+
+    // The final restart (the paper's "subsequent launch") restores it.
+    sys.full_reboot().unwrap();
+    let mut next = MiniKv::new(true);
+    next.boot(&mut sys).unwrap();
+    assert_eq!(next.len(), 200);
+    assert_eq!(next.get_local("key:123"), Some(b"vvv".as_slice()));
+}

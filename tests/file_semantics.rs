@@ -1,0 +1,249 @@
+//! Differential property test of the file stack: VFS → 9PFS → VIRTIO →
+//! host 9P server must agree byte-for-byte with a trivial in-memory
+//! reference model (files as byte vectors, fds as offsets) under arbitrary
+//! operation sequences — including interleaved component reboots, which
+//! must not perturb the semantics.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use vampos::prelude::*;
+
+#[derive(Debug, Clone)]
+enum FileOp {
+    Open {
+        path: u8,
+        append: bool,
+    },
+    Read {
+        fd_slot: u8,
+        len: u8,
+    },
+    Write {
+        fd_slot: u8,
+        len: u8,
+        byte: u8,
+    },
+    Pread {
+        fd_slot: u8,
+        len: u8,
+        off: u8,
+    },
+    Pwrite {
+        fd_slot: u8,
+        len: u8,
+        off: u8,
+        byte: u8,
+    },
+    LseekSet {
+        fd_slot: u8,
+        off: u8,
+    },
+    LseekEnd {
+        fd_slot: u8,
+        back: u8,
+    },
+    Close {
+        fd_slot: u8,
+    },
+    RebootFs,
+}
+
+fn file_op() -> impl Strategy<Value = FileOp> {
+    prop_oneof![
+        (0u8..3, any::<bool>()).prop_map(|(path, append)| FileOp::Open { path, append }),
+        (0u8..6, 1u8..80).prop_map(|(fd_slot, len)| FileOp::Read { fd_slot, len }),
+        (0u8..6, 1u8..80, any::<u8>()).prop_map(|(fd_slot, len, byte)| FileOp::Write {
+            fd_slot,
+            len,
+            byte
+        }),
+        (0u8..6, 1u8..80, 0u8..200).prop_map(|(fd_slot, len, off)| FileOp::Pread {
+            fd_slot,
+            len,
+            off
+        }),
+        (0u8..6, 1u8..40, 0u8..200, any::<u8>()).prop_map(|(fd_slot, len, off, byte)| {
+            FileOp::Pwrite {
+                fd_slot,
+                len,
+                off,
+                byte,
+            }
+        }),
+        (0u8..6, 0u8..200).prop_map(|(fd_slot, off)| FileOp::LseekSet { fd_slot, off }),
+        (0u8..6, 0u8..20).prop_map(|(fd_slot, back)| FileOp::LseekEnd { fd_slot, back }),
+        (0u8..6).prop_map(|fd_slot| FileOp::Close { fd_slot }),
+        Just(FileOp::RebootFs),
+    ]
+}
+
+/// The trivial reference: files are byte vectors, fds carry offsets.
+#[derive(Debug, Default)]
+struct RefModel {
+    files: HashMap<String, Vec<u8>>,
+    fds: HashMap<u64, (String, u64, bool)>, // path, offset, append
+}
+
+impl RefModel {
+    fn read(&mut self, fd: u64, len: usize) -> Option<Vec<u8>> {
+        let (path, offset, _) = self.fds.get(&fd)?.clone();
+        let data = self.files.get(&path)?;
+        let start = offset as usize;
+        let out = if start >= data.len() {
+            Vec::new() // past EOF: empty read, offset does not move back
+        } else {
+            data[start..(start + len).min(data.len())].to_vec()
+        };
+        self.fds.get_mut(&fd).unwrap().1 = offset + out.len() as u64;
+        Some(out)
+    }
+
+    fn write(&mut self, fd: u64, bytes: &[u8]) -> Option<()> {
+        let (path, mut offset, append) = self.fds.get(&fd)?.clone();
+        let data = self.files.get_mut(&path)?;
+        if append {
+            offset = data.len() as u64;
+        }
+        let end = offset as usize + bytes.len();
+        if data.len() < end {
+            data.resize(end, 0);
+        }
+        data[offset as usize..end].copy_from_slice(bytes);
+        self.fds.get_mut(&fd).unwrap().1 = end as u64;
+        Some(())
+    }
+
+    fn pread(&self, fd: u64, len: usize, off: u64) -> Option<Vec<u8>> {
+        let (path, _, _) = self.fds.get(&fd)?;
+        let data = self.files.get(path)?;
+        let start = (off as usize).min(data.len());
+        let end = (start + len).min(data.len());
+        Some(data[start..end].to_vec())
+    }
+
+    fn pwrite(&mut self, fd: u64, bytes: &[u8], off: u64) -> Option<()> {
+        let (path, _, _) = self.fds.get(&fd)?.clone();
+        let data = self.files.get_mut(&path)?;
+        let end = off as usize + bytes.len();
+        if data.len() < end {
+            data.resize(end, 0);
+        }
+        data[off as usize..end].copy_from_slice(bytes);
+        Some(())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn file_stack_matches_the_reference_model(
+        ops in proptest::collection::vec(file_op(), 1..50),
+    ) {
+        let host = vampos_host::HostHandle::new();
+        for i in 0..3 {
+            host.with(|w| w.ninep_mut().put_file(&format!("/f{i}"), &[b'0'; 50]));
+        }
+        let mut sys = System::builder()
+            .mode(Mode::vampos_das())
+            .components(ComponentSet::sqlite())
+            .host(host)
+            .build()
+            .unwrap();
+        let mut model = RefModel::default();
+        for i in 0..3 {
+            model.files.insert(format!("/f{i}"), vec![b'0'; 50]);
+        }
+        let mut fds: Vec<u64> = Vec::new();
+        let pick = |fds: &[u64], slot: u8| -> Option<u64> {
+            if fds.is_empty() { None } else { Some(fds[slot as usize % fds.len()]) }
+        };
+
+        for op in &ops {
+            match op {
+                FileOp::Open { path, append } => {
+                    let path = format!("/f{}", path % 3);
+                    let flags = if *append {
+                        OpenFlags::RDWR | OpenFlags::APPEND
+                    } else {
+                        OpenFlags::RDWR
+                    };
+                    let fd = sys.os().open(&path, flags).unwrap();
+                    let start = if *append {
+                        model.files[&path].len() as u64
+                    } else {
+                        0
+                    };
+                    model.fds.insert(fd, (path, start, *append));
+                    fds.push(fd);
+                }
+                FileOp::Read { fd_slot, len } => {
+                    if let Some(fd) = pick(&fds, *fd_slot) {
+                        let got = sys.os().read(fd, *len as u64).unwrap();
+                        let want = model.read(fd, *len as usize).unwrap();
+                        prop_assert_eq!(got, want, "read(fd={})", fd);
+                    }
+                }
+                FileOp::Write { fd_slot, len, byte } => {
+                    if let Some(fd) = pick(&fds, *fd_slot) {
+                        let bytes = vec![*byte; *len as usize];
+                        sys.os().write(fd, &bytes).unwrap();
+                        model.write(fd, &bytes).unwrap();
+                    }
+                }
+                FileOp::Pread { fd_slot, len, off } => {
+                    if let Some(fd) = pick(&fds, *fd_slot) {
+                        let got = sys.os().pread(fd, *len as u64, *off as u64).unwrap();
+                        let want = model.pread(fd, *len as usize, *off as u64).unwrap();
+                        prop_assert_eq!(got, want, "pread(fd={})", fd);
+                    }
+                }
+                FileOp::Pwrite { fd_slot, len, off, byte } => {
+                    if let Some(fd) = pick(&fds, *fd_slot) {
+                        let bytes = vec![*byte; *len as usize];
+                        sys.os().pwrite(fd, &bytes, *off as u64).unwrap();
+                        model.pwrite(fd, &bytes, *off as u64).unwrap();
+                    }
+                }
+                FileOp::LseekSet { fd_slot, off } => {
+                    if let Some(fd) = pick(&fds, *fd_slot) {
+                        let got = sys.os().lseek(fd, *off as i64, Whence::Set).unwrap();
+                        model.fds.get_mut(&fd).unwrap().1 = *off as u64;
+                        prop_assert_eq!(got, *off as u64);
+                    }
+                }
+                FileOp::LseekEnd { fd_slot, back } => {
+                    if let Some(fd) = pick(&fds, *fd_slot) {
+                        let size = {
+                            let (path, _, _) = &model.fds[&fd];
+                            model.files[path].len() as u64
+                        };
+                        let back = (*back as u64).min(size);
+                        let got = sys.os().lseek(fd, -(back as i64), Whence::End).unwrap();
+                        prop_assert_eq!(got, size - back, "lseek(END) fd={}", fd);
+                        model.fds.get_mut(&fd).unwrap().1 = size - back;
+                    }
+                }
+                FileOp::Close { fd_slot } => {
+                    if let Some(fd) = pick(&fds, *fd_slot) {
+                        sys.os().close(fd).unwrap();
+                        model.fds.remove(&fd);
+                        fds.retain(|&f| f != fd);
+                    }
+                }
+                FileOp::RebootFs => {
+                    sys.reboot_component("vfs").unwrap();
+                    sys.reboot_component("9pfs").unwrap();
+                }
+            }
+        }
+        // Final file contents agree byte-for-byte with the model.
+        for (path, want) in &model.files {
+            let got = sys.host().with(|w| w.ninep().read_file(path)).unwrap();
+            prop_assert_eq!(&got, want, "final contents of {}", path);
+        }
+        prop_assert!(!sys.has_failed());
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests at the network level: LWIP's runtime-data extraction must
+//! keep arbitrary TCP traffic flowing across component reboots.
+//!
+//! Random interleavings of client actions (connect / send / close) against
+//! the Echo server, with LWIP/NETDEV/VFS reboots injected between steps.
+//! Invariants: every sent payload is echoed back exactly, the external peer
+//! never observes a sequence violation (which would mean the restored
+//! connection state was wrong), and nothing fail-stops.
+
+use proptest::prelude::*;
+
+use vampos::apps::{App, Echo};
+use vampos::prelude::*;
+use vampos_host::ClientConnState;
+
+#[derive(Debug, Clone)]
+enum NetOp {
+    Connect,
+    Send { conn_slot: u8, len: u8 },
+    CloseClient { conn_slot: u8 },
+    Reboot(u8),
+}
+
+fn net_op() -> impl Strategy<Value = NetOp> {
+    prop_oneof![
+        2 => Just(NetOp::Connect),
+        5 => (0u8..8, 1u8..100).prop_map(|(conn_slot, len)| NetOp::Send { conn_slot, len }),
+        1 => (0u8..8).prop_map(|conn_slot| NetOp::CloseClient { conn_slot }),
+        2 => (0u8..3).prop_map(NetOp::Reboot),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn echo_traffic_survives_arbitrary_reboot_interleavings(
+        ops in proptest::collection::vec(net_op(), 1..40),
+    ) {
+        let mut sys = System::builder()
+            .mode(Mode::vampos_das())
+            .components(ComponentSet::echo())
+            .seed(11)
+            .build()
+            .unwrap();
+        let mut app = Echo::new();
+        app.boot(&mut sys).unwrap();
+
+        let mut conns = Vec::new();
+        let mut echoed = 0usize;
+        for op in &ops {
+            match op {
+                NetOp::Connect => {
+                    let conn = sys
+                        .host()
+                        .with(|w| w.network_mut().connect(vampos::apps::echo::ECHO_PORT));
+                    app.poll(&mut sys).unwrap();
+                    conns.push(conn);
+                }
+                NetOp::Send { conn_slot, len } => {
+                    if conns.is_empty() {
+                        continue;
+                    }
+                    let conn = conns[*conn_slot as usize % conns.len()];
+                    let alive = matches!(
+                        sys.host().with(|w| w.network().state(conn)),
+                        Ok(ClientConnState::Established)
+                    );
+                    if !alive {
+                        continue;
+                    }
+                    let payload = vec![b'a' + (*len % 26); *len as usize];
+                    sys.host()
+                        .with(|w| w.network_mut().send(conn, &payload))
+                        .unwrap();
+                    app.poll(&mut sys).unwrap();
+                    let back = sys.host().with(|w| w.network_mut().recv(conn)).unwrap();
+                    prop_assert_eq!(&back, &payload, "echo mismatch after {:?}", op);
+                    echoed += 1;
+                }
+                NetOp::CloseClient { conn_slot } => {
+                    if conns.is_empty() {
+                        continue;
+                    }
+                    let conn = conns[*conn_slot as usize % conns.len()];
+                    let _ = sys.host().with(|w| w.network_mut().close(conn));
+                    app.poll(&mut sys).unwrap();
+                }
+                NetOp::Reboot(which) => {
+                    let component = ["lwip", "netdev", "vfs"][*which as usize % 3];
+                    sys.reboot_component(component).unwrap();
+                }
+            }
+        }
+        // The peer never saw inconsistent sequence numbers from the guest.
+        prop_assert_eq!(sys.host().with(|w| w.network().seq_errors()), 0);
+        prop_assert!(!sys.has_failed());
+        let _ = echoed;
+    }
+}

@@ -1,0 +1,209 @@
+//! Differential property tests: a system that suffers component reboots
+//! must be **observationally equivalent** to one that never reboots.
+//!
+//! Two identically seeded systems execute the same randomly generated
+//! syscall trace; one of them additionally reboots stateful components at
+//! random points. Every syscall must return the same value on both, and
+//! the component state digests must agree at the end. This is the paper's
+//! central correctness claim (§IV: "enables the applications to run
+//! consistently across VampOS-based reboots") under adversarial inputs.
+
+use proptest::prelude::*;
+
+use vampos::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Open(u8),
+    Create(u8),
+    Write { fd_slot: u8, len: u8 },
+    Read { fd_slot: u8, len: u8 },
+    Pwrite { fd_slot: u8, len: u8, off: u8 },
+    Lseek { fd_slot: u8, off: u8 },
+    Fcntl { fd_slot: u8, flags: u8 },
+    Close(u8),
+    Vget(u8),
+    Getpid,
+    Reboot(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..4).prop_map(Op::Open),
+        (0u8..4).prop_map(Op::Create),
+        (0u8..6, 1u8..64).prop_map(|(fd_slot, len)| Op::Write { fd_slot, len }),
+        (0u8..6, 1u8..64).prop_map(|(fd_slot, len)| Op::Read { fd_slot, len }),
+        (0u8..6, 1u8..64, 0u8..128).prop_map(|(fd_slot, len, off)| Op::Pwrite {
+            fd_slot,
+            len,
+            off
+        }),
+        (0u8..6, 0u8..200).prop_map(|(fd_slot, off)| Op::Lseek { fd_slot, off }),
+        (0u8..6, 0u8..8).prop_map(|(fd_slot, flags)| Op::Fcntl { fd_slot, flags }),
+        (0u8..6).prop_map(Op::Close),
+        (0u8..4).prop_map(Op::Vget),
+        Just(Op::Getpid),
+        (0u8..3).prop_map(Op::Reboot),
+    ]
+}
+
+/// Applies one op; returns a comparable observation string.
+fn apply(sys: &mut System, fds: &mut Vec<u64>, op: &Op, reboots_enabled: bool) -> String {
+    let path = |i: u8| format!("/p{}", i % 4);
+    let pick = |fds: &[u64], slot: u8| -> Option<u64> {
+        if fds.is_empty() {
+            None
+        } else {
+            Some(fds[slot as usize % fds.len()])
+        }
+    };
+    match op {
+        Op::Open(p) => match sys.os().open(&path(*p), OpenFlags::RDWR) {
+            Ok(fd) => {
+                fds.push(fd);
+                format!("open:{fd}")
+            }
+            Err(e) => format!("open!{e}"),
+        },
+        Op::Create(p) => match sys.os().create(&path(*p)) {
+            Ok(fd) => {
+                fds.push(fd);
+                format!("create:{fd}")
+            }
+            Err(e) => format!("create!{e}"),
+        },
+        Op::Write { fd_slot, len } => match pick(fds, *fd_slot) {
+            Some(fd) => format!("{:?}", sys.os().write(fd, &vec![b'w'; *len as usize])),
+            None => "skip".into(),
+        },
+        Op::Read { fd_slot, len } => match pick(fds, *fd_slot) {
+            Some(fd) => format!("{:?}", sys.os().read(fd, *len as u64)),
+            None => "skip".into(),
+        },
+        Op::Pwrite { fd_slot, len, off } => match pick(fds, *fd_slot) {
+            Some(fd) => format!(
+                "{:?}",
+                sys.os().pwrite(fd, &vec![b'p'; *len as usize], *off as u64)
+            ),
+            None => "skip".into(),
+        },
+        Op::Lseek { fd_slot, off } => match pick(fds, *fd_slot) {
+            Some(fd) => format!("{:?}", sys.os().lseek(fd, *off as i64, Whence::Set)),
+            None => "skip".into(),
+        },
+        Op::Fcntl { fd_slot, flags } => match pick(fds, *fd_slot) {
+            Some(fd) => format!(
+                "{:?}",
+                sys.os()
+                    .fcntl(fd, vampos::oslib::vfs::F_SETFL, *flags as u64)
+            ),
+            None => "skip".into(),
+        },
+        Op::Close(fd_slot) => match pick(fds, *fd_slot) {
+            Some(fd) => {
+                let out = format!("{:?}", sys.os().close(fd));
+                fds.retain(|&f| f != fd);
+                out
+            }
+            None => "skip".into(),
+        },
+        Op::Vget(p) => format!("{:?}", sys.os().vget(&path(*p))),
+        Op::Getpid => format!("{:?}", sys.os().getpid()),
+        Op::Reboot(which) => {
+            if reboots_enabled {
+                let component = ["vfs", "9pfs", "process"][*which as usize % 3];
+                sys.reboot_component(component).expect("reboot");
+            }
+            "reboot".into()
+        }
+    }
+}
+
+fn build() -> System {
+    let host = vampos_host::HostHandle::new();
+    host.with(|w| {
+        for i in 0..4 {
+            w.ninep_mut().put_file(&format!("/p{i}"), &[b'0'; 64]);
+        }
+    });
+    System::builder()
+        .mode(Mode::vampos_das())
+        .components(ComponentSet::sqlite())
+        .host(host)
+        .seed(7)
+        .build()
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Reboots are invisible: every syscall observation matches a
+    /// reboot-free control run, and so do the final state digests.
+    #[test]
+    fn reboots_are_observationally_equivalent(
+        ops in proptest::collection::vec(op_strategy(), 1..60),
+    ) {
+        let mut with = build();
+        let mut without = build();
+        let mut fds_a = Vec::new();
+        let mut fds_b = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            let a = apply(&mut with, &mut fds_a, op, true);
+            let b = apply(&mut without, &mut fds_b, op, false);
+            // Syscall results must agree except for the reboot markers
+            // (which are no-ops on the control system).
+            prop_assert_eq!(&a, &b, "op #{} {:?} diverged: {} vs {}", i, op, a, b);
+        }
+        for component in ["vfs", "9pfs", "process"] {
+            prop_assert_eq!(
+                with.state_digest(component),
+                without.state_digest(component),
+                "{} digests diverged",
+                component
+            );
+        }
+        prop_assert!(!with.has_failed());
+    }
+
+    /// Session-aware shrinking never changes what a reboot restores:
+    /// replaying a shrunk log yields the same state as replaying the full
+    /// log (the §V-F safety property).
+    #[test]
+    fn shrinking_preserves_restoration(
+        ops in proptest::collection::vec(op_strategy(), 1..50),
+    ) {
+        let run = |shrinking: bool| {
+            let mut cfg = match Mode::vampos_das() {
+                Mode::VampOs(c) => c,
+                _ => unreachable!(),
+            };
+            cfg.log_shrinking = shrinking;
+            let host = vampos_host::HostHandle::new();
+            host.with(|w| {
+                for i in 0..4 {
+                    w.ninep_mut().put_file(&format!("/p{i}"), &[b'0'; 64]);
+                }
+            });
+            let mut sys = System::builder()
+                .mode(Mode::VampOs(cfg))
+                .components(ComponentSet::sqlite())
+                .host(host)
+                .seed(7)
+                .build()
+                .unwrap();
+            let mut fds = Vec::new();
+            for op in &ops {
+                // Reboots fire in both runs here; the variable is shrinking.
+                apply(&mut sys, &mut fds, op, true);
+            }
+            sys.reboot_component("vfs").expect("final reboot");
+            sys.reboot_component("9pfs").expect("final reboot");
+            (
+                sys.state_digest("vfs").unwrap(),
+                sys.state_digest("9pfs").unwrap(),
+            )
+        };
+        prop_assert_eq!(run(true), run(false));
+    }
+}
