@@ -1,0 +1,277 @@
+//! Dependency-graph lint: duplicate names, dangling dependencies, cycles,
+//! and unrebootable components on recovery-critical paths.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::diagnostic::{codes, Diagnostic};
+use crate::input::AnalysisInput;
+
+/// Runs the dependency-graph checks.
+pub fn run(input: &AnalysisInput) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    check_duplicates(input, &mut out);
+    let edges = in_set_edges(input, &mut out);
+    check_cycles(&edges, &mut out);
+    check_unrebootable_on_paths(input, &edges, &mut out);
+    out
+}
+
+fn check_duplicates(input: &AnalysisInput, out: &mut Vec<Diagnostic>) {
+    let mut seen = BTreeSet::new();
+    for d in input.descriptors() {
+        let name = d.name().as_str();
+        if !seen.insert(name) {
+            out.push(
+                Diagnostic::error(
+                    codes::E104_DUPLICATE_COMPONENT,
+                    Some(name.to_owned()),
+                    format!("component `{name}` is declared more than once; protection domains and function logs would collide"),
+                )
+                .with_suggestion("give each component a unique name"),
+            );
+        }
+    }
+}
+
+/// Builds the dependency edges restricted to components in the set, flagging
+/// dangling targets along the way. Dangling edges are dropped: a dependency
+/// outside the image cannot be called, so it cannot create a cycle either.
+fn in_set_edges<'a>(
+    input: &'a AnalysisInput,
+    out: &mut Vec<Diagnostic>,
+) -> BTreeMap<&'a str, Vec<&'a str>> {
+    let names: BTreeSet<&str> = input
+        .descriptors()
+        .iter()
+        .map(|d| d.name().as_str())
+        .collect();
+    let mut edges: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for d in input.descriptors() {
+        let from = d.name().as_str();
+        let targets = edges.entry(from).or_default();
+        for dep in d.dependencies() {
+            let to = dep.as_str();
+            if let Some(&resolved) = names.get(to) {
+                if !targets.contains(&resolved) {
+                    targets.push(resolved);
+                }
+            } else {
+                out.push(
+                    Diagnostic::warning(
+                        codes::W102_DANGLING_DEPENDENCY,
+                        Some(from.to_owned()),
+                        format!("`{from}` depends on `{to}`, which is not in the `{}` set; calls to it would fail at runtime", input.name()),
+                    )
+                    .with_suggestion(format!(
+                        "add `{to}` to the set or drop the dependency"
+                    )),
+                );
+            }
+        }
+    }
+    edges
+}
+
+/// DFS cycle detection. Reports each cycle once, with its path.
+fn check_cycles(edges: &BTreeMap<&str, Vec<&str>>, out: &mut Vec<Diagnostic>) {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        InProgress,
+        Done,
+    }
+    let mut marks: BTreeMap<&str, Mark> = BTreeMap::new();
+    let mut stack: Vec<&str> = Vec::new();
+    // One diagnostic per distinct cycle (normalised to its sorted members).
+    let mut reported: BTreeSet<Vec<String>> = BTreeSet::new();
+
+    fn visit<'a>(
+        node: &'a str,
+        edges: &BTreeMap<&'a str, Vec<&'a str>>,
+        marks: &mut BTreeMap<&'a str, Mark>,
+        stack: &mut Vec<&'a str>,
+        reported: &mut BTreeSet<Vec<String>>,
+        out: &mut Vec<Diagnostic>,
+    ) {
+        match marks.get(node) {
+            Some(Mark::Done) => return,
+            Some(Mark::InProgress) => {
+                let start = stack.iter().position(|&n| n == node).unwrap_or(0);
+                let cycle: Vec<&str> = stack[start..].to_vec();
+                let mut key: Vec<String> = cycle.iter().map(|s| (*s).to_owned()).collect();
+                key.sort();
+                if reported.insert(key) {
+                    let path = cycle
+                        .iter()
+                        .chain(std::iter::once(&node))
+                        .copied()
+                        .collect::<Vec<_>>()
+                        .join(" -> ");
+                    out.push(
+                        Diagnostic::error(
+                            codes::E101_DEPENDENCY_CYCLE,
+                            Some(node.to_owned()),
+                            format!("dependency cycle: {path}; dependency-aware scheduling and staged recovery need an acyclic graph"),
+                        )
+                        .with_suggestion("break the cycle by removing or inverting one dependency"),
+                    );
+                }
+                return;
+            }
+            None => {}
+        }
+        marks.insert(node, Mark::InProgress);
+        stack.push(node);
+        if let Some(targets) = edges.get(node) {
+            for &t in targets {
+                visit(t, edges, marks, stack, reported, out);
+            }
+        }
+        stack.pop();
+        marks.insert(node, Mark::Done);
+    }
+
+    for &node in edges.keys() {
+        visit(node, edges, &mut marks, &mut stack, &mut reported, out);
+    }
+}
+
+/// Flags unrebootable components that rebootable components (transitively)
+/// depend on: rebooting the dependent works, but a fault in the dependency
+/// itself can only be cured by a full reboot — the component sits on the
+/// recovery-critical path (§VI keeps VIRTIO in exactly this position).
+fn check_unrebootable_on_paths(
+    input: &AnalysisInput,
+    edges: &BTreeMap<&str, Vec<&str>>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let unrebootable: Vec<&str> = input
+        .descriptors()
+        .iter()
+        .filter(|d| !d.is_rebootable())
+        .map(|d| d.name().as_str())
+        .collect();
+    if unrebootable.is_empty() {
+        return;
+    }
+    for &sink in &unrebootable {
+        let mut dependents: Vec<&str> = Vec::new();
+        for d in input.descriptors() {
+            let from = d.name().as_str();
+            if from != sink && d.is_rebootable() && reaches(edges, from, sink) {
+                dependents.push(from);
+            }
+        }
+        if !dependents.is_empty() {
+            out.push(
+                Diagnostic::warning(
+                    codes::W103_UNREBOOTABLE_ON_RECOVERY_PATH,
+                    Some(sink.to_owned()),
+                    format!(
+                        "unrebootable `{sink}` is on the recovery path of {}; a fault inside it fail-stops the whole unikernel",
+                        dependents
+                            .iter()
+                            .map(|d| format!("`{d}`"))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ),
+                )
+                .with_suggestion(format!(
+                    "make `{sink}` rebootable (e.g. add a host re-handshake) or accept full-reboot recovery for faults in it"
+                )),
+            );
+        }
+    }
+}
+
+fn reaches(edges: &BTreeMap<&str, Vec<&str>>, from: &str, to: &str) -> bool {
+    let mut seen = BTreeSet::new();
+    let mut work = vec![from];
+    while let Some(node) = work.pop() {
+        if !seen.insert(node) {
+            continue;
+        }
+        if let Some(targets) = edges.get(node) {
+            for &t in targets {
+                if t == to {
+                    return true;
+                }
+                work.push(t);
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vampos_mem::ArenaLayout;
+    use vampos_ukernel::ComponentDescriptor;
+
+    fn desc(name: &'static str) -> ComponentDescriptor {
+        ComponentDescriptor::new(name, ArenaLayout::small())
+    }
+
+    #[test]
+    fn self_dependency_is_a_cycle() {
+        let input = AnalysisInput::new("t").component(desc("a").depends_on(&["a"]));
+        let out = run(&input);
+        assert!(out.iter().any(|d| d.code == codes::E101_DEPENDENCY_CYCLE));
+    }
+
+    #[test]
+    fn two_cycles_are_reported_separately() {
+        let input = AnalysisInput::new("t").components([
+            desc("a").depends_on(&["b"]),
+            desc("b").depends_on(&["a"]),
+            desc("c").depends_on(&["d"]),
+            desc("d").depends_on(&["c"]),
+        ]);
+        let out = run(&input);
+        let cycles = out
+            .iter()
+            .filter(|d| d.code == codes::E101_DEPENDENCY_CYCLE)
+            .count();
+        assert_eq!(cycles, 2);
+    }
+
+    #[test]
+    fn dangling_dependency_does_not_fabricate_a_cycle() {
+        // `a -> ghost` dangles; the dropped edge must not corrupt DFS state.
+        let input = AnalysisInput::new("t").components([
+            desc("a").depends_on(&["ghost"]),
+            desc("b").depends_on(&["a"]),
+        ]);
+        let out = run(&input);
+        assert!(out
+            .iter()
+            .any(|d| d.code == codes::W102_DANGLING_DEPENDENCY));
+        assert!(!out.iter().any(|d| d.code == codes::E101_DEPENDENCY_CYCLE));
+    }
+
+    #[test]
+    fn transitive_unrebootable_dependency_warns() {
+        let input = AnalysisInput::new("t").components([
+            desc("fs").depends_on(&["drv"]),
+            desc("app2").depends_on(&["fs"]),
+            desc("drv").unrebootable().host_shared(),
+        ]);
+        let out = run(&input);
+        let w103: Vec<_> = out
+            .iter()
+            .filter(|d| d.code == codes::W103_UNREBOOTABLE_ON_RECOVERY_PATH)
+            .collect();
+        assert_eq!(w103.len(), 1);
+        assert!(w103[0].message.contains("`fs`"));
+        assert!(w103[0].message.contains("`app2`"));
+    }
+
+    #[test]
+    fn duplicate_names_are_errors() {
+        let input = AnalysisInput::new("t").components([desc("a"), desc("a")]);
+        let out = run(&input);
+        assert!(out
+            .iter()
+            .any(|d| d.code == codes::E104_DUPLICATE_COMPONENT));
+    }
+}

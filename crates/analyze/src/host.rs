@@ -1,0 +1,84 @@
+//! Host-shared-state escape analysis (§VIII).
+//!
+//! A component whose state is shared with the host (VIRTIO's ring buffers in
+//! the prototypes) cannot be restored by a component-local reboot: the guest
+//! side resets, the host side does not, and the two desynchronise. Such a
+//! component is safe only if it is declared unrebootable — or if it
+//! renegotiates the shared state with the host on every reboot.
+
+use crate::diagnostic::{codes, Diagnostic};
+use crate::input::AnalysisInput;
+
+/// Runs the host-shared-state checks.
+pub fn run(input: &AnalysisInput) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for d in input.descriptors() {
+        let name = d.name().as_str();
+
+        if d.is_host_shared() && d.is_rebootable() && !d.has_host_handshake() {
+            out.push(
+                Diagnostic::error(
+                    codes::E401_HOST_SHARED_REBOOTABLE,
+                    Some(name.to_owned()),
+                    format!(
+                        "`{name}` shares state with the host but is rebootable without a host re-handshake; a local reboot would desynchronise the shared rings and lose in-flight I/O"
+                    ),
+                )
+                .with_suggestion("mark the component .unrebootable(), or add .host_handshake() and renegotiate the device on reboot"),
+            );
+        }
+
+        if !d.is_rebootable() && !d.is_host_shared() {
+            out.push(
+                Diagnostic::warning(
+                    codes::W402_UNEXPLAINED_UNREBOOTABLE,
+                    Some(name.to_owned()),
+                    format!(
+                        "`{name}` is unrebootable but declares no host-shared state; faults in it needlessly fail-stop the whole unikernel"
+                    ),
+                )
+                .with_suggestion("make the component rebootable, or declare .host_shared() if host state is the reason"),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vampos_mem::ArenaLayout;
+    use vampos_ukernel::ComponentDescriptor;
+
+    fn desc(name: &'static str) -> ComponentDescriptor {
+        ComponentDescriptor::new(name, ArenaLayout::small())
+    }
+
+    #[test]
+    fn host_shared_rebootable_without_handshake_is_an_error() {
+        let input = AnalysisInput::new("t").component(desc("drv").host_shared());
+        assert!(run(&input)
+            .iter()
+            .any(|d| d.code == codes::E401_HOST_SHARED_REBOOTABLE));
+    }
+
+    #[test]
+    fn unrebootable_host_shared_component_is_accepted() {
+        let input = AnalysisInput::new("t").component(desc("drv").host_shared().unrebootable());
+        assert!(run(&input).is_empty());
+    }
+
+    #[test]
+    fn handshake_makes_host_sharing_rebootable() {
+        let input = AnalysisInput::new("t").component(desc("drv").host_shared().host_handshake());
+        assert!(run(&input).is_empty());
+    }
+
+    #[test]
+    fn unexplained_unrebootable_component_warns() {
+        let input = AnalysisInput::new("t").component(desc("blob").unrebootable());
+        assert!(run(&input)
+            .iter()
+            .any(|d| d.code == codes::W402_UNEXPLAINED_UNREBOOTABLE));
+    }
+}

@@ -1,0 +1,47 @@
+//! Static analysis of VampOS configurations, run before a system boots.
+//!
+//! The runtime's recovery machinery (component-level microreboot,
+//! encapsulated restoration, MPK isolation) only delivers its guarantees
+//! when the static configuration is coherent: the dependency graph must be
+//! acyclic, every stateful component must be restorable from its log, PKRU
+//! policies must grant least privilege, and host-shared state must not be
+//! reset behind the host's back. This crate checks those invariants on the
+//! [`ComponentDescriptor`](vampos_ukernel::ComponentDescriptor) graph alone
+//! — no simulation, no I/O — and reports structured [`Diagnostic`]s.
+//!
+//! Four pass families:
+//!
+//! 1. **Dependency graph** ([`codes`] `1xx`) — duplicate components,
+//!    dependency cycles, dangling `depends_on` targets, unrebootable
+//!    components on recovery-critical paths.
+//! 2. **Recoverability** (`2xx`) — stateful components without
+//!    checkpoint-based init, exports that replay cannot cover, log sets
+//!    naming unexported functions, hang-detection exemptions.
+//! 3. **Protection keys** (`3xx`) — least-privilege PKRU derivation and
+//!    over-wide grants, hardware-key exhaustion and pressure.
+//! 4. **Host-shared state** (`4xx`) — rebootable components whose state the
+//!    host co-owns (§VIII).
+//!
+//! `SystemBuilder::build` runs the analyzer and refuses to boot a
+//! configuration with error-severity findings; the `vampos-lint` binary
+//! prints the full report for every built-in component set.
+
+mod diagnostic;
+mod graph;
+mod host;
+mod input;
+mod pkru_pass;
+mod recovery;
+
+pub use diagnostic::{codes, AnalysisReport, Diagnostic, Severity};
+pub use input::{AnalysisInput, KeyPlan, EXTRA_DOMAINS};
+
+/// Analyzes one configuration, running all four pass families.
+pub fn analyze(input: &AnalysisInput) -> AnalysisReport {
+    let mut findings = Vec::new();
+    findings.extend(graph::run(input));
+    findings.extend(recovery::run(input));
+    findings.extend(pkru_pass::run(input));
+    findings.extend(host::run(input));
+    AnalysisReport::new(findings)
+}

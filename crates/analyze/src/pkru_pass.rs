@@ -1,0 +1,157 @@
+//! PKRU policy derivation and least-privilege checking (§V-D, §VI).
+
+use vampos_mpk::{minimal_component_pkru, HW_KEYS};
+
+use crate::diagnostic::{codes, Diagnostic};
+use crate::input::AnalysisInput;
+
+/// Runs the protection-key checks.
+pub fn run(input: &AnalysisInput) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    check_key_budget(input, &mut out);
+    check_least_privilege(input, &mut out);
+    out
+}
+
+fn check_key_budget(input: &AnalysisInput, out: &mut Vec<Diagnostic>) {
+    let domains = input.domain_count();
+    let budget = HW_KEYS as usize;
+    if domains > budget && !input.is_virtualized() {
+        out.push(
+            Diagnostic::error(
+                codes::E302_KEY_EXHAUSTION,
+                None,
+                format!(
+                    "the `{}` set needs {domains} protection domains but the hardware has {budget} keys and key virtualization is off; registration would fail at boot",
+                    input.name()
+                ),
+            )
+            .with_suggestion("enable key virtualization, merge components, or shrink the set"),
+        );
+    } else if domains == budget && !input.is_virtualized() {
+        out.push(
+            Diagnostic::warning(
+                codes::W303_KEY_PRESSURE,
+                None,
+                format!(
+                    "the `{}` set uses all {budget} hardware protection keys; adding any component will exhaust them",
+                    input.name()
+                ),
+            )
+            .with_suggestion("enable key virtualization before growing the set"),
+        );
+    }
+}
+
+/// Compares each supplied PKRU policy against the least-privilege policy
+/// derivable from the descriptor graph: a component needs write access to
+/// its own domain and read access to the message domain — nothing else
+/// (message passing moves all cross-component data).
+fn check_least_privilege(input: &AnalysisInput, out: &mut Vec<Diagnostic>) {
+    let Some(plan) = input.key_plan() else {
+        // Without a static key plan (exhausted hardware keys) physical
+        // assignments are dynamic; E302 already covers the hard failure.
+        return;
+    };
+    for (component, &policy) in input.policies() {
+        let Some(own) = plan.key_of(component) else {
+            continue;
+        };
+        let minimal = minimal_component_pkru(own, plan.msg_domain);
+        let excess = policy.excess_over(minimal);
+        if !excess.is_empty() {
+            let grants = excess
+                .iter()
+                .map(|(k, a)| format!("key {} ({a:?})", k.index()))
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push(
+                Diagnostic::error(
+                    codes::E301_PKRU_OVER_WIDE,
+                    Some(component.clone()),
+                    format!(
+                        "`{component}`'s PKRU policy grants more than least privilege: {grants}; a wild write through the extra grants would corrupt another domain silently"
+                    ),
+                )
+                .with_suggestion("restrict the policy to write-own-domain plus read-message-domain"),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vampos_mem::ArenaLayout;
+    use vampos_mpk::{AccessKind, Pkru};
+    use vampos_ukernel::ComponentDescriptor;
+
+    fn desc(name: &'static str) -> ComponentDescriptor {
+        ComponentDescriptor::new(name, ArenaLayout::small())
+    }
+
+    fn many(n: usize) -> Vec<ComponentDescriptor> {
+        const NAMES: [&str; 16] = [
+            "c00", "c01", "c02", "c03", "c04", "c05", "c06", "c07", "c08", "c09", "c10", "c11",
+            "c12", "c13", "c14", "c15",
+        ];
+        NAMES[..n].iter().map(|&n| desc(n)).collect()
+    }
+
+    #[test]
+    fn exhaustion_without_virtualization_is_an_error() {
+        let input = AnalysisInput::new("t").components(many(14));
+        assert!(run(&input)
+            .iter()
+            .any(|d| d.code == codes::E302_KEY_EXHAUSTION));
+    }
+
+    #[test]
+    fn virtualization_absorbs_exhaustion() {
+        let input = AnalysisInput::new("t")
+            .components(many(14))
+            .virtualized(true);
+        let out = run(&input);
+        assert!(!out.iter().any(|d| d.code == codes::E302_KEY_EXHAUSTION));
+        assert!(!out.iter().any(|d| d.code == codes::W303_KEY_PRESSURE));
+    }
+
+    #[test]
+    fn full_budget_warns() {
+        let input = AnalysisInput::new("t").components(many(13));
+        let out = run(&input);
+        assert!(out.iter().any(|d| d.code == codes::W303_KEY_PRESSURE));
+        assert!(!out.iter().any(|d| d.code == codes::E302_KEY_EXHAUSTION));
+    }
+
+    #[test]
+    fn minimal_policy_passes() {
+        let input = AnalysisInput::new("t").components(many(2));
+        let plan = input.key_plan().unwrap();
+        let minimal = minimal_component_pkru(plan.key_of("c00").unwrap(), plan.msg_domain);
+        let input = input.policy("c00", minimal);
+        assert!(run(&input).is_empty());
+    }
+
+    #[test]
+    fn extra_grant_is_an_error() {
+        let input = AnalysisInput::new("t").components(many(2));
+        let plan = input.key_plan().unwrap();
+        let minimal = minimal_component_pkru(plan.key_of("c00").unwrap(), plan.msg_domain);
+        // Grant write access to the *other* component's domain too.
+        let wide = minimal.allowing(plan.key_of("c01").unwrap(), AccessKind::Write);
+        let input = input.policy("c00", wide);
+        let out = run(&input);
+        assert!(out.iter().any(|d| d.code == codes::E301_PKRU_OVER_WIDE));
+    }
+
+    #[test]
+    fn allow_all_policy_is_flagged() {
+        let input = AnalysisInput::new("t")
+            .components(many(2))
+            .policy("c00", Pkru::allow_all());
+        assert!(run(&input)
+            .iter()
+            .any(|d| d.code == codes::E301_PKRU_OVER_WIDE));
+    }
+}

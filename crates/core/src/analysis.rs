@@ -1,0 +1,132 @@
+//! Pre-boot static analysis of a configuration.
+//!
+//! [`SystemBuilder::build`](crate::SystemBuilder::build) calls
+//! [`analyze_configuration`] before registering any protection domain and
+//! refuses to boot a configuration with error-severity findings (opt out
+//! with [`allow_analysis_errors`](crate::SystemBuilder::allow_analysis_errors)).
+//! The `vampos-lint` binary uses the same entry point to report on the
+//! built-in component sets.
+
+use vampos_analyze::{analyze, AnalysisInput, AnalysisReport};
+use vampos_host::HostHandle;
+use vampos_oslib::{Lwip, NetDev, NinePFs, Process, SysInfo, Timer, User, Vfs, Virtio};
+use vampos_ukernel::{ComponentBox, ComponentDescriptor, OsError};
+
+use crate::config::{ComponentSet, Mode};
+
+/// Instantiates a built-in component by name, attached to `host`.
+///
+/// # Errors
+///
+/// [`OsError::UnknownComponent`] for names outside the built-in set.
+pub fn instantiate(name: &str, host: &HostHandle) -> Result<ComponentBox, OsError> {
+    Ok(match name {
+        "process" => Box::new(Process::new()),
+        "sysinfo" => Box::new(SysInfo::new()),
+        "user" => Box::new(User::new()),
+        "timer" => Box::new(Timer::new()),
+        "netdev" => Box::new(NetDev::new()),
+        "virtio" => Box::new(Virtio::new(host.clone())),
+        "9pfs" => Box::new(NinePFs::new()),
+        "lwip" => Box::new(Lwip::new()),
+        "vfs" => Box::new(Vfs::new()),
+        other => return Err(OsError::UnknownComponent(other.to_owned())),
+    })
+}
+
+/// The descriptors of a component set's built-in components, in boot order.
+///
+/// # Errors
+///
+/// [`OsError::UnknownComponent`] when the set names an unknown component.
+pub fn describe_component_set(set: &ComponentSet) -> Result<Vec<ComponentDescriptor>, OsError> {
+    let host = HostHandle::new();
+    set.components()
+        .iter()
+        .map(|&name| Ok(instantiate(name, &host)?.descriptor().clone()))
+        .collect()
+}
+
+/// Builds the analyzer input for a configuration: the set's descriptors
+/// plus the mode's merge groups. Hardware protection keys are assumed (the
+/// runtime registers against [`vampos_mpk::KeyRegistry::hardware`]).
+///
+/// # Errors
+///
+/// [`OsError::UnknownComponent`] when the set names an unknown component.
+pub fn analysis_input(set: &ComponentSet, mode: &Mode) -> Result<AnalysisInput, OsError> {
+    let merges = mode
+        .vamp_config()
+        .map(|c| c.merges.clone())
+        .unwrap_or_default();
+    Ok(AnalysisInput::new(set.name())
+        .components(describe_component_set(set)?)
+        .merges(&merges))
+}
+
+/// Analyzes a configuration as `build` would.
+///
+/// # Errors
+///
+/// [`OsError::UnknownComponent`] when the set names an unknown component.
+pub fn analyze_configuration(set: &ComponentSet, mode: &Mode) -> Result<AnalysisReport, OsError> {
+    Ok(analyze(&analysis_input(set, mode)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shipped_sets_have_no_error_findings() {
+        for set in [
+            ComponentSet::sqlite(),
+            ComponentSet::nginx(),
+            ComponentSet::redis(),
+            ComponentSet::echo(),
+        ] {
+            for mode in [
+                Mode::vampos_das(),
+                Mode::vampos_noop(),
+                Mode::vampos_fsm(),
+                Mode::vampos_netm(),
+            ] {
+                let report = analyze_configuration(&set, &mode).unwrap();
+                assert!(
+                    report.is_clean(),
+                    "{} / {}: {}",
+                    set.name(),
+                    mode.label(),
+                    report.render()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sqlite_set_warns_about_the_dangling_lwip_dependency() {
+        // VFS declares a dependency on LWIP for its socket passthroughs, but
+        // SQLite's image links no network stack.
+        let report = analyze_configuration(&ComponentSet::sqlite(), &Mode::vampos_das()).unwrap();
+        assert!(report.has(vampos_analyze::codes::W102_DANGLING_DEPENDENCY));
+    }
+
+    #[test]
+    fn virtio_is_flagged_as_a_recovery_path_hazard() {
+        let report = analyze_configuration(&ComponentSet::nginx(), &Mode::vampos_das()).unwrap();
+        let w103: Vec<_> = report
+            .with_code(vampos_analyze::codes::W103_UNREBOOTABLE_ON_RECOVERY_PATH)
+            .collect();
+        assert_eq!(w103.len(), 1);
+        assert_eq!(w103[0].component.as_deref(), Some("virtio"));
+    }
+
+    #[test]
+    fn unknown_component_is_rejected() {
+        let host = HostHandle::new();
+        assert!(matches!(
+            instantiate("nope", &host),
+            Err(OsError::UnknownComponent(_))
+        ));
+    }
+}

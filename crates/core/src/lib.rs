@@ -31,6 +31,7 @@
 //! # Ok::<(), vampos_ukernel::OsError>(())
 //! ```
 
+pub mod analysis;
 pub mod config;
 pub mod faults;
 pub mod funclog;
@@ -40,6 +41,7 @@ pub mod resilience;
 pub mod runtime;
 pub mod stats;
 
+pub use analysis::{analyze_configuration, describe_component_set};
 pub use config::{ComponentSet, Mode, SchedulerKind, VampConfig};
 pub use faults::{FaultKind, InjectedFault};
 pub use funclog::{DownRec, FunctionLog, LogEntry};

@@ -6,7 +6,6 @@ use std::collections::HashMap;
 use vampos_host::HostHandle;
 use vampos_mem::Snapshot;
 use vampos_mpk::{AccessKind, DomainId, KeyRegistry, Pkru};
-use vampos_oslib::{Lwip, NetDev, NinePFs, Process, SysInfo, Timer, User, Vfs, Virtio};
 use vampos_sim::{CostModel, EventTrace, Nanos, SimClock, SimRng, TraceEvent};
 use vampos_ukernel::{names, CallContext, ComponentBox, ComponentDescriptor, OsError, Value};
 
@@ -114,6 +113,7 @@ pub struct SystemBuilder {
     extra: Vec<ComponentBox>,
     graceful: bool,
     alternates: Vec<ComponentBox>,
+    allow_analysis_errors: bool,
 }
 
 impl std::fmt::Debug for SystemBuilder {
@@ -139,6 +139,7 @@ impl Default for SystemBuilder {
             extra: Vec::new(),
             graceful: false,
             alternates: Vec::new(),
+            allow_analysis_errors: false,
         }
     }
 }
@@ -204,6 +205,15 @@ impl SystemBuilder {
         self
     }
 
+    /// Boots the system even when pre-boot static analysis finds
+    /// error-severity problems. Intended for experiments that deliberately
+    /// construct broken configurations (fault-injection studies, analyzer
+    /// tests); production configurations should fix the findings instead.
+    pub fn allow_analysis_errors(mut self) -> Self {
+        self.allow_analysis_errors = true;
+        self
+    }
+
     /// Links an additional, user-defined component into the unikernel.
     /// The component gets its own protection domain, message domain and
     /// function log, and participates in reboots and rejuvenation exactly
@@ -245,24 +255,29 @@ impl SystemBuilder {
         let mut by_name = HashMap::new();
         let mut boot_components: Vec<(String, ComponentBox)> = Vec::new();
         for &name in self.set.components() {
-            let comp: ComponentBox = match name {
-                "process" => Box::new(Process::new()),
-                "sysinfo" => Box::new(SysInfo::new()),
-                "user" => Box::new(User::new()),
-                "timer" => Box::new(Timer::new()),
-                "netdev" => Box::new(NetDev::new()),
-                "virtio" => Box::new(Virtio::new(host.clone())),
-                "9pfs" => Box::new(NinePFs::new()),
-                "lwip" => Box::new(Lwip::new()),
-                "vfs" => Box::new(Vfs::new()),
-                other => return Err(OsError::UnknownComponent(other.to_owned())),
-            };
+            let comp = crate::analysis::instantiate(name, &host)?;
             boot_components.push((name.to_owned(), comp));
         }
         for comp in self.extra {
             let name = comp.descriptor().name().as_str().to_owned();
             boot_components.push((name, comp));
         }
+
+        // Pre-boot static analysis over the full configuration (built-ins
+        // plus user-defined extras). Error-severity findings abort the boot
+        // unless the caller opted out.
+        let analysis_input = vampos_analyze::AnalysisInput::new(self.set.name())
+            .components(boot_components.iter().map(|(_, c)| c.descriptor().clone()))
+            .merges(&merges)
+            .virtualized(mpk.is_virtualized());
+        let report = vampos_analyze::analyze(&analysis_input);
+        if !report.is_clean() && !self.allow_analysis_errors {
+            return Err(OsError::AnalysisRejected {
+                errors: report.error_count(),
+                report: report.render(),
+            });
+        }
+
         for (name, comp) in boot_components {
             let name = name.as_str();
             let desc = comp.descriptor().clone();

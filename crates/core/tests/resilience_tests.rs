@@ -102,6 +102,7 @@ impl Counter {
         Counter {
             desc: ComponentDescriptor::new("counter", ArenaLayout::small())
                 .stateful()
+                .checkpoint_init()
                 .logs(&["bump"]),
             arena: MemoryArena::new("counter", ArenaLayout::small()),
             count: 0,
@@ -325,7 +326,7 @@ impl Component for Undeclared {
 
 #[test]
 fn undeclared_dependencies_mispredict_and_cost_more() {
-    let mut run = |declare: bool| {
+    let run = |declare: bool| {
         let mut sys = System::builder()
             .mode(Mode::vampos_das())
             .components(ComponentSet::echo())

@@ -16,10 +16,8 @@
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// TCP header flags (the subset the simulation uses).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct TcpFlags {
     /// Synchronise sequence numbers.
     pub syn: bool,
@@ -92,7 +90,7 @@ impl fmt::Display for TcpFlags {
 }
 
 /// One simulated TCP segment on the wire.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Frame {
     /// Sender's port.
     pub src_port: u16,
@@ -116,11 +114,11 @@ impl Frame {
 }
 
 /// Identifies one client connection on the host side.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ClientConnId(pub u64);
 
 /// Lifecycle of a client connection.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ClientConnState {
     /// SYN sent, waiting for SYN-ACK.
     SynSent,

@@ -11,12 +11,8 @@ use std::collections::{BTreeMap, HashMap};
 use std::error::Error;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// A fid: the client-chosen handle a 9P session uses to name a file.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Fid(pub u32);
 
 impl fmt::Display for Fid {
@@ -26,7 +22,7 @@ impl fmt::Display for Fid {
 }
 
 /// A qid: the server's stable identity for a file (path id + version).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Qid {
     /// Unique node id.
     pub path: u64,
@@ -37,7 +33,7 @@ pub struct Qid {
 }
 
 /// Errors returned by the 9P server.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum NinePError {
     /// Path component not found during walk.
     NotFound(String),
@@ -72,7 +68,7 @@ impl fmt::Display for NinePError {
 impl Error for NinePError {}
 
 /// A request from the guest's 9PFS component.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum NinePRequest {
     /// Bind `fid` to the filesystem root.
     Attach {
@@ -153,7 +149,7 @@ pub enum NinePRequest {
 }
 
 /// A response from the server.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum NinePResponse {
     /// Successful attach/walk/open/create/mkdir: the file's qid.
     Qid(Qid),

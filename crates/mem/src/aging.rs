@@ -7,8 +7,6 @@
 //! effects per component so experiments can (a) inject aging at a configured
 //! rate and (b) verify that a reboot clears it.
 
-use serde::{Deserialize, Serialize};
-
 /// Per-component software-aging counters.
 ///
 /// # Example
@@ -23,7 +21,7 @@ use serde::{Deserialize, Serialize};
 /// aging.rejuvenate();
 /// assert_eq!(aging.leaked_bytes(), 0);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct AgingState {
     leaked_bytes: u64,
     leak_events: u64,

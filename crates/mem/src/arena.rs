@@ -3,17 +3,13 @@
 use std::error::Error;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::aging::AgingState;
 use crate::buddy::{BuddyAllocator, BuddyError};
 use crate::region::{Region, RegionKind};
 use crate::snapshot::Snapshot;
 
 /// An address in a component's local address space.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Addr(pub u64);
 
 impl fmt::Display for Addr {
@@ -27,7 +23,7 @@ impl fmt::Display for Addr {
 /// The handle is deliberately `Copy`-free: dropping it does **not** free the
 /// block (that would hide leaks — the very thing the aging experiments
 /// inject); call [`MemoryArena::free`] explicitly.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AllocHandle {
     addr: Addr,
     len: usize,
@@ -51,7 +47,7 @@ impl AllocHandle {
 }
 
 /// Sizes for each region of a component arena.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ArenaLayout {
     /// Text (code) bytes; read-only.
     pub text: usize,
@@ -184,7 +180,7 @@ impl From<BuddyError> for MemError {
 /// arena.free(&buf)?;
 /// # Ok::<(), vampos_mem::MemError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MemoryArena {
     name: String,
     layout: ArenaLayout,

@@ -10,8 +10,6 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::error::Error;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Errors returned by [`BuddyAllocator`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BuddyError {
@@ -60,7 +58,7 @@ impl Error for BuddyError {}
 /// assert_eq!(heap.free_bytes(), 1 << 16); // fully coalesced
 /// # Ok::<(), vampos_mem::BuddyError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BuddyAllocator {
     size: usize,
     min_block: usize,

@@ -2,14 +2,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// The kind of a memory region inside a component.
 ///
 /// Mirrors the segments the paper's prototype places per component: the
 /// read-only text, the initialised `.data`, zero-initialised `.bss`, the
 /// buddy-managed heap, and the component thread's stack.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum RegionKind {
     /// Executable code; read-only.
     Text,
@@ -54,7 +52,7 @@ impl fmt::Display for RegionKind {
 
 /// One contiguous memory region: a kind, a base address in the component's
 /// local address space, and backing bytes.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Region {
     kind: RegionKind,
     base: u64,

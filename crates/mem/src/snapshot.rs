@@ -6,8 +6,6 @@
 //! components and perturb their state. A [`Snapshot`] is that image: every
 //! region's bytes plus the allocator and aging state at capture time.
 
-use serde::{Deserialize, Serialize};
-
 use crate::aging::AgingState;
 use crate::buddy::BuddyAllocator;
 use crate::region::RegionKind;
@@ -19,7 +17,7 @@ use crate::region::RegionKind;
 /// total byte size ([`Snapshot::byte_len`]) drives the restore-time cost
 /// model — the paper found snapshot loading to be the dominant factor in
 /// stateful component reboot times (Fig. 6).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Snapshot {
     pub(crate) arena_name: String,
     pub(crate) regions: Vec<(RegionKind, Vec<u8>)>,

@@ -36,7 +36,9 @@
 //! ```
 
 pub mod pkru;
+pub mod policy;
 pub mod registry;
 
-pub use pkru::{AccessKind, Pkru, ProtKey};
+pub use pkru::{AccessKind, Pkru, ProtKey, HW_KEYS};
+pub use policy::{derive_minimal, minimal_component_pkru};
 pub use registry::{DomainId, KeyRegistry, MpkError, MpkViolation};

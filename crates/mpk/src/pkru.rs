@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
+use crate::registry::MpkError;
 
 /// Number of hardware protection keys (Intel MPK).
 pub const HW_KEYS: u8 = 16;
@@ -12,25 +12,41 @@ pub const HW_KEYS: u8 = 16;
 /// Key 0 is conventionally the *default* key covering memory that every
 /// thread may touch (in VampOS: nothing — even the application gets its own
 /// key, see §VI's tag accounting).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct ProtKey(u8);
 
 impl ProtKey {
+    /// Creates a key, rejecting indices outside the 16 hardware keys.
+    ///
+    /// # Errors
+    ///
+    /// [`MpkError::KeyOutOfRange`] if `k >= 16`.
+    pub fn try_new(k: u8) -> Result<Self, MpkError> {
+        if k < HW_KEYS {
+            Ok(ProtKey(k))
+        } else {
+            Err(MpkError::KeyOutOfRange(k))
+        }
+    }
+
     /// Creates a key.
     ///
     /// # Panics
     ///
-    /// Panics if `k >= 16` (MPK has 16 hardware keys).
+    /// Panics if `k >= 16` (MPK has 16 hardware keys). Fallible callers
+    /// should use [`ProtKey::try_new`].
     pub fn new(k: u8) -> Self {
-        assert!(k < HW_KEYS, "hardware protection key out of range: {k}");
-        ProtKey(k)
+        Self::try_new(k).expect("hardware protection key out of range")
     }
 
     /// The raw key index (0..16).
     pub fn index(self) -> u8 {
         self.0
+    }
+
+    /// All 16 hardware keys, in index order.
+    pub fn all() -> impl Iterator<Item = ProtKey> {
+        (0..HW_KEYS).map(ProtKey)
     }
 }
 
@@ -41,7 +57,7 @@ impl fmt::Display for ProtKey {
 }
 
 /// The kind of memory access being checked.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AccessKind {
     /// A load.
     Read,
@@ -77,7 +93,7 @@ impl fmt::Display for AccessKind {
 /// assert!(pkru.permits(k, AccessKind::Read));
 /// assert!(!pkru.permits(k, AccessKind::Write));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Pkru(u32);
 
 impl Pkru {
@@ -128,6 +144,50 @@ impl Pkru {
             AccessKind::Read => true,
             AccessKind::Write => self.0 & Self::wd_bit(key) == 0,
         }
+    }
+
+    /// The widest access this register grants on `key`, if any.
+    pub fn grant(self, key: ProtKey) -> Option<AccessKind> {
+        if self.permits(key, AccessKind::Write) {
+            Some(AccessKind::Write)
+        } else if self.permits(key, AccessKind::Read) {
+            Some(AccessKind::Read)
+        } else {
+            None
+        }
+    }
+
+    /// Every `(key, widest access)` pair this register grants, in key order.
+    /// The unit the least-privilege checker compares.
+    pub fn grants(self) -> Vec<(ProtKey, AccessKind)> {
+        ProtKey::all()
+            .filter_map(|k| self.grant(k).map(|a| (k, a)))
+            .collect()
+    }
+
+    /// Number of keys this register grants any access to.
+    pub fn grant_count(self) -> usize {
+        ProtKey::all().filter(|&k| self.grant(k).is_some()).count()
+    }
+
+    /// Whether every grant in `self` is also granted (at least as widely)
+    /// by `other` — i.e. `self` is least-privilege relative to `other`.
+    pub fn is_subset_of(self, other: Pkru) -> bool {
+        ProtKey::all().all(|k| match self.grant(k) {
+            None => true,
+            Some(kind) => other.permits(k, kind),
+        })
+    }
+
+    /// The grants present in `self` but not (as widely) in `other` — the
+    /// over-wide remainder a least-privilege audit reports.
+    pub fn excess_over(self, other: Pkru) -> Vec<(ProtKey, AccessKind)> {
+        ProtKey::all()
+            .filter_map(|k| match self.grant(k) {
+                Some(kind) if !other.permits(k, kind) => Some((k, kind)),
+                _ => None,
+            })
+            .collect()
     }
 
     /// The raw 32-bit register value.

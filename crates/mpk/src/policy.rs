@@ -1,0 +1,94 @@
+//! Least-privilege PKRU policy derivation (§V-D).
+//!
+//! VampOS gives each dispatched component thread exactly two grants: full
+//! access to the component's own protection domain and read access to the
+//! message domain. Everything else — other components, the scheduler, the
+//! application — stays disabled; cross-component interaction happens by
+//! message passing, never by direct loads or stores, so no wider grant is
+//! ever justified. This module derives that minimal register so tooling
+//! (the static analyzer, the lint binary) can compare a configured or
+//! observed PKRU against it and flag the over-wide remainder.
+
+use crate::pkru::{AccessKind, Pkru};
+use crate::registry::{KeyRegistry, MpkError};
+use crate::ProtKey;
+
+/// The minimal PKRU for a component thread: write access to its own
+/// domain key, read access to the message-domain key, all else denied.
+///
+/// Merged components share one key (§V-F), so each member derives the same
+/// register from the group's shared `own` key.
+pub fn minimal_component_pkru(own: ProtKey, msg_domain: ProtKey) -> Pkru {
+    Pkru::deny_all()
+        .allowing(own, AccessKind::Write)
+        .allowing(msg_domain, AccessKind::Read)
+}
+
+/// Derives the minimal PKRU for a named component from the registry,
+/// resolving (and, in virtualized mode, possibly remapping) both the
+/// component's key and the message domain's key.
+///
+/// # Errors
+///
+/// [`MpkError::UnknownDomain`] when either name is unregistered.
+pub fn derive_minimal(
+    registry: &mut KeyRegistry,
+    component: &str,
+    msg_domain: &str,
+) -> Result<Pkru, MpkError> {
+    let own_id = registry
+        .domain(component)
+        .ok_or(MpkError::UnknownDomain(crate::DomainId(u32::MAX)))?;
+    let msg_id = registry
+        .domain(msg_domain)
+        .ok_or(MpkError::UnknownDomain(crate::DomainId(u32::MAX)))?;
+    let own = registry.physical(own_id)?;
+    let msg = registry.physical(msg_id)?;
+    Ok(minimal_component_pkru(own, msg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_policy_has_exactly_two_grants() {
+        let own = ProtKey::new(4);
+        let msg = ProtKey::new(10);
+        let p = minimal_component_pkru(own, msg);
+        assert_eq!(
+            p.grants(),
+            vec![(own, AccessKind::Write), (msg, AccessKind::Read)]
+        );
+        assert_eq!(p.grant_count(), 2);
+        assert!(!p.permits(msg, AccessKind::Write));
+    }
+
+    #[test]
+    fn subset_and_excess_detect_over_wide_grants() {
+        let own = ProtKey::new(1);
+        let msg = ProtKey::new(2);
+        let stray = ProtKey::new(9);
+        let minimal = minimal_component_pkru(own, msg);
+        let wide = minimal.allowing(stray, AccessKind::Write);
+        assert!(minimal.is_subset_of(wide));
+        assert!(!wide.is_subset_of(minimal));
+        assert_eq!(wide.excess_over(minimal), vec![(stray, AccessKind::Write)]);
+        // Widening msg read → write is also excess.
+        let escalated = minimal.allowing(msg, AccessKind::Write);
+        assert_eq!(
+            escalated.excess_over(minimal),
+            vec![(msg, AccessKind::Write)]
+        );
+    }
+
+    #[test]
+    fn derive_minimal_resolves_registry_keys() {
+        let mut reg = KeyRegistry::hardware();
+        reg.register("vfs").unwrap();
+        reg.register("msgdom").unwrap();
+        let p = derive_minimal(&mut reg, "vfs", "msgdom").unwrap();
+        assert_eq!(p.grant_count(), 2);
+        assert!(derive_minimal(&mut reg, "nope", "msgdom").is_err());
+    }
+}

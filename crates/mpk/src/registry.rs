@@ -5,13 +5,11 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::pkru::{AccessKind, ProtKey, HW_KEYS};
 
 /// A named protection domain (one per component, plus the application, the
 /// message domain, and the thread scheduler — §VI's tag accounting).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DomainId(pub u32);
 
 impl fmt::Display for DomainId {
@@ -35,6 +33,8 @@ pub enum MpkError {
     UnknownDomain(DomainId),
     /// A domain name was registered twice.
     DuplicateDomain(String),
+    /// A raw key index outside the 16 hardware keys.
+    KeyOutOfRange(u8),
 }
 
 impl fmt::Display for MpkError {
@@ -46,6 +46,9 @@ impl fmt::Display for MpkError {
             MpkError::UnknownDomain(d) => write!(f, "unknown protection domain {d}"),
             MpkError::DuplicateDomain(name) => {
                 write!(f, "protection domain {name} registered twice")
+            }
+            MpkError::KeyOutOfRange(k) => {
+                write!(f, "hardware protection key out of range: {k}")
             }
         }
     }
@@ -163,7 +166,7 @@ impl KeyRegistry {
         self.key_owner
             .iter()
             .position(|o| o.is_none())
-            .map(|i| ProtKey::new(i as u8))
+            .and_then(|i| ProtKey::try_new(i as u8).ok())
     }
 
     fn bind(&mut self, id: DomainId, key: ProtKey) {
@@ -189,7 +192,7 @@ impl KeyRegistry {
             return Ok(key);
         }
         // Evict round-robin.
-        let victim = ProtKey::new(self.next_victim);
+        let victim = ProtKey::try_new(self.next_victim)?;
         self.next_victim = (self.next_victim + 1) % HW_KEYS;
         self.bind(id, victim);
         self.remaps += 1;

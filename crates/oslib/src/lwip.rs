@@ -145,7 +145,27 @@ impl Lwip {
                     f::SHUTDOWN,
                     f::CLOSE,
                     f::IOCTL,
-                ]),
+                ])
+                .exports(&[
+                    f::SOCKET,
+                    f::BIND,
+                    f::LISTEN,
+                    f::CONNECT,
+                    f::GETSOCKOPT,
+                    f::SETSOCKOPT,
+                    f::SHUTDOWN,
+                    f::CLOSE,
+                    f::IOCTL,
+                    f::ACCEPT,
+                    f::RECV,
+                    f::SEND,
+                    f::POLL,
+                    f::READY,
+                ])
+                // accept/recv/send state is rebuilt from runtime-data
+                // extraction (TCP control blocks, §V-B); poll/ready are
+                // state-unchanged queries.
+                .replay_safe(&[f::ACCEPT, f::RECV, f::SEND, f::POLL, f::READY]),
             arena: MemoryArena::new(names::LWIP, ArenaLayout::large()),
             socks: BTreeMap::new(),
             listeners: BTreeMap::new(),

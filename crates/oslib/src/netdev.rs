@@ -30,7 +30,8 @@ impl NetDev {
     pub fn new() -> Self {
         NetDev {
             desc: ComponentDescriptor::new(names::NETDEV, ArenaLayout::medium())
-                .depends_on(&[names::VIRTIO]),
+                .depends_on(&[names::VIRTIO])
+                .exports(&[f::TX, f::RX, f::RX_BATCH]),
             arena: MemoryArena::new(names::NETDEV, ArenaLayout::medium()),
             tx_frames: 0,
             rx_frames: 0,

@@ -71,6 +71,31 @@ impl NinePFs {
                     f::LOOKUP,
                     f::INACTIVE,
                     f::MKDIR,
+                ])
+                .exports(&[
+                    f::MOUNT,
+                    f::UNMOUNT,
+                    f::OPEN,
+                    f::CLOSE,
+                    f::LOOKUP,
+                    f::INACTIVE,
+                    f::MKDIR,
+                    f::READ,
+                    f::WRITE,
+                    f::FSYNC,
+                    f::STAT_FID,
+                    f::STAT_PATH,
+                    f::REMOVE_PATH,
+                ])
+                // Data-path calls keep no component state (offsets live in
+                // VFS, file contents on the host); stat is read-only.
+                .replay_safe(&[
+                    f::READ,
+                    f::WRITE,
+                    f::FSYNC,
+                    f::STAT_FID,
+                    f::STAT_PATH,
+                    f::REMOVE_PATH,
                 ]),
             arena: MemoryArena::new(names::NINEPFS, layout),
             attached: false,

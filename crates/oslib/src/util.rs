@@ -39,7 +39,8 @@ impl Process {
     /// Creates the component.
     pub fn new() -> Self {
         Process {
-            desc: ComponentDescriptor::new(vampos_ukernel::names::PROCESS, ArenaLayout::small()),
+            desc: ComponentDescriptor::new(vampos_ukernel::names::PROCESS, ArenaLayout::small())
+                .exports(&[f::GETPID, f::GETPPID, f::GETTID]),
             arena: MemoryArena::new(vampos_ukernel::names::PROCESS, ArenaLayout::small()),
             calls: 0,
         }
@@ -92,7 +93,8 @@ impl SysInfo {
     /// Creates the component.
     pub fn new() -> Self {
         SysInfo {
-            desc: ComponentDescriptor::new(vampos_ukernel::names::SYSINFO, ArenaLayout::small()),
+            desc: ComponentDescriptor::new(vampos_ukernel::names::SYSINFO, ArenaLayout::small())
+                .exports(&[f::UNAME, f::SYSINFO, f::GETHOSTNAME]),
             arena: MemoryArena::new(vampos_ukernel::names::SYSINFO, ArenaLayout::small()),
         }
     }
@@ -147,7 +149,8 @@ impl User {
     /// Creates the component.
     pub fn new() -> Self {
         User {
-            desc: ComponentDescriptor::new(vampos_ukernel::names::USER, ArenaLayout::small()),
+            desc: ComponentDescriptor::new(vampos_ukernel::names::USER, ArenaLayout::small())
+                .exports(&[f::GETUID, f::GETEUID, f::GETGID, f::GETEGID]),
             arena: MemoryArena::new(vampos_ukernel::names::USER, ArenaLayout::small()),
         }
     }
@@ -196,7 +199,8 @@ impl Timer {
     /// Creates the component.
     pub fn new() -> Self {
         Timer {
-            desc: ComponentDescriptor::new(vampos_ukernel::names::TIMER, ArenaLayout::small()),
+            desc: ComponentDescriptor::new(vampos_ukernel::names::TIMER, ArenaLayout::small())
+                .exports(&[f::CLOCK_GETTIME, f::TIME, f::NANOSLEEP]),
             arena: MemoryArena::new(vampos_ukernel::names::TIMER, ArenaLayout::small()),
         }
     }

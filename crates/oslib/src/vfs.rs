@@ -181,6 +181,52 @@ impl Vfs {
                     f::WRITEV,
                     f::FSYNC,
                     f::ALLOC_SOCKET,
+                ])
+                .exports(&[
+                    f::CREATE,
+                    f::OPEN,
+                    f::WRITE,
+                    f::PWRITE,
+                    f::READ,
+                    f::PREAD,
+                    f::CLOSE,
+                    f::MOUNT,
+                    f::FCNTL,
+                    f::LSEEK,
+                    f::VGET,
+                    f::PIPE,
+                    f::IOCTL,
+                    f::WRITEV,
+                    f::FSYNC,
+                    f::ALLOC_SOCKET,
+                    f::FSTAT,
+                    f::STAT,
+                    f::UNLINK,
+                    f::BIND,
+                    f::LISTEN,
+                    f::CONNECT,
+                    f::SHUTDOWN,
+                    f::GETSOCKOPT,
+                    f::SETSOCKOPT,
+                    f::SET_OFFSET,
+                    f::POLL_READY,
+                ])
+                // fstat/stat/poll_ready are state-unchanged; unlink mutates
+                // host-owned state only; the socket passthroughs keep their
+                // state in LWIP (which logs them); vfs_set_offset is the
+                // synthetic entry compaction itself emits.
+                .replay_safe(&[
+                    f::FSTAT,
+                    f::STAT,
+                    f::UNLINK,
+                    f::BIND,
+                    f::LISTEN,
+                    f::CONNECT,
+                    f::SHUTDOWN,
+                    f::GETSOCKOPT,
+                    f::SETSOCKOPT,
+                    f::SET_OFFSET,
+                    f::POLL_READY,
                 ]),
             arena: MemoryArena::new(names::VFS, ArenaLayout::large()),
             fds: BTreeMap::new(),

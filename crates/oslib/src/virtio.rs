@@ -27,7 +27,10 @@ impl Virtio {
     /// Creates the component attached to `host`.
     pub fn new(host: HostHandle) -> Self {
         Virtio {
-            desc: ComponentDescriptor::new(names::VIRTIO, ArenaLayout::medium()).unrebootable(),
+            desc: ComponentDescriptor::new(names::VIRTIO, ArenaLayout::medium())
+                .host_shared()
+                .unrebootable()
+                .exports(&[f::NINEP, f::NET_TX, f::NET_RX, f::NET_RX_BATCH]),
             arena: MemoryArena::new(names::VIRTIO, ArenaLayout::medium()),
             host,
             transactions: 0,

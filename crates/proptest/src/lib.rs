@@ -1,0 +1,400 @@
+//! An offline, in-workspace stand-in for the [proptest](https://proptest-rs.github.io/)
+//! crate.
+//!
+//! The build environment has no network access, so the real crate cannot be
+//! fetched; this shim implements the subset of its API that the workspace's
+//! property tests use, with the same source-level syntax:
+//!
+//! - [`Strategy`] with [`Strategy::prop_map`] and [`Strategy::boxed`]
+//! - integer range strategies (`0u8..6`, `0u8..=255`), tuple strategies,
+//!   [`Just`], [`any`], and [`collection::vec`]
+//! - the [`proptest!`], [`prop_oneof!`], [`prop_assert!`] and
+//!   [`prop_assert_eq!`] macros, including `#![proptest_config(..)]`
+//!
+//! Differences from the real crate: generation is a fixed deterministic
+//! sequence per test (seeded from the test name), there is **no shrinking**,
+//! and `*.proptest-regressions` files are ignored. On failure the shim
+//! prints the generated inputs of the failing case before propagating the
+//! panic, which together with determinism makes failures reproducible.
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod collection;
+
+/// Deterministic test RNG (splitmix64).
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Creates an RNG from a raw seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng(seed ^ 0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// Seeds deterministically from a test name (FNV-1a), so every test
+    /// sees its own reproducible input sequence.
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng::new(h)
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u128) -> u128 {
+        debug_assert!(bound > 0);
+        let wide = ((self.next_u64() as u128) << 64) | self.next_u64() as u128;
+        wide % bound
+    }
+}
+
+/// Run-time configuration of a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of values for property tests.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (used by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// A boxed, type-erased strategy.
+pub struct BoxedStrategy<V>(Box<dyn Strategy<Value = V>>);
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.0.generate(rng)
+    }
+}
+
+/// The [`Strategy::prop_map`] combinator.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy that always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// A strategy producing any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = self.end as i128 - self.start as i128;
+                (self.start as i128 + rng.below(span as u128) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = *self.end() as i128 - *self.start() as i128 + 1;
+                (*self.start() as i128 + rng.below(span as u128) as i128) as $t
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+tuple_strategy!(A, B, C, D, E, F, G, H, I);
+tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+
+/// A weighted union of boxed strategies (built by [`prop_oneof!`]).
+pub struct Union<V> {
+    arms: Vec<(u32, BoxedStrategy<V>)>,
+}
+
+impl<V> Union<V> {
+    /// Creates a union; weights must not all be zero.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        assert!(arms.iter().any(|(w, _)| *w > 0), "all weights zero");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let total: u64 = self.arms.iter().map(|(w, _)| *w as u64).sum();
+        let mut pick = rng.below(total as u128) as u64;
+        for (w, s) in &self.arms {
+            if pick < *w as u64 {
+                return s.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weighted pick out of range")
+    }
+}
+
+/// The common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, BoxedStrategy, Just,
+        ProptestConfig, Strategy, TestRng,
+    };
+}
+
+/// Defines property tests. Mirrors proptest's macro syntax:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn my_property(x in 0u8..10, ops in collection::vec(op(), 1..50)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    ( cfg = $cfg:expr;
+      $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::from_name(stringify!($name));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    let inputs =
+                        format!(concat!($(stringify!($arg), " = {:?}; "),+), $(&$arg),+);
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(move || $body),
+                    );
+                    if let Err(payload) = outcome {
+                        eprintln!(
+                            "[proptest] {} failed at case {}/{} with inputs: {}",
+                            stringify!($name), case + 1, config.cases, inputs,
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Picks among strategies, optionally weighted (`3 => strat`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $weight:literal => $strat:expr ),+ $(,)? ) => {
+        $crate::Union::new(vec![
+            $( (($weight) as u32, $crate::Strategy::boxed($strat)) ),+
+        ])
+    };
+    ( $( $strat:expr ),+ $(,)? ) => {
+        $crate::Union::new(vec![
+            $( (1u32, $crate::Strategy::boxed($strat)) ),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_name("ranges");
+        for _ in 0..1000 {
+            let v = (3u8..7).generate(&mut rng);
+            assert!((3..7).contains(&v));
+            let w = (0u8..=255).generate(&mut rng);
+            let _ = w; // full domain: only checks no panic
+            let x = (10usize..=10).generate(&mut rng);
+            assert_eq!(x, 10);
+        }
+    }
+
+    #[test]
+    fn determinism_per_name() {
+        let mut a = TestRng::from_name("t");
+        let mut b = TestRng::from_name("t");
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn union_respects_zero_weight() {
+        let u = prop_oneof![0 => Just(1u8), 1 => Just(2u8)];
+        let mut rng = TestRng::from_name("union");
+        for _ in 0..100 {
+            assert_eq!(u.generate(&mut rng), 2);
+        }
+    }
+
+    #[test]
+    fn vec_lengths_in_range() {
+        let s = crate::collection::vec(0u8..10, 2..5);
+        let mut rng = TestRng::from_name("vec");
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        /// The macro itself: generated tuples map correctly.
+        #[test]
+        fn macro_round_trip(pair in (0u8..4, 1u8..9).prop_map(|(a, b)| (a, b))) {
+            prop_assert!(pair.0 < 4);
+            prop_assert!((1..9).contains(&pair.1));
+        }
+    }
+}

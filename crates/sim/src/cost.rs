@@ -7,8 +7,6 @@
 //! the numbers reported for the authors' Xeon testbed but are not expected to
 //! match them, since the substrate is a simulator.
 
-use serde::{Deserialize, Serialize};
-
 use crate::time::Nanos;
 
 /// Tunable cost constants for the simulation, in virtual nanoseconds.
@@ -23,7 +21,7 @@ use crate::time::Nanos;
 /// m.mpk_switch = Nanos::ZERO; // ablate isolation cost
 /// assert!(m.message_hop_cost(222, true) > Nanos::ZERO);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CostModel {
     /// A direct (vanilla Unikraft) cross-component function call.
     pub direct_call: Nanos,

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::time::Nanos;
 
 /// Online mean / standard deviation / extrema over a stream of samples
@@ -21,7 +19,7 @@ use crate::time::Nanos;
 /// assert_eq!(s.mean(), 2.0);
 /// assert_eq!(s.count(), 3);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Summary {
     count: u64,
     mean: f64,
@@ -150,7 +148,7 @@ impl fmt::Display for Summary {
 /// assert_eq!(h.percentile(50.0), 50.0);
 /// assert_eq!(h.percentile(99.0), 99.0);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Histogram {
     samples: Vec<f64>,
     sorted: bool,

@@ -6,8 +6,6 @@ use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 use std::rc::Rc;
 
-use serde::{Deserialize, Serialize};
-
 /// A duration or instant in virtual time, measured in nanoseconds.
 ///
 /// `Nanos` is used both as a point on the simulation timeline (the value of
@@ -25,9 +23,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!((a + b).as_nanos(), 2_500);
 /// assert_eq!((b - a), Nanos::ZERO); // saturating
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Nanos(u64);
 
 impl Nanos {

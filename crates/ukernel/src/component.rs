@@ -3,8 +3,6 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use vampos_mem::{ArenaLayout, MemoryArena};
 use vampos_sim::{CostModel, Nanos, SimRng};
 
@@ -12,7 +10,7 @@ use crate::error::OsError;
 use crate::value::Value;
 
 /// A component's name (also its protection-domain name).
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ComponentName(String);
 
 impl ComponentName {
@@ -75,8 +73,12 @@ pub struct ComponentDescriptor {
     rebootable: bool,
     hang_exempt: bool,
     checkpoint_init: bool,
+    host_shared: bool,
+    host_handshake: bool,
     dependencies: Vec<ComponentName>,
     logged: BTreeSet<&'static str>,
+    exports: BTreeSet<&'static str>,
+    replay_safe: BTreeSet<&'static str>,
     layout: ArenaLayout,
 }
 
@@ -90,8 +92,12 @@ impl ComponentDescriptor {
             rebootable: true,
             hang_exempt: false,
             checkpoint_init: false,
+            host_shared: false,
+            host_handshake: false,
             dependencies: Vec::new(),
             logged: BTreeSet::new(),
+            exports: BTreeSet::new(),
+            replay_safe: BTreeSet::new(),
             layout,
         }
     }
@@ -128,6 +134,26 @@ impl ComponentDescriptor {
         self
     }
 
+    /// Marks the component's state as shared with the host (VIRTIO's rings
+    /// in the prototypes, §VIII). A host-shared component is only safely
+    /// rebootable if it also performs a host re-handshake
+    /// ([`ComponentDescriptor::host_handshake`]); otherwise a local reboot
+    /// desynchronises the two sides.
+    #[must_use]
+    pub fn host_shared(mut self) -> Self {
+        self.host_shared = true;
+        self
+    }
+
+    /// Declares that the component renegotiates its host-shared state on
+    /// reboot (device reset + feature re-negotiation), making a
+    /// [`ComponentDescriptor::host_shared`] component rebootable.
+    #[must_use]
+    pub fn host_handshake(mut self) -> Self {
+        self.host_handshake = true;
+        self
+    }
+
     /// Declares the components this one sends messages to (the input of
     /// dependency-aware scheduling, §V-C).
     #[must_use]
@@ -142,6 +168,28 @@ impl ComponentDescriptor {
     #[must_use]
     pub fn logs(mut self, funcs: &[&'static str]) -> Self {
         self.logged = funcs.iter().copied().collect();
+        self
+    }
+
+    /// Declares the component's complete interface (paper Table I): every
+    /// function callers may invoke. Static analysis checks that each export
+    /// of a stateful component is either logged or declared replay-safe —
+    /// an export that is neither would leave restoration incomplete.
+    /// Leaving the set empty means "interface undeclared"; coverage checks
+    /// are then skipped.
+    #[must_use]
+    pub fn exports(mut self, funcs: &[&'static str]) -> Self {
+        self.exports = funcs.iter().copied().collect();
+        self
+    }
+
+    /// Declares exports whose calls need no log entry for restoration:
+    /// read-only functions (`fstat`), functions whose effects live in
+    /// host-owned state (`unlink`), and functions whose state is rebuilt
+    /// from runtime-data extraction instead of replay (`accept`, §V-B).
+    #[must_use]
+    pub fn replay_safe(mut self, funcs: &[&'static str]) -> Self {
+        self.replay_safe = funcs.iter().copied().collect();
         self
     }
 
@@ -170,6 +218,16 @@ impl ComponentDescriptor {
         self.checkpoint_init
     }
 
+    /// Whether the component's state is shared with the host (§VIII).
+    pub fn is_host_shared(&self) -> bool {
+        self.host_shared
+    }
+
+    /// Whether the component renegotiates host-shared state on reboot.
+    pub fn has_host_handshake(&self) -> bool {
+        self.host_handshake
+    }
+
     /// Declared message targets.
     pub fn dependencies(&self) -> &[ComponentName] {
         &self.dependencies
@@ -185,6 +243,33 @@ impl ComponentDescriptor {
         self.logged.iter().copied()
     }
 
+    /// Whether the component declares its interface (a non-empty
+    /// [`ComponentDescriptor::exports`] set).
+    pub fn declares_interface(&self) -> bool {
+        !self.exports.is_empty()
+    }
+
+    /// Whether `func` is part of the declared interface.
+    pub fn is_exported(&self, func: &str) -> bool {
+        self.exports.contains(func)
+    }
+
+    /// The declared interface, in name order.
+    pub fn exported_functions(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.exports.iter().copied()
+    }
+
+    /// Whether `func` is declared replay-safe (restorable without a log
+    /// entry).
+    pub fn is_replay_safe(&self, func: &str) -> bool {
+        self.replay_safe.contains(func)
+    }
+
+    /// The declared replay-safe set, in name order.
+    pub fn replay_safe_functions(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.replay_safe.iter().copied()
+    }
+
     /// The component's memory layout.
     pub fn layout(&self) -> &ArenaLayout {
         &self.layout
@@ -195,7 +280,7 @@ impl ComponentDescriptor {
 /// (§V-F). Sessions are keyed by a component-chosen `u64` (fd numbers in
 /// VFS, socket fds in LWIP, fids in 9PFS; components may carve namespaces
 /// out of the key space, e.g. VFS tags vnode sessions with a high bit).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SessionEvent {
     /// Not tied to a session; the entry is always kept (e.g. `mount`).
     None,
@@ -463,6 +548,37 @@ mod tests {
     fn unrebootable_flag() {
         let d = ComponentDescriptor::new("virtio", ArenaLayout::small()).unrebootable();
         assert!(!d.is_rebootable());
+    }
+
+    #[test]
+    fn host_sharing_flags() {
+        let d = ComponentDescriptor::new("virtio", ArenaLayout::small())
+            .host_shared()
+            .unrebootable();
+        assert!(d.is_host_shared());
+        assert!(!d.has_host_handshake());
+        let d2 = ComponentDescriptor::new("virtio2", ArenaLayout::small())
+            .host_shared()
+            .host_handshake();
+        assert!(d2.has_host_handshake());
+    }
+
+    #[test]
+    fn interface_declaration() {
+        let d = ComponentDescriptor::new("vfs", ArenaLayout::small())
+            .stateful()
+            .logs(&["open", "close"])
+            .exports(&["open", "close", "fstat"])
+            .replay_safe(&["fstat"]);
+        assert!(d.declares_interface());
+        assert!(d.is_exported("open"));
+        assert!(!d.is_exported("nope"));
+        assert!(d.is_replay_safe("fstat"));
+        assert!(!d.is_replay_safe("open"));
+        assert_eq!(d.exported_functions().count(), 3);
+        assert_eq!(d.replay_safe_functions().count(), 1);
+        let bare = ComponentDescriptor::new("x", ArenaLayout::small());
+        assert!(!bare.declares_interface());
     }
 
     #[test]

@@ -3,8 +3,6 @@
 use std::error::Error;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::value::Value;
 
 /// Errors crossing component interfaces and the syscall surface.
@@ -12,7 +10,7 @@ use crate::value::Value;
 /// The first group mirrors POSIX errno values the applications see; the
 /// second group is the framework's failure surface — what the VampOS failure
 /// detector and reboot engine consume.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum OsError {
     // ---- POSIX-ish ----
     /// `ENOENT`.
@@ -97,6 +95,14 @@ pub enum OsError {
     },
     /// No component with that name is registered.
     UnknownComponent(String),
+    /// Pre-boot static analysis found error-severity findings and the
+    /// configuration was rejected before any component ran.
+    AnalysisRejected {
+        /// Number of error-severity findings.
+        errors: usize,
+        /// The rendered analysis report.
+        report: String,
+    },
 }
 
 impl OsError {
@@ -178,6 +184,12 @@ impl fmt::Display for OsError {
                 write!(f, "component {component} has no function {func}")
             }
             OsError::UnknownComponent(name) => write!(f, "unknown component {name}"),
+            OsError::AnalysisRejected { errors, report } => {
+                write!(
+                    f,
+                    "configuration rejected by static analysis ({errors} error(s)):\n{report}"
+                )
+            }
         }
     }
 }

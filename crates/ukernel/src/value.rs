@@ -9,8 +9,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use vampos_host::{Frame, NinePRequest, NinePResponse};
 
 use crate::error::OsError;
@@ -27,7 +25,7 @@ use crate::error::OsError;
 /// assert!(v.as_str().is_err());
 /// # Ok::<(), vampos_ukernel::OsError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum Value {
     /// No value.
     #[default]

@@ -15,6 +15,7 @@
 //! * [`mpk`] — simulated Memory Protection Keys;
 //! * [`host`] — the "host side": 9P file server, network peer, virtio rings;
 //! * [`ukernel`] — the component framework (descriptors, value ABI, errors);
+//! * [`analyze`] — pre-boot static analysis of component configurations;
 //! * [`oslib`] — the nine Unikraft-style components (VFS, 9PFS, LWIP, ...);
 //! * [`core`] — the VampOS runtime itself (message passing, scheduling,
 //!   logging/replay, protection domains, checkpointing, reboot engine);
@@ -45,6 +46,7 @@
 //! assert_eq!(system.os().fstat(fd).unwrap(), 11);
 //! ```
 
+pub use vampos_analyze as analyze;
 pub use vampos_apps as apps;
 pub use vampos_core as core;
 pub use vampos_host as host;
@@ -57,8 +59,10 @@ pub use vampos_workloads as workloads;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
+    pub use vampos_analyze::{analyze, AnalysisInput, AnalysisReport, Diagnostic, Severity};
     pub use vampos_core::{
-        ComponentSet, FullRebootOutcome, Mode, RebootOutcome, System, SystemBuilder, Whence,
+        analyze_configuration, ComponentSet, FullRebootOutcome, Mode, RebootOutcome, System,
+        SystemBuilder, Whence,
     };
     pub use vampos_oslib::vfs::OpenFlags;
     pub use vampos_sim::{CostModel, Nanos, SimClock, SimRng};
