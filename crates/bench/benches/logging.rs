@@ -87,6 +87,74 @@ fn bench_logging(c: &mut Criterion) {
         )
     });
 
+    // Scaling: per-op cost must stay flat as the surrounding log grows 10×.
+    // The session indices make append/close/compact proportional to the
+    // *session's* entries, not the log's — before the rewrite each close
+    // scanned every live entry three times.
+    for other_sessions in [32u64, 320] {
+        group.bench_function(
+            format!("append_touch_amid_{other_sessions}_sessions"),
+            |b| {
+                let mut log = filled_log(other_sessions, 16);
+                b.iter(|| {
+                    log.append(
+                        "app",
+                        "write",
+                        &[Value::U64(0), Value::Bytes(vec![0; 64])],
+                        &Value::U64(64),
+                        Vec::new(),
+                        SessionEvent::Touch(0),
+                        true,
+                    )
+                })
+            },
+        );
+
+        // One persistent log per bench; each iteration closes/compacts a
+        // *different* session so the timed window holds only the per-op
+        // work (no teardown of the whole log).
+        group.bench_function(
+            format!("close_session_of_16_amid_{other_sessions}_sessions"),
+            |b| {
+                let mut log = filled_log(other_sessions, 16);
+                let mut session = 0u64;
+                b.iter(|| {
+                    let s = session;
+                    session += 1;
+                    log.append(
+                        "app",
+                        "close",
+                        &[Value::U64(s)],
+                        &Value::Unit,
+                        Vec::new(),
+                        SessionEvent::Close(vec![s]),
+                        true,
+                    )
+                })
+            },
+        );
+
+        group.bench_function(
+            format!("compact_session_of_16_amid_{other_sessions}_sessions"),
+            |b| {
+                let mut log = filled_log(other_sessions, 16);
+                let mut session = 0u64;
+                b.iter(|| {
+                    let s = session;
+                    session += 1;
+                    log.compact_session(
+                        s,
+                        TouchSynthesis::Replace {
+                            func: "vfs_set_offset".into(),
+                            args: vec![Value::U64(s), Value::U64(8192)],
+                            ret: Value::Unit,
+                        },
+                    )
+                })
+            },
+        );
+    }
+
     group.finish();
 }
 

@@ -1,0 +1,73 @@
+//! Criterion bench: snapshot capture and restore — the machinery behind
+//! checkpoint-based initialization (§V-E) and the Fig. 6 reboot times.
+//!
+//! The headline comparison: a *clean* capture (dirty-region cache hit)
+//! must stay flat as the arena grows 10×, while the uncached full copy
+//! grows linearly. Likewise an unchanged restore (pointer-equal images)
+//! skips every region copy.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+
+use vampos_mem::{Addr, ArenaLayout, MemoryArena};
+
+/// A warmed arena: some live heap state and a primed snapshot cache.
+fn warmed(heap: usize) -> (MemoryArena, vampos_mem::Snapshot) {
+    let mut arena = MemoryArena::new("bench", ArenaLayout::heap_only(heap));
+    let block = arena.alloc(heap / 2).expect("alloc");
+    arena.write(block.addr(), &vec![0xAB; 4096]).expect("write");
+    let snap = arena.snapshot();
+    (arena, snap)
+}
+
+fn bench_snapshots(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snapshots");
+
+    // 1 MiB vs 16 MiB heaps (the buddy allocator needs powers of two, so
+    // "10×" is the nearest 16×): clean captures should not grow with them.
+    for heap in [1usize << 20, 16 << 20] {
+        let mib = heap >> 20;
+
+        group.bench_function(format!("capture_clean_{mib}mib"), |b| {
+            let (mut arena, _snap) = warmed(heap);
+            b.iter(|| black_box(arena.snapshot()))
+        });
+
+        group.bench_function(format!("capture_after_small_write_{mib}mib"), |b| {
+            let (mut arena, _snap) = warmed(heap);
+            let addr = arena.heap_base();
+            b.iter(|| {
+                // One dirty byte re-copies that region only.
+                arena.write(addr, &[1]).expect("write");
+                black_box(arena.snapshot())
+            })
+        });
+
+        group.bench_function(format!("capture_full_copy_{mib}mib"), |b| {
+            let (arena, _snap) = warmed(heap);
+            b.iter(|| black_box(arena.snapshot_full()))
+        });
+
+        group.bench_function(format!("restore_unchanged_{mib}mib"), |b| {
+            let (mut arena, snap) = warmed(heap);
+            b.iter(|| arena.restore(&snap).expect("restore"))
+        });
+
+        group.bench_function(format!("restore_after_dirtying_{mib}mib"), |b| {
+            b.iter_batched(
+                || warmed(heap),
+                |(mut arena, snap)| {
+                    arena
+                        .write(Addr(arena.heap_base().0 + 7), &[0xFF; 64])
+                        .expect("write");
+                    arena.restore(&snap).expect("restore")
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_snapshots);
+criterion_main!(benches);

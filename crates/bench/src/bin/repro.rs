@@ -1,76 +1,209 @@
 //! `repro` — regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [fig5|table3|fig6|fig7|table4|table5|fig8|ablations|all] [--quick]
+//! repro [fig5|table3|fig6|fig7|table4|table5|fig8|ablations|all]
+//!       [--quick] [--sequential] [--json[=PATH]]
 //! ```
 //!
 //! `--quick` scales the workloads down (used by CI); the default sizes
 //! follow the paper where tractable. All timings are *virtual* time from
 //! the simulation's cost model — compare shapes and ratios with the paper,
 //! not absolute numbers.
+//!
+//! By default independent experiments render concurrently on worker
+//! threads and print in the fixed order above; `--sequential` forces the
+//! single-threaded path. The two paths produce byte-identical output —
+//! every experiment builds its own deterministic simulation. `--json` runs
+//! both paths, verifies that equivalence, writes per-experiment wall-clock
+//! timings to `BENCH.json` (or `PATH`), and exits non-zero on mismatch.
 
 use std::env;
+use std::fmt::Write as _;
+use std::time::Instant;
 
 use vampos_bench::experiments::{ablations, fig5, fig6, fig7, fig8, table3, table4, table5};
 use vampos_bench::format::{bytes, render_table, us};
+use vampos_bench::parallel::{parallel_map, worker_count};
 use vampos_sim::Nanos;
+
+/// One table/figure: a stable key and a renderer producing its full text
+/// (heading included), so sections can run on any thread and still print
+/// in the fixed order of this list.
+struct Section {
+    key: &'static str,
+    render: fn(bool) -> String,
+}
+
+const SECTIONS: [Section; 8] = [
+    Section {
+        key: "fig5",
+        render: render_fig5,
+    },
+    Section {
+        key: "table3",
+        render: render_table3,
+    },
+    Section {
+        key: "fig6",
+        render: render_fig6,
+    },
+    Section {
+        key: "fig7",
+        render: render_fig7,
+    },
+    Section {
+        key: "table4",
+        render: render_table4,
+    },
+    Section {
+        key: "table5",
+        render: render_table5,
+    },
+    Section {
+        key: "fig8",
+        render: render_fig8,
+    },
+    Section {
+        key: "ablations",
+        render: render_ablations,
+    },
+];
 
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let sequential = args.iter().any(|a| a == "--sequential");
+    let json_path = args.iter().find_map(|a| {
+        a.strip_prefix("--json=")
+            .map(str::to_owned)
+            .or_else(|| (a == "--json").then(|| "BENCH.json".to_owned()))
+    });
     let which = args
         .iter()
         .find(|a| !a.starts_with("--"))
         .map(String::as_str)
         .unwrap_or("all");
 
-    let all = which == "all";
-    if all || which == "fig5" {
-        run_fig5(quick);
-    }
-    if all || which == "table3" {
-        run_table3();
-    }
-    if all || which == "fig6" {
-        run_fig6(quick);
-    }
-    if all || which == "fig7" {
-        run_fig7(quick);
-    }
-    if all || which == "table4" {
-        run_table4(quick);
-    }
-    if all || which == "table5" {
-        run_table5(quick);
-    }
-    if all || which == "fig8" {
-        run_fig8(quick);
-    }
-    if all || which == "ablations" {
-        run_ablations();
-    }
-    if !all
-        && !matches!(
-            which,
-            "fig5" | "table3" | "fig6" | "fig7" | "table4" | "table5" | "fig8" | "ablations"
-        )
-    {
+    let selected: Vec<&Section> = SECTIONS
+        .iter()
+        .filter(|s| which == "all" || which == s.key)
+        .collect();
+    if selected.is_empty() {
         eprintln!(
             "unknown experiment {which:?}; expected fig5|table3|fig6|fig7|table4|table5|fig8|ablations|all"
         );
         std::process::exit(2);
     }
+
+    if let Some(path) = json_path {
+        let ok = write_bench_json(&path, &selected, quick);
+        if !ok {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    for text in render_all(&selected, quick, sequential) {
+        print!("{text}");
+    }
 }
 
-fn heading(title: &str) {
-    println!("\n=== {title} ===");
+/// Renders the selected sections, concurrently unless `sequential`, and
+/// returns their text in selection order.
+fn render_all(selected: &[&Section], quick: bool, sequential: bool) -> Vec<String> {
+    if sequential {
+        selected.iter().map(|s| (s.render)(quick)).collect()
+    } else {
+        parallel_map(selected.to_vec(), |s| (s.render)(quick))
+    }
 }
 
-fn run_fig5(quick: bool) {
+/// Runs the selected sections both sequentially and in parallel, checks
+/// the outputs are byte-identical, and writes per-experiment wall-clock
+/// timings to `path`. Returns false (after an error message) on mismatch.
+fn write_bench_json(path: &str, selected: &[&Section], quick: bool) -> bool {
+    let timed = |sequential: bool| -> (Vec<String>, Vec<f64>, f64) {
+        let t0 = Instant::now();
+        let each: Vec<(String, f64)> = if sequential {
+            selected
+                .iter()
+                .map(|s| {
+                    let t = Instant::now();
+                    ((s.render)(quick), t.elapsed().as_secs_f64() * 1e3)
+                })
+                .collect()
+        } else {
+            parallel_map(selected.to_vec(), |s| {
+                let t = Instant::now();
+                ((s.render)(quick), t.elapsed().as_secs_f64() * 1e3)
+            })
+        };
+        let total = t0.elapsed().as_secs_f64() * 1e3;
+        let (texts, times) = each.into_iter().unzip();
+        (texts, times, total)
+    };
+
+    let (seq_texts, seq_ms, seq_total) = timed(true);
+    let (par_texts, par_ms, par_total) = timed(false);
+    let identical = seq_texts == par_texts;
+    if !identical {
+        for (section, (s, p)) in selected.iter().zip(seq_texts.iter().zip(&par_texts)) {
+            if s != p {
+                eprintln!("output mismatch in {}", section.key);
+            }
+        }
+    }
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"host_cores\": {},", worker_count(usize::MAX));
+    let _ = writeln!(json, "  \"outputs_identical\": {identical},");
+    let _ = writeln!(json, "  \"sequential_total_ms\": {seq_total:.1},");
+    let _ = writeln!(json, "  \"parallel_total_ms\": {par_total:.1},");
+    let _ = writeln!(
+        json,
+        "  \"speedup\": {:.2},",
+        if par_total > 0.0 {
+            seq_total / par_total
+        } else {
+            1.0
+        }
+    );
+    let _ = writeln!(json, "  \"experiments\": [");
+    for (i, section) in selected.iter().enumerate() {
+        let comma = if i + 1 < selected.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"sequential_ms\": {:.1}, \"parallel_ms\": {:.1}}}{comma}",
+            section.key, seq_ms[i], par_ms[i]
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("cannot write {path}: {e}");
+        return false;
+    }
+    println!(
+        "wrote {path}: sequential {seq_total:.0}ms, parallel {par_total:.0}ms \
+         on {} worker(s), outputs identical: {identical}",
+        worker_count(usize::MAX)
+    );
+    identical
+}
+
+fn heading(out: &mut String, title: &str) {
+    let _ = writeln!(out, "\n=== {title} ===");
+}
+
+fn render_fig5(quick: bool) -> String {
     let trials = if quick { 20 } else { 100 };
-    heading(&format!(
-        "Fig. 5 — system call execution times ({trials} trials, mean us [sd])"
-    ));
+    let mut out = String::new();
+    heading(
+        &mut out,
+        &format!("Fig. 5 — system call execution times ({trials} trials, mean us [sd])"),
+    );
     let result = fig5::run(trials);
     let header = [
         "syscall",
@@ -94,11 +227,16 @@ fn run_fig5(quick: bool) {
             row
         })
         .collect();
-    print!("{}", render_table(&header, &rows));
+    let _ = write!(out, "{}", render_table(&header, &rows));
+    out
 }
 
-fn run_table3() {
-    heading("Table III — log space overheads in system calls (records)");
+fn render_table3(_quick: bool) -> String {
+    let mut out = String::new();
+    heading(
+        &mut out,
+        "Table III — log space overheads in system calls (records)",
+    );
     let result = table3::run();
     let rows: Vec<Vec<String>> = result
         .rows
@@ -111,14 +249,21 @@ fn run_table3() {
             ]
         })
         .collect();
-    print!("{}", render_table(&["syscall", "normal", "shrunk"], &rows));
+    let _ = write!(
+        out,
+        "{}",
+        render_table(&["syscall", "normal", "shrunk"], &rows)
+    );
+    out
 }
 
-fn run_fig6(quick: bool) {
+fn render_fig6(quick: bool) -> String {
     let (requests, trials) = if quick { (100, 3) } else { (1_000, 10) };
-    heading(&format!(
-        "Fig. 6 — component reboot times ({requests} warm-up GETs, {trials} trials)"
-    ));
+    let mut out = String::new();
+    heading(
+        &mut out,
+        &format!("Fig. 6 — component reboot times ({requests} warm-up GETs, {trials} trials)"),
+    );
     let result = fig6::run(requests, trials);
     let rows: Vec<Vec<String>> = result
         .rows
@@ -133,19 +278,22 @@ fn run_fig6(quick: bool) {
             ]
         })
         .collect();
-    print!(
+    let _ = write!(
+        out,
         "{}",
         render_table(&["component", "mean", "sd", "replayed", "snapshot"], &rows)
     );
+    out
 }
 
-fn run_fig7(quick: bool) {
+fn render_fig7(quick: bool) -> String {
     let scale = if quick {
         fig7::Fig7Scale::quick()
     } else {
         fig7::Fig7Scale::default()
     };
-    heading(&format!(
+    let mut out = String::new();
+    heading(&mut out, &format!(
         "Fig. 7a — application execution time (sqlite {} inserts, nginx {} GETs, redis {} SETs, echo {} msgs)",
         scale.sqlite_inserts, scale.http_requests, scale.kv_sets, scale.echo_messages
     ));
@@ -164,9 +312,12 @@ fn run_fig7(quick: bool) {
             row
         })
         .collect();
-    print!("{}", render_table(&header, &rows));
+    let _ = write!(out, "{}", render_table(&header, &rows));
 
-    heading("Fig. 7b — memory utilisation (total / VampOS overhead)");
+    heading(
+        &mut out,
+        "Fig. 7b — memory utilisation (total / VampOS overhead)",
+    );
     let rows: Vec<Vec<String>> = result
         .rows
         .iter()
@@ -180,14 +331,19 @@ fn run_fig7(quick: bool) {
             row
         })
         .collect();
-    print!("{}", render_table(&header, &rows));
+    let _ = write!(out, "{}", render_table(&header, &rows));
+    out
 }
 
-fn run_table4(quick: bool) {
+fn render_table4(quick: bool) -> String {
     let ops = if quick { 400 } else { 5_000 };
-    heading(&format!(
-        "Table IV — throughput over log-shrink-threshold changes ({ops} ops, req/s virtual)"
-    ));
+    let mut out = String::new();
+    heading(
+        &mut out,
+        &format!(
+            "Table IV — throughput over log-shrink-threshold changes ({ops} ops, req/s virtual)"
+        ),
+    );
     let result = table4::run(ops);
     let rows: Vec<Vec<String>> = result
         .rows
@@ -201,21 +357,27 @@ fn run_table4(quick: bool) {
             ]
         })
         .collect();
-    print!(
+    let _ = write!(
+        out,
         "{}",
         render_table(&["threshold", "SQLite", "Nginx", "Redis"], &rows)
     );
+    out
 }
 
-fn run_table5(quick: bool) {
+fn render_table5(quick: bool) -> String {
     let (clients, interval) = if quick {
         (40, Nanos::from_secs(10))
     } else {
         (100, Nanos::from_secs(30))
     };
-    heading(&format!(
-        "Table V — request successes across rejuvenation ({clients} siege clients, {interval} interval)"
-    ));
+    let mut out = String::new();
+    heading(
+        &mut out,
+        &format!(
+            "Table V — request successes across rejuvenation ({clients} siege clients, {interval} interval)"
+        ),
+    );
     let result = table5::run(clients, interval);
     let rows: Vec<Vec<String>> = result
         .rows
@@ -230,25 +392,32 @@ fn run_table5(quick: bool) {
             ]
         })
         .collect();
-    print!(
+    let _ = write!(
+        out,
         "{}",
         render_table(&["config", "success", "fails", "ratio", "reboots"], &rows)
     );
+    out
 }
 
-fn run_fig8(quick: bool) {
+fn render_fig8(quick: bool) -> String {
     let (keys, duration, interval) = if quick {
         (2_000, Nanos::from_secs(12), Nanos::from_millis(500))
     } else {
         (100_000, Nanos::from_secs(60), Nanos::from_secs(1))
     };
-    heading(&format!(
-        "Fig. 8 — Redis GET latency across failure recovery ({keys} keys; 9PFS fail-stop at t={})",
-        (duration / 3)
-    ));
+    let mut out = String::new();
+    heading(
+        &mut out,
+        &format!(
+            "Fig. 8 — Redis GET latency across failure recovery ({keys} keys; 9PFS fail-stop at t={})",
+            (duration / 3)
+        ),
+    );
     let result = fig8::run(keys, duration, interval);
     for series in &result.series {
-        println!(
+        let _ = writeln!(
+            out,
             "\n  {} (recovery downtime: {}):",
             series.config, series.recovery_downtime
         );
@@ -263,29 +432,35 @@ fn run_fig8(quick: bool) {
                 ]
             })
             .collect();
-        print!("{}", render_table(&["t", "latency", "status"], &rows));
+        let _ = write!(out, "{}", render_table(&["t", "latency", "status"], &rows));
     }
+    out
 }
 
-fn run_ablations() {
-    heading("Ablations — what each design choice buys");
+fn render_ablations(_quick: bool) -> String {
+    let mut out = String::new();
+    heading(&mut out, "Ablations — what each design choice buys");
     let r = ablations::run();
-    println!(
+    let _ = writeln!(
+        out,
         "  MPK isolation:       open() {} isolated vs {} unisolated ({:+.1}%)",
         us(r.open_isolated_us),
         us(r.open_unisolated_us),
         (r.open_isolated_us / r.open_unisolated_us - 1.0) * 100.0
     );
-    println!(
+    let _ = writeln!(
+        out,
         "  log shrinking:       {} live records with shrinking vs {} without (100 sessions)",
         r.log_records_shrunk, r.log_records_unshrunk
     );
-    println!("  reboot vs log size:");
+    let _ = writeln!(out, "  reboot vs log size:");
     for (entries, downtime) in &r.reboot_vs_log {
-        println!("    {entries:>5} entries -> {downtime}");
+        let _ = writeln!(out, "    {entries:>5} entries -> {downtime}");
     }
-    println!(
+    let _ = writeln!(
+        out,
         "  key virtualisation:  {} remaps for 24 domains on 16 hardware keys",
         r.virtualisation_remaps
     );
+    out
 }

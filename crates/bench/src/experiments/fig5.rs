@@ -12,6 +12,7 @@ use vampos_oslib::OpenFlags;
 use vampos_sim::Summary;
 
 use super::{all_modes, build};
+use crate::parallel::parallel_map;
 
 /// Per-mode timing of one syscall.
 #[derive(Debug, Clone)]
@@ -55,68 +56,83 @@ const SYSCALLS: [&str; 7] = [
     "socket_write",
 ];
 
-/// Runs the experiment with `trials` trials (paper: 100).
-pub fn run(trials: usize) -> Fig5Result {
-    let mut summaries: Vec<Vec<Summary>> = Vec::new(); // [mode][syscall]
+/// Drives `trials` rounds of the seven syscalls under one mode. Each call
+/// builds its own `System` (own host world, own seed), so modes are
+/// independent units that [`run`] fans out over worker threads.
+fn run_mode(mode_idx: usize, mode: Mode, trials: usize) -> (Vec<Summary>, [u64; 7]) {
+    let is_das = matches!(&mode, Mode::VampOs(c) if c.merges.is_empty()
+        && c.scheduler == vampos_core::SchedulerKind::DependencyAware);
+    let mut sys = build(mode, ComponentSet::nginx());
+    let mut per_syscall = vec![Summary::new(); SYSCALLS.len()];
     let mut transitions = [0u64; 7];
 
-    for (mode_idx, mode) in all_modes().into_iter().enumerate() {
-        let is_das = matches!(&mode, Mode::VampOs(c) if c.merges.is_empty()
-            && c.scheduler == vampos_core::SchedulerKind::DependencyAware);
-        let mut sys = build(mode, ComponentSet::nginx());
-        let mut per_syscall = vec![Summary::new(); SYSCALLS.len()];
+    // Socket setup: a listening socket and one accepted connection.
+    let listen_fd = sys.os().socket().expect("socket");
+    sys.os().bind(listen_fd, 80).expect("bind");
+    sys.os().listen(listen_fd, 16).expect("listen");
+    let client = sys.host().with(|w| w.network_mut().connect(80));
+    let conn_fd = sys.os().accept(listen_fd).expect("accept");
 
-        // Socket setup: a listening socket and one accepted connection.
-        let listen_fd = sys.os().socket().expect("socket");
-        sys.os().bind(listen_fd, 80).expect("bind");
-        sys.os().listen(listen_fd, 16).expect("listen");
-        let client = sys.host().with(|w| w.network_mut().connect(80));
-        let conn_fd = sys.os().accept(listen_fd).expect("accept");
+    for trial in 0..trials {
+        let mut measure = |sys: &mut vampos_core::System,
+                           idx: usize,
+                           f: &mut dyn FnMut(&mut vampos_core::System)| {
+            let hops0 = sys.stats().msg_hops;
+            let t0 = sys.clock().now();
+            f(sys);
+            let dt = sys.clock().now() - t0;
+            per_syscall[idx].record_nanos(dt);
+            if trial == 0 && mode_idx == 2 && is_das {
+                transitions[idx] = sys.stats().msg_hops - hops0;
+            }
+        };
 
-        for trial in 0..trials {
-            let mut measure =
-                |sys: &mut vampos_core::System,
-                 idx: usize,
-                 f: &mut dyn FnMut(&mut vampos_core::System)| {
-                    let hops0 = sys.stats().msg_hops;
-                    let t0 = sys.clock().now();
-                    f(sys);
-                    let dt = sys.clock().now() - t0;
-                    per_syscall[idx].record_nanos(dt);
-                    if trial == 0 && mode_idx == 2 && is_das {
-                        transitions[idx] = sys.stats().msg_hops - hops0;
-                    }
-                };
+        measure(&mut sys, 0, &mut |s| {
+            s.os().getpid().unwrap();
+        });
+        let mut fd = 0;
+        measure(&mut sys, 1, &mut |s| {
+            fd = s.os().open("/f", OpenFlags::RDWR).unwrap();
+        });
+        measure(&mut sys, 2, &mut |s| {
+            s.os().write(fd, b"x").unwrap();
+        });
+        measure(&mut sys, 3, &mut |s| {
+            s.os().read(fd, 1).unwrap();
+        });
+        measure(&mut sys, 4, &mut |s| {
+            s.os().close(fd).unwrap();
+        });
+        // 222-byte messages (paper's socket payload).
+        sys.host()
+            .with(|w| w.network_mut().send(client, &[b'm'; 222]).unwrap());
+        measure(&mut sys, 5, &mut |s| {
+            s.os().recv(conn_fd, 222).unwrap();
+        });
+        measure(&mut sys, 6, &mut |s| {
+            s.os().send(conn_fd, &[b'r'; 222]).unwrap();
+        });
+        // Drain the client side so buffers stay small.
+        sys.host().with(|w| w.network_mut().recv(client).unwrap());
+    }
+    (per_syscall, transitions)
+}
 
-            measure(&mut sys, 0, &mut |s| {
-                s.os().getpid().unwrap();
-            });
-            let mut fd = 0;
-            measure(&mut sys, 1, &mut |s| {
-                fd = s.os().open("/f", OpenFlags::RDWR).unwrap();
-            });
-            measure(&mut sys, 2, &mut |s| {
-                s.os().write(fd, b"x").unwrap();
-            });
-            measure(&mut sys, 3, &mut |s| {
-                s.os().read(fd, 1).unwrap();
-            });
-            measure(&mut sys, 4, &mut |s| {
-                s.os().close(fd).unwrap();
-            });
-            // 222-byte messages (paper's socket payload).
-            sys.host()
-                .with(|w| w.network_mut().send(client, &[b'm'; 222]).unwrap());
-            measure(&mut sys, 5, &mut |s| {
-                s.os().recv(conn_fd, 222).unwrap();
-            });
-            measure(&mut sys, 6, &mut |s| {
-                s.os().send(conn_fd, &[b'r'; 222]).unwrap();
-            });
-            // Drain the client side so buffers stay small.
-            sys.host().with(|w| w.network_mut().recv(client).unwrap());
-        }
+/// Runs the experiment with `trials` trials (paper: 100), one worker
+/// thread per mode. Virtual-time results are identical to a sequential
+/// run: every mode's system is seeded and hosted independently.
+pub fn run(trials: usize) -> Fig5Result {
+    let per_mode = parallel_map(
+        all_modes().into_iter().enumerate().collect(),
+        |(mode_idx, mode)| run_mode(mode_idx, mode, trials),
+    );
+    let mut summaries: Vec<Vec<Summary>> = Vec::new(); // [mode][syscall]
+    let mut transitions = [0u64; 7];
+    for (per_syscall, mode_transitions) in per_mode {
         summaries.push(per_syscall);
+        for (slot, t) in transitions.iter_mut().zip(mode_transitions) {
+            *slot = (*slot).max(t);
+        }
     }
 
     let mode_labels: Vec<String> = all_modes().iter().map(|m| m.label().to_owned()).collect();

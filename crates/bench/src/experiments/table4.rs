@@ -11,6 +11,7 @@ use vampos_core::{ComponentSet, Mode, System, VampConfig};
 use vampos_workloads::{KvLoad, SqlLoad};
 
 use super::staged_host;
+use crate::parallel::parallel_map;
 
 /// One measurement cell: requests per (virtual) second.
 #[derive(Debug, Clone)]
@@ -93,15 +94,27 @@ fn redis_rps(threshold: usize, ops: usize) -> f64 {
     report.throughput()
 }
 
-/// Runs the experiment with `ops` operations per cell.
+/// Runs the experiment with `ops` operations per cell, one worker-thread
+/// unit per (threshold, application) cell — nine independent systems.
 pub fn run(ops: usize) -> Table4Result {
-    let rows = [20usize, 100, 1000]
-        .into_iter()
-        .map(|threshold| Table4Row {
+    const THRESHOLDS: [usize; 3] = [20, 100, 1000];
+    let cells: Vec<(usize, usize)> = THRESHOLDS
+        .iter()
+        .flat_map(|&t| (0..3).map(move |app| (t, app)))
+        .collect();
+    let measured = parallel_map(cells, |(threshold, app)| match app {
+        0 => sqlite_rps(threshold, ops),
+        1 => nginx_rps(threshold, ops),
+        _ => redis_rps(threshold, ops),
+    });
+    let rows = THRESHOLDS
+        .iter()
+        .zip(measured.chunks_exact(3))
+        .map(|(&threshold, rps)| Table4Row {
             threshold,
-            sqlite_rps: sqlite_rps(threshold, ops),
-            nginx_rps: nginx_rps(threshold, ops),
-            redis_rps: redis_rps(threshold, ops),
+            sqlite_rps: rps[0],
+            nginx_rps: rps[1],
+            redis_rps: rps[2],
         })
         .collect();
     Table4Result { ops, rows }

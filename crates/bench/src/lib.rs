@@ -18,5 +18,7 @@
 
 pub mod experiments;
 pub mod format;
+pub mod parallel;
 
 pub use experiments::{ablations, fig5, fig6, fig7, fig8, table3, table4, table5};
+pub use parallel::parallel_map;

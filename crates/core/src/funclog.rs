@@ -12,6 +12,29 @@
 //! and threshold-triggered compaction summarises still-open sessions
 //! (replacing a run of reads/writes with one synthetic offset-setting
 //! entry).
+//!
+//! # Implementation notes
+//!
+//! The log is stored as an append-only slot vector (`Option<Arc<LogEntry>>`,
+//! tombstoned on removal and garbage-collected when tombstones dominate)
+//! with per-session indices over it, so every shrinking operation touches
+//! only the entries of the sessions involved:
+//!
+//! * `touch_index` — session → slots of its `Touch` entries,
+//! * `open_index` — session → slots of `Open` entries that still hold the
+//!   session in their live set,
+//! * `created_index` — session → surviving `Open` slots that would recreate
+//!   it on replay,
+//! * `close_index` — session → kept `Close` slots referencing it.
+//!
+//! `byte_len` and `record_count` are maintained incrementally, and
+//! [`FunctionLog::replay_entries`] hands out `Arc`-shared entries instead of
+//! deep clones — an outstanding replay snapshot stays frozen even if the
+//! live log keeps shrinking (copy-on-write of the one mutable field, an
+//! `Open` entry's live-session set).
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use vampos_ukernel::{OsError, SessionEvent, TouchSynthesis, Value};
 
@@ -111,7 +134,18 @@ pub struct AppendOutcome {
 /// A per-component function-call / return-value log.
 #[derive(Debug, Clone, Default)]
 pub struct FunctionLog {
-    entries: Vec<LogEntry>,
+    /// Append-ordered entry store; removals tombstone in place.
+    slots: Vec<Option<Arc<LogEntry>>>,
+    /// Live (non-tombstoned) entries.
+    live: usize,
+    /// Incrementally maintained total of [`LogEntry::byte_len`].
+    bytes: usize,
+    /// Incrementally maintained total of [`LogEntry::record_count`].
+    records: usize,
+    touch_index: HashMap<u64, Vec<usize>>,
+    open_index: HashMap<u64, Vec<usize>>,
+    created_index: HashMap<u64, Vec<usize>>,
+    close_index: HashMap<u64, Vec<usize>>,
     next_seq: u64,
     appended_total: u64,
     removed_total: u64,
@@ -126,23 +160,23 @@ impl FunctionLog {
 
     /// Number of entries currently held.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.live
     }
 
     /// True when the log is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.live == 0
     }
 
     /// Total byte size of the log.
     pub fn byte_len(&self) -> usize {
-        self.entries.iter().map(LogEntry::byte_len).sum()
+        self.bytes
     }
 
     /// Total "records" in the paper's Table III sense (entries + recorded
     /// downcall return values).
     pub fn record_count(&self) -> usize {
-        self.entries.iter().map(LogEntry::record_count).sum()
+        self.records
     }
 
     /// Entries appended over the log's lifetime.
@@ -162,17 +196,120 @@ impl FunctionLog {
 
     /// Iterates the entries in replay order.
     pub fn iter(&self) -> impl Iterator<Item = &LogEntry> {
-        self.entries.iter()
+        self.slots.iter().filter_map(|s| s.as_deref())
     }
 
-    /// Clones the entries for replay (the live log keeps accumulating).
-    pub fn replay_entries(&self) -> Vec<LogEntry> {
-        self.entries.clone()
+    /// A cheap snapshot of the entries for replay: the `Arc`s are shared
+    /// with the live log, which keeps accumulating (and shrinking)
+    /// independently — a later mutation of an `Open` entry's live set
+    /// copies only that entry.
+    pub fn replay_entries(&self) -> Vec<Arc<LogEntry>> {
+        self.slots.iter().flatten().cloned().collect()
     }
 
     /// Clears the log (full reboot).
     pub fn clear(&mut self) {
-        self.entries.clear();
+        self.slots.clear();
+        self.live = 0;
+        self.bytes = 0;
+        self.records = 0;
+        self.touch_index.clear();
+        self.open_index.clear();
+        self.created_index.clear();
+        self.close_index.clear();
+    }
+
+    /// Links `slot` into the indices according to its entry's tag.
+    fn link(&mut self, slot: usize) {
+        let entry = self.slots[slot].as_ref().expect("link: live slot");
+        match &entry.tag {
+            EntryTag::Free => {}
+            EntryTag::Touch(s) => {
+                let s = *s;
+                self.touch_index.entry(s).or_default().push(slot);
+            }
+            EntryTag::Open { created, live } => {
+                let created = created.clone();
+                let live = live.clone();
+                for s in dedup(&created) {
+                    self.created_index.entry(s).or_default().push(slot);
+                }
+                for s in dedup(&live) {
+                    self.open_index.entry(s).or_default().push(slot);
+                }
+            }
+            EntryTag::Close(sessions) => {
+                let sessions = sessions.clone();
+                for s in dedup(&sessions) {
+                    self.close_index.entry(s).or_default().push(slot);
+                }
+            }
+        }
+    }
+
+    fn unlink_one(index: &mut HashMap<u64, Vec<usize>>, session: u64, slot: usize) {
+        if let Some(v) = index.get_mut(&session) {
+            v.retain(|&x| x != slot);
+            if v.is_empty() {
+                index.remove(&session);
+            }
+        }
+    }
+
+    /// Tombstones `slot`, unlinking it from every index and updating the
+    /// incremental totals. No-op on already-removed slots.
+    fn remove_slot(&mut self, slot: usize) {
+        let Some(entry) = self.slots[slot].take() else {
+            return;
+        };
+        self.live -= 1;
+        self.bytes -= entry.byte_len();
+        self.records -= entry.record_count();
+        match &entry.tag {
+            EntryTag::Free => {}
+            EntryTag::Touch(s) => Self::unlink_one(&mut self.touch_index, *s, slot),
+            EntryTag::Open { created, live } => {
+                for s in dedup(created) {
+                    Self::unlink_one(&mut self.created_index, s, slot);
+                }
+                for s in dedup(live) {
+                    Self::unlink_one(&mut self.open_index, s, slot);
+                }
+            }
+            EntryTag::Close(sessions) => {
+                for s in dedup(sessions) {
+                    Self::unlink_one(&mut self.close_index, s, slot);
+                }
+            }
+        }
+    }
+
+    /// Appends `entry` to the store and indices.
+    fn insert(&mut self, entry: LogEntry) {
+        self.live += 1;
+        self.bytes += entry.byte_len();
+        self.records += entry.record_count();
+        let slot = self.slots.len();
+        self.slots.push(Some(Arc::new(entry)));
+        self.link(slot);
+    }
+
+    /// Compacts the slot store once tombstones dominate, rebuilding the
+    /// indices over the surviving entries (order is preserved). Amortised
+    /// O(1) per removal.
+    fn maybe_gc(&mut self) {
+        if self.slots.len() < 64 || self.live * 2 > self.slots.len() {
+            return;
+        }
+        let old = std::mem::take(&mut self.slots);
+        self.slots = old.into_iter().flatten().map(Some).collect();
+        self.touch_index.clear();
+        self.open_index.clear();
+        self.created_index.clear();
+        self.close_index.clear();
+        for slot in 0..self.slots.len() {
+            self.link(slot);
+        }
     }
 
     /// Appends a logged call, applying session-aware shrinking when
@@ -190,7 +327,7 @@ impl FunctionLog {
         event: SessionEvent,
         shrinking: bool,
     ) -> AppendOutcome {
-        let before = self.entries.len() as i64;
+        let before = self.live as i64;
         let mut removed = 0usize;
 
         let tag = match &event {
@@ -202,58 +339,17 @@ impl FunctionLog {
             SessionEvent::Touch(s) => EntryTag::Touch(*s),
             SessionEvent::Close(sessions) => {
                 if shrinking {
-                    // 1. Remove the sessions' touch entries.
-                    self.entries.retain(|e| {
-                        let kill = matches!(&e.tag, EntryTag::Touch(s) if sessions.contains(s));
-                        if kill {
-                            removed += 1;
-                        }
-                        !kill
-                    });
-                    // 2. Retire the sessions from their creating entries;
-                    //    entries with no live sessions left are removed, and
-                    //    everything they originally created is now dead.
-                    let mut fully_dead: Vec<u64> = Vec::new();
-                    self.entries.retain_mut(|e| {
-                        if let EntryTag::Open { created, live } = &mut e.tag {
-                            live.retain(|s| !sessions.contains(s));
-                            if live.is_empty() {
-                                fully_dead.extend(created.iter().copied());
-                                removed += 1;
-                                return false;
-                            }
-                        }
-                        true
-                    });
-                    // 3. Cascade: previously kept canceling entries whose
-                    //    every session lost its creator replay against
-                    //    nothing — remove them too.
-                    if !fully_dead.is_empty() {
-                        self.entries.retain(|e| {
-                            let kill = matches!(
-                                &e.tag,
-                                EntryTag::Close(ss)
-                                    if ss.iter().all(|s| fully_dead.contains(s))
-                            );
-                            if kill {
-                                removed += 1;
-                            }
-                            !kill
-                        });
-                    }
+                    removed = self.cancel_sessions(sessions);
                     self.removed_total += removed as u64;
-                    // 4. Keep this canceling entry only while some surviving
-                    //    entry would recreate one of its sessions on replay.
-                    let still_recreated = self.entries.iter().any(|e| {
-                        matches!(
-                            &e.tag,
-                            EntryTag::Open { created, .. }
-                                if created.iter().any(|s| sessions.contains(s))
-                        )
-                    });
+                    // Keep this canceling entry only while some surviving
+                    // entry would recreate one of its sessions on replay.
+                    let still_recreated = dedup(sessions)
+                        .into_iter()
+                        .any(|s| self.created_index.contains_key(&s));
                     if !still_recreated {
+                        self.maybe_gc();
                         return AppendOutcome {
-                            net_entries: self.entries.len() as i64 - before,
+                            net_entries: self.live as i64 - before,
                             removed,
                         };
                     }
@@ -276,25 +372,90 @@ impl FunctionLog {
         };
         self.next_seq += 1;
         self.appended_total += 1;
-        self.entries.push(entry);
+        self.insert(entry);
+        self.maybe_gc();
         AppendOutcome {
-            net_entries: self.entries.len() as i64 - before,
+            net_entries: self.live as i64 - before,
             removed,
         }
     }
 
+    /// Session-aware shrinking on a cancel (§V-F), index-driven: touches
+    /// only the entries of the closing sessions plus the cascade
+    /// candidates, never the whole log. Returns the entries removed.
+    fn cancel_sessions(&mut self, sessions: &[u64]) -> usize {
+        let mut removed = 0usize;
+        let closing = dedup(sessions);
+
+        // 1. Remove the sessions' touch entries (bucket drained wholesale,
+        //    so the per-slot unlink has nothing left to scan).
+        for &s in &closing {
+            for slot in self.touch_index.remove(&s).unwrap_or_default() {
+                self.remove_slot(slot);
+                removed += 1;
+            }
+        }
+
+        // 2. Retire the sessions from their creating entries; entries with
+        //    no live sessions left are removed, and everything they
+        //    originally created is now dead.
+        let mut fully_dead: HashSet<u64> = HashSet::new();
+        for &s in &closing {
+            // Take the whole bucket: every one of these entries loses `s`
+            // from its live set right here.
+            for slot in self.open_index.remove(&s).unwrap_or_default() {
+                let Some(arc) = self.slots[slot].as_mut() else {
+                    continue;
+                };
+                // Copy-on-write: shared only while a replay snapshot is
+                // outstanding, in which case the snapshot must stay frozen.
+                let entry = Arc::make_mut(arc);
+                let EntryTag::Open { created, live } = &mut entry.tag else {
+                    continue;
+                };
+                live.retain(|x| *x != s);
+                if live.is_empty() {
+                    fully_dead.extend(created.iter().copied());
+                    // `live` is empty, so `remove_slot` only has the
+                    // `created` index left to unlink.
+                    self.remove_slot(slot);
+                    removed += 1;
+                }
+            }
+        }
+
+        // 3. Cascade: previously kept canceling entries whose every session
+        //    lost its creator replay against nothing — remove them too.
+        if !fully_dead.is_empty() {
+            let mut candidates: Vec<usize> = fully_dead
+                .iter()
+                .filter_map(|s| self.close_index.get(s))
+                .flatten()
+                .copied()
+                .collect();
+            candidates.sort_unstable();
+            candidates.dedup();
+            for slot in candidates {
+                let all_dead = matches!(
+                    self.slots[slot].as_deref(),
+                    Some(LogEntry {
+                        tag: EntryTag::Close(ss),
+                        ..
+                    }) if ss.iter().all(|s| fully_dead.contains(s))
+                );
+                if all_dead {
+                    self.remove_slot(slot);
+                    removed += 1;
+                }
+            }
+        }
+        removed
+    }
+
     /// All sessions with at least one `Touch` entry (compaction candidates).
     pub fn touched_sessions(&self) -> Vec<u64> {
-        let mut sessions: Vec<u64> = self
-            .entries
-            .iter()
-            .filter_map(|e| match e.tag {
-                EntryTag::Touch(s) => Some(s),
-                _ => None,
-            })
-            .collect();
+        let mut sessions: Vec<u64> = self.touch_index.keys().copied().collect();
         sessions.sort_unstable();
-        sessions.dedup();
         sessions
     }
 
@@ -305,14 +466,15 @@ impl FunctionLog {
         match decision {
             TouchSynthesis::Keep => 0,
             TouchSynthesis::Drop | TouchSynthesis::Replace { .. } => {
-                let before = self.entries.len();
-                self.entries
-                    .retain(|e| !matches!(e.tag, EntryTag::Touch(s) if s == session));
-                let removed = before - self.entries.len();
+                let slots = self.touch_index.remove(&session).unwrap_or_default();
+                let removed = slots.len();
+                for slot in slots {
+                    self.remove_slot(slot);
+                }
                 self.removed_total += removed as u64;
                 if let TouchSynthesis::Replace { func, args, ret } = decision {
                     if removed > 0 {
-                        self.entries.push(LogEntry {
+                        self.insert(LogEntry {
                             seq: self.next_seq,
                             caller: "compactor".to_owned(),
                             func,
@@ -324,14 +486,26 @@ impl FunctionLog {
                         });
                         self.next_seq += 1;
                         self.compactions += 1;
+                        self.maybe_gc();
                         return removed.saturating_sub(1);
                     }
                 }
                 self.compactions += u64::from(removed > 0);
+                self.maybe_gc();
                 removed
             }
         }
     }
+}
+
+/// Deduplicated copy of a small session list (order-preserving).
+fn dedup(sessions: &[u64]) -> Vec<u64> {
+    let mut seen = HashSet::with_capacity(sessions.len());
+    sessions
+        .iter()
+        .copied()
+        .filter(|s| seen.insert(*s))
+        .collect()
 }
 
 #[cfg(test)]
@@ -531,5 +705,69 @@ mod tests {
         append_simple(&mut log, "read", SessionEvent::Touch(3), true);
         assert_eq!(snap.len(), 1);
         assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn replay_snapshot_is_frozen_across_shrinking() {
+        // An outstanding replay snapshot must not see later mutations of an
+        // Open entry's live set (copy-on-write path of Arc::make_mut).
+        let mut log = FunctionLog::new();
+        append_simple(&mut log, "pipe", SessionEvent::Open(vec![3, 4]), true);
+        let snap = log.replay_entries();
+        append_simple(&mut log, "close", SessionEvent::Close(vec![4]), true);
+        let EntryTag::Open { live, .. } = &snap[0].tag else {
+            panic!("expected Open entry in snapshot");
+        };
+        assert_eq!(live, &[3, 4], "snapshot saw the live-set shrink");
+        let EntryTag::Open { live, .. } = &log.iter().next().unwrap().tag else {
+            panic!("expected Open entry in live log");
+        };
+        assert_eq!(live, &[3], "live log did not shrink");
+    }
+
+    #[test]
+    fn incremental_totals_match_recomputation() {
+        let mut log = FunctionLog::new();
+        for s in 0..50u64 {
+            append_simple(&mut log, "open", SessionEvent::Open(vec![s]), true);
+            for _ in 0..4 {
+                log.append(
+                    "app",
+                    "write",
+                    &[Value::U64(s), Value::Bytes(vec![0; 32])],
+                    &Value::U64(32),
+                    Vec::new(),
+                    SessionEvent::Touch(s),
+                    true,
+                );
+            }
+            if s % 2 == 0 {
+                append_simple(&mut log, "close", SessionEvent::Close(vec![s]), true);
+            }
+        }
+        let bytes: usize = log.iter().map(LogEntry::byte_len).sum();
+        let records: usize = log.iter().map(LogEntry::record_count).sum();
+        assert_eq!(log.byte_len(), bytes);
+        assert_eq!(log.record_count(), records);
+        assert_eq!(log.len(), log.iter().count());
+    }
+
+    #[test]
+    fn store_gc_preserves_order_and_indices() {
+        let mut log = FunctionLog::new();
+        // Enough appends+closes to trigger tombstone GC several times over.
+        for s in 0..200u64 {
+            append_simple(&mut log, "open", SessionEvent::Open(vec![s]), true);
+            append_simple(&mut log, "read", SessionEvent::Touch(s), true);
+            append_simple(&mut log, "close", SessionEvent::Close(vec![s]), true);
+        }
+        append_simple(&mut log, "open", SessionEvent::Open(vec![999]), true);
+        append_simple(&mut log, "read", SessionEvent::Touch(999), true);
+        assert_eq!(log.len(), 2);
+        let seqs: Vec<u64> = log.iter().map(|e| e.seq).collect();
+        assert!(seqs.windows(2).all(|w| w[0] < w[1]), "order lost: {seqs:?}");
+        // The indices still resolve the surviving session.
+        append_simple(&mut log, "close", SessionEvent::Close(vec![999]), true);
+        assert!(log.is_empty());
     }
 }

@@ -313,9 +313,9 @@ impl System {
             if self.slots[idx].desc.uses_checkpoint_init() {
                 let snap = self.slots[idx]
                     .comp
-                    .as_ref()
+                    .as_mut()
                     .expect("present after reboot")
-                    .arena()
+                    .arena_mut()
                     .snapshot();
                 self.slots[idx].boot_snapshot = Some(snap);
             }

@@ -128,7 +128,7 @@ impl System {
         // Capture the replacement's own boot-phase checkpoint for future
         // (regular) reboots.
         if self.slots[tid].desc.uses_checkpoint_init() {
-            let snap = replacement.arena().snapshot();
+            let snap = replacement.arena_mut().snapshot();
             self.clock
                 .advance(self.costs.snapshot_capture(snap.byte_len()));
             self.slots[tid].boot_snapshot = Some(snap);

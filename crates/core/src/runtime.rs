@@ -404,9 +404,9 @@ impl System {
             if self.slots[idx].desc.uses_checkpoint_init() {
                 let snap = self.slots[idx]
                     .comp
-                    .as_ref()
+                    .as_mut()
                     .expect("boot: component present")
-                    .arena()
+                    .arena_mut()
                     .snapshot();
                 self.clock
                     .advance(self.costs.snapshot_capture(snap.byte_len()));

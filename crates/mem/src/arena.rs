@@ -2,6 +2,7 @@
 
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 use crate::aging::AgingState;
 use crate::buddy::{BuddyAllocator, BuddyError};
@@ -180,7 +181,7 @@ impl From<BuddyError> for MemError {
 /// arena.free(&buf)?;
 /// # Ok::<(), vampos_mem::MemError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct MemoryArena {
     name: String,
     layout: ArenaLayout,
@@ -188,6 +189,24 @@ pub struct MemoryArena {
     heap_base: u64,
     allocator: BuddyAllocator,
     aging: AgingState,
+    /// Dirty-region tracking for incremental snapshots: `dirty[i]` is set by
+    /// every byte mutation of `regions[i]`, and `images[i]` caches the
+    /// region's image as of the last capture/restore while it stays clean.
+    dirty: Vec<bool>,
+    images: Vec<Option<Arc<[u8]>>>,
+}
+
+// The dirty/image cache is an optimisation detail; two arenas are equal when
+// their observable state (bytes + allocator + aging) is.
+impl PartialEq for MemoryArena {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.layout == other.layout
+            && self.regions == other.regions
+            && self.heap_base == other.heap_base
+            && self.allocator == other.allocator
+            && self.aging == other.aging
+    }
 }
 
 impl MemoryArena {
@@ -214,6 +233,7 @@ impl MemoryArena {
             regions.push(Region::new(kind, base, size));
             base += size as u64;
         }
+        let count = regions.len();
         MemoryArena {
             name: name.into(),
             layout,
@@ -224,6 +244,8 @@ impl MemoryArena {
                 ArenaLayout::MIN_BLOCK,
             ),
             aging: AgingState::new(),
+            dirty: vec![true; count],
+            images: vec![None; count],
         }
     }
 
@@ -336,6 +358,7 @@ impl MemoryArena {
         }
         let start = (addr.0 - r.base()) as usize;
         r.bytes_mut()[start..start + bytes.len()].copy_from_slice(bytes);
+        self.dirty[idx] = true;
         Ok(())
     }
 
@@ -351,17 +374,53 @@ impl MemoryArena {
         let r = &mut self.regions[idx];
         let start = (addr.0 - r.base()) as usize;
         r.bytes_mut()[start] ^= 1 << (bit % 8);
+        self.dirty[idx] = true;
         Ok(())
     }
 
     /// Captures a checkpoint of the arena.
-    pub fn snapshot(&self) -> Snapshot {
+    ///
+    /// Incremental: only regions written since the last capture (or
+    /// restore) are copied; clean regions share their cached `Arc` image
+    /// with the previous snapshot. [`Snapshot::byte_len`] — the cost-model
+    /// input — is unaffected by what was actually copied.
+    pub fn snapshot(&mut self) -> Snapshot {
+        let regions = self
+            .regions
+            .iter()
+            .enumerate()
+            .map(|(idx, r)| {
+                let image = match (&self.images[idx], self.dirty[idx]) {
+                    (Some(image), false) => Arc::clone(image),
+                    _ => {
+                        let fresh: Arc<[u8]> = Arc::from(r.bytes());
+                        self.images[idx] = Some(Arc::clone(&fresh));
+                        self.dirty[idx] = false;
+                        fresh
+                    }
+                };
+                (r.kind(), image)
+            })
+            .collect();
+        Snapshot {
+            arena_name: self.name.clone(),
+            regions,
+            allocator: self.allocator.clone(),
+            aging: self.aging.clone(),
+        }
+    }
+
+    /// Captures a checkpoint without consulting or updating the
+    /// dirty-region cache: every region is copied afresh. Semantically
+    /// identical to [`MemoryArena::snapshot`]; tests use it to cross-check
+    /// the incremental path.
+    pub fn snapshot_full(&self) -> Snapshot {
         Snapshot {
             arena_name: self.name.clone(),
             regions: self
                 .regions
                 .iter()
-                .map(|r| (r.kind(), r.bytes().to_vec()))
+                .map(|r| (r.kind(), Arc::from(r.bytes())))
                 .collect(),
             allocator: self.allocator.clone(),
             aging: self.aging.clone(),
@@ -369,6 +428,11 @@ impl MemoryArena {
     }
 
     /// Restores a checkpoint captured from this arena.
+    ///
+    /// Regions whose bytes provably still match the snapshot image (clean
+    /// since a capture/restore of the very same image) are skipped, so
+    /// restoring the boot checkpoint repeatedly only copies what the
+    /// component dirtied in between.
     ///
     /// # Errors
     ///
@@ -383,8 +447,16 @@ impl MemoryArena {
                 return Err(MemError::SnapshotMismatch);
             }
         }
-        for (region, (_, bytes)) in self.regions.iter_mut().zip(&snap.regions) {
-            region.overwrite(bytes);
+        for (idx, (region, (_, bytes))) in self.regions.iter_mut().zip(&snap.regions).enumerate() {
+            let unchanged = !self.dirty[idx]
+                && self.images[idx]
+                    .as_ref()
+                    .is_some_and(|img| Arc::ptr_eq(img, bytes));
+            if !unchanged {
+                region.overwrite(bytes);
+                self.images[idx] = Some(Arc::clone(bytes));
+                self.dirty[idx] = false;
+            }
         }
         self.allocator = snap.allocator.clone();
         self.aging = snap.aging.clone();
@@ -394,9 +466,11 @@ impl MemoryArena {
     /// Resets the arena to pristine boot state: zero fill of writable
     /// regions, a fresh allocator, and rejuvenated aging counters.
     pub fn reset(&mut self) {
-        for region in &mut self.regions {
+        for (idx, region) in self.regions.iter_mut().enumerate() {
             if region.kind().is_writable() {
                 region.bytes_mut().fill(0);
+                self.dirty[idx] = true;
+                self.images[idx] = None;
             }
         }
         self.allocator.reset();
@@ -482,12 +556,12 @@ mod tests {
     #[test]
     fn restore_rejects_foreign_snapshot() {
         let mut a = arena();
-        let other = MemoryArena::new("other", ArenaLayout::small());
+        let mut other = MemoryArena::new("other", ArenaLayout::small());
         assert_eq!(
             a.restore(&other.snapshot()),
             Err(MemError::SnapshotMismatch)
         );
-        let bigger = MemoryArena::new("test", ArenaLayout::medium());
+        let mut bigger = MemoryArena::new("test", ArenaLayout::medium());
         assert_eq!(
             a.restore(&bigger.snapshot()),
             Err(MemError::SnapshotMismatch)
@@ -496,7 +570,7 @@ mod tests {
 
     #[test]
     fn snapshot_byte_len_excludes_text() {
-        let a = arena();
+        let mut a = arena();
         let snap = a.snapshot();
         let l = ArenaLayout::small();
         assert_eq!(snap.byte_len(), l.data + l.bss + l.heap + l.stack);
@@ -522,9 +596,79 @@ mod tests {
 
     #[test]
     fn heap_only_layout_has_empty_data_and_bss() {
-        let a = MemoryArena::new("9pfs", ArenaLayout::heap_only(1 << 20));
+        let mut a = MemoryArena::new("9pfs", ArenaLayout::heap_only(1 << 20));
         let snap = a.snapshot();
         assert_eq!(snap.byte_len(), (1 << 20) + (16 << 10));
+    }
+
+    #[test]
+    fn clean_regions_share_one_image_across_snapshots() {
+        let mut a = arena();
+        let h = a.alloc(64).unwrap();
+        a.write(h.addr(), &[1; 64]).unwrap();
+        let s1 = a.snapshot();
+        // Nothing written in between: every region image is shared.
+        let s2 = a.snapshot();
+        for ((_, b1), (_, b2)) in s1.regions.iter().zip(&s2.regions) {
+            assert!(Arc::ptr_eq(b1, b2), "clean region was recopied");
+        }
+        // Dirty the heap only: the heap image is fresh, the rest shared.
+        a.write(h.addr(), &[2; 64]).unwrap();
+        let s3 = a.snapshot();
+        let heap_idx = RegionKind::ALL
+            .iter()
+            .position(|&k| k == RegionKind::Heap)
+            .unwrap();
+        for (idx, ((_, b2), (_, b3))) in s2.regions.iter().zip(&s3.regions).enumerate() {
+            assert_eq!(
+                Arc::ptr_eq(b2, b3),
+                idx != heap_idx,
+                "wrong sharing for region {idx}"
+            );
+        }
+        assert_eq!(s3.byte_len(), s1.byte_len(), "cost-model input changed");
+    }
+
+    #[test]
+    fn incremental_snapshot_equals_full_snapshot() {
+        let mut a = arena();
+        let h = a.alloc(256).unwrap();
+        a.write(h.addr(), &[9; 256]).unwrap();
+        let _warm = a.snapshot(); // prime the cache
+        a.write(h.addr(), &[7; 16]).unwrap();
+        let incremental = a.snapshot();
+        let full = a.snapshot_full();
+        assert_eq!(incremental, full);
+    }
+
+    #[test]
+    fn restore_skips_untouched_regions_but_stays_exact() {
+        let mut a = arena();
+        let h = a.alloc(128).unwrap();
+        a.write(h.addr(), &[5; 128]).unwrap();
+        let snap = a.snapshot();
+        // Restore immediately (no dirtying): a pure cache hit.
+        a.restore(&snap).unwrap();
+        assert_eq!(a.read(h.addr(), 128).unwrap(), vec![5; 128]);
+        // Dirty one region, restore again: bytes must match the capture.
+        a.write(h.addr(), &[0xAA; 128]).unwrap();
+        a.restore(&snap).unwrap();
+        assert_eq!(a.read(h.addr(), 128).unwrap(), vec![5; 128]);
+        // And a snapshot right after a restore shares the restored images.
+        let s2 = a.snapshot();
+        for ((_, b1), (_, b2)) in snap.regions.iter().zip(&s2.regions) {
+            assert!(Arc::ptr_eq(b1, b2), "post-restore capture recopied");
+        }
+    }
+
+    #[test]
+    fn bit_flips_invalidate_the_image_cache() {
+        let mut a = arena();
+        let snap = a.snapshot();
+        a.flip_bit(Addr(0), 3).unwrap(); // text: not writable, still dirties
+        let s2 = a.snapshot();
+        assert!(!Arc::ptr_eq(&snap.regions[0].1, &s2.regions[0].1));
+        assert_ne!(snap.regions[0].1, s2.regions[0].1);
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //! components and perturb their state. A [`Snapshot`] is that image: every
 //! region's bytes plus the allocator and aging state at capture time.
 
+use std::sync::Arc;
+
 use crate::aging::AgingState;
 use crate::buddy::BuddyAllocator;
 use crate::region::RegionKind;
@@ -17,10 +19,16 @@ use crate::region::RegionKind;
 /// total byte size ([`Snapshot::byte_len`]) drives the restore-time cost
 /// model — the paper found snapshot loading to be the dominant factor in
 /// stateful component reboot times (Fig. 6).
+///
+/// Region images are `Arc`-shared with the arena's dirty-region cache:
+/// capturing a snapshot copies only the regions written since the previous
+/// capture, and regions untouched between two snapshots share one image.
+/// `byte_len` still reports the full (non-text) image size — the cost-model
+/// input is unchanged; only the real (host) copying work shrinks.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Snapshot {
     pub(crate) arena_name: String,
-    pub(crate) regions: Vec<(RegionKind, Vec<u8>)>,
+    pub(crate) regions: Vec<(RegionKind, Arc<[u8]>)>,
     pub(crate) allocator: BuddyAllocator,
     pub(crate) aging: AgingState,
 }

@@ -121,4 +121,43 @@ proptest! {
 
         prop_assert_eq!(arena, reference);
     }
+
+    /// The incremental (dirty-region) snapshot path always captures the same
+    /// bytes as an unconditional full copy, over arbitrary interleavings of
+    /// writes, captures and restores of earlier checkpoints.
+    #[test]
+    fn incremental_snapshot_matches_full_copy(
+        steps in proptest::collection::vec(
+            (0usize..3, 0usize..4096, 0u8..=255, 0usize..8),
+            1..60,
+        ),
+    ) {
+        let mut arena = MemoryArena::new("prop", ArenaLayout::small());
+        let block = arena.alloc(4096).unwrap();
+        let mut snaps = Vec::new();
+        for (kind, off, val, pick) in steps {
+            match kind {
+                // Write a byte somewhere in the block.
+                0 => {
+                    let addr = vampos_mem::Addr(block.addr().0 + off as u64);
+                    arena.write(addr, &[val]).unwrap();
+                }
+                // Capture: the cached path must equal a fresh full copy.
+                1 => {
+                    let full = arena.snapshot_full();
+                    let incremental = arena.snapshot();
+                    prop_assert_eq!(&incremental, &full, "capture diverged");
+                    snaps.push(incremental);
+                }
+                // Restore some earlier checkpoint, then re-verify capture.
+                _ => {
+                    if !snaps.is_empty() {
+                        let snap = snaps[pick % snaps.len()].clone();
+                        arena.restore(&snap).unwrap();
+                        prop_assert_eq!(&arena.snapshot(), &snap, "restore diverged");
+                    }
+                }
+            }
+        }
+    }
 }

@@ -131,10 +131,113 @@ impl fmt::Display for Summary {
     }
 }
 
-/// A collecting histogram that retains raw samples for exact percentiles.
+/// How many of the 52 mantissa bits take part in bucketing once a
+/// [`Histogram`] spills to its sketch. 7 bits give 128 buckets per binade,
+/// i.e. a worst-case relative quantile error of 2⁻⁸ ≈ 0.4%.
+const SKETCH_MANTISSA_BITS: u32 = 7;
+const SKETCH_SHIFT: u32 = 52 - SKETCH_MANTISSA_BITS;
+
+/// Raw samples retained before a [`Histogram`] switches to the sketch.
+/// Below this the exact nearest-rank path is used; experiment tables built
+/// from fewer samples than this are bit-for-bit identical to the original
+/// collect-everything implementation.
+const SKETCH_SPILL_AT: usize = 4096;
+
+/// Fixed-memory log-linear quantile sketch.
 ///
-/// Sample counts in VampOS-RS experiments are small (hundreds of thousands at
-/// most), so keeping raw values is simpler and more precise than bucketing.
+/// Buckets values by sign, exponent and the top [`SKETCH_MANTISSA_BITS`]
+/// mantissa bits of their IEEE-754 representation, so bucket boundaries are
+/// evenly spaced *relative to the value*: every quantile estimate is within
+/// ~0.4% of the true sample. The bucket map is sparse — real latency streams
+/// span a few dozen binades at most, so memory stays small and fixed no
+/// matter how many samples are recorded.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct QuantileSketch {
+    buckets: std::collections::BTreeMap<i64, u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl QuantileSketch {
+    fn bucket_of(x: f64) -> i64 {
+        // Key 0 is reserved for exact zero; positive values map to keys
+        // >= 1 (monotone in x, an IEEE-754 bit-pattern property) and
+        // negative values mirror to keys <= -1.
+        if x == 0.0 {
+            0
+        } else if x > 0.0 {
+            (x.to_bits() >> SKETCH_SHIFT) as i64 + 1
+        } else {
+            -(((-x).to_bits() >> SKETCH_SHIFT) as i64 + 1)
+        }
+    }
+
+    /// Midpoint of a bucket's value range; the estimate returned for any
+    /// quantile that lands in it.
+    fn representative(key: i64) -> f64 {
+        if key == 0 {
+            return 0.0;
+        }
+        let (sign, k) = if key > 0 {
+            (1.0, (key - 1) as u64)
+        } else {
+            (-1.0, (-key - 1) as u64)
+        };
+        let lo = f64::from_bits(k << SKETCH_SHIFT);
+        let hi = f64::from_bits((k + 1) << SKETCH_SHIFT);
+        sign * 0.5 * (lo + hi)
+    }
+
+    fn record(&mut self, x: f64) {
+        assert!(!x.is_nan(), "NaN sample in histogram");
+        *self.buckets.entry(Self::bucket_of(x)).or_insert(0) += 1;
+        if self.count == 0 {
+            self.min = x;
+            self.max = x;
+        } else {
+            self.min = self.min.min(x);
+            self.max = self.max.max(x);
+        }
+        self.count += 1;
+        self.sum += x;
+    }
+
+    fn percentile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        // The extrema are tracked exactly; only interior quantiles estimate.
+        if p == 0.0 {
+            return self.min;
+        }
+        if p == 100.0 {
+            return self.max;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (&key, &n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                // Clamping keeps the estimate inside the observed range.
+                return Self::representative(key).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// A latency histogram with exact percentiles for small sample counts and a
+/// fixed-memory log-linear sketch beyond that.
+///
+/// Raw samples are retained (and nearest-rank percentiles are exact) until
+/// the count reaches an internal spill threshold; past it, samples are
+/// folded into a [`QuantileSketch`] whose quantile estimates carry at most
+/// ~0.4% relative error while `min`, `max`, `mean` and counts stay exact.
+/// Memory use is bounded by the number of occupied buckets — a function of
+/// the sample *range*, not the sample *count* — so unbounded experiment
+/// streams no longer grow (or re-sort) an ever-larger sample vector.
 ///
 /// # Example
 ///
@@ -152,6 +255,7 @@ impl fmt::Display for Summary {
 pub struct Histogram {
     samples: Vec<f64>,
     sorted: bool,
+    sketch: Option<QuantileSketch>,
 }
 
 impl Histogram {
@@ -162,8 +266,20 @@ impl Histogram {
 
     /// Records one sample.
     pub fn record(&mut self, x: f64) {
+        if let Some(sketch) = &mut self.sketch {
+            sketch.record(x);
+            return;
+        }
         self.samples.push(x);
         self.sorted = false;
+        if self.samples.len() >= SKETCH_SPILL_AT {
+            let mut sketch = QuantileSketch::default();
+            for &s in &self.samples {
+                sketch.record(s);
+            }
+            self.samples = Vec::new();
+            self.sketch = Some(sketch);
+        }
     }
 
     /// Records a duration sample in microseconds.
@@ -173,12 +289,21 @@ impl Histogram {
 
     /// Number of samples recorded.
     pub fn len(&self) -> usize {
-        self.samples.len()
+        match &self.sketch {
+            Some(sketch) => sketch.count as usize,
+            None => self.samples.len(),
+        }
     }
 
     /// True when no samples have been recorded.
     pub fn is_empty(&self) -> bool {
-        self.samples.is_empty()
+        self.len() == 0
+    }
+
+    /// True while percentiles are computed from retained raw samples; false
+    /// once the histogram has spilled to the fixed-memory sketch.
+    pub fn is_exact(&self) -> bool {
+        self.sketch.is_none()
     }
 
     fn ensure_sorted(&mut self) {
@@ -189,13 +314,17 @@ impl Histogram {
         }
     }
 
-    /// The `p`-th percentile (nearest-rank), or 0 when empty.
+    /// The `p`-th percentile — nearest-rank while exact, a ≤0.4%-relative-
+    /// error estimate after spilling — or 0 when empty.
     ///
     /// # Panics
     ///
     /// Panics if `p` is outside `[0, 100]`.
     pub fn percentile(&mut self, p: f64) -> f64 {
         assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+        if let Some(sketch) = &self.sketch {
+            return sketch.percentile(p);
+        }
         if self.samples.is_empty() {
             return 0.0;
         }
@@ -204,21 +333,23 @@ impl Histogram {
         self.samples[rank.saturating_sub(1).min(self.samples.len() - 1)]
     }
 
-    /// Arithmetic mean, or 0 when empty.
+    /// Arithmetic mean (always exact), or 0 when empty.
     pub fn mean(&self) -> f64 {
-        if self.samples.is_empty() {
-            0.0
-        } else {
-            self.samples.iter().sum::<f64>() / self.samples.len() as f64
+        match &self.sketch {
+            Some(sketch) if sketch.count > 0 => sketch.sum / sketch.count as f64,
+            Some(_) => 0.0,
+            None if self.samples.is_empty() => 0.0,
+            None => self.samples.iter().sum::<f64>() / self.samples.len() as f64,
         }
     }
 
-    /// Maximum sample, or 0 when empty.
+    /// Maximum sample (always exact), or 0 when empty.
     pub fn max(&mut self) -> f64 {
         self.percentile(100.0)
     }
 
-    /// Borrow the raw samples (unspecified order).
+    /// Borrow the retained raw samples (unspecified order). Empty once the
+    /// histogram has spilled to the sketch — check [`Histogram::is_exact`].
     pub fn samples(&self) -> &[f64] {
         &self.samples
     }
@@ -320,5 +451,86 @@ mod tests {
         let mut h = Histogram::new();
         h.record(1.0);
         let _ = h.percentile(101.0);
+    }
+
+    #[test]
+    fn histogram_spills_to_sketch_at_threshold() {
+        let mut h = Histogram::new();
+        for i in 0..SKETCH_SPILL_AT - 1 {
+            h.record(i as f64);
+        }
+        assert!(h.is_exact());
+        h.record(1.0);
+        assert!(!h.is_exact());
+        assert_eq!(h.len(), SKETCH_SPILL_AT);
+        assert!(h.samples().is_empty());
+        // Recording keeps counting after the spill.
+        h.record(2.0);
+        assert_eq!(h.len(), SKETCH_SPILL_AT + 1);
+    }
+
+    #[test]
+    fn sketch_percentiles_within_relative_error_bound() {
+        // A wide multiplicative range stresses many binades.
+        let n = 50_000u64;
+        let mut h = Histogram::new();
+        for i in 1..=n {
+            h.record(i as f64 * 0.731);
+        }
+        assert!(!h.is_exact());
+        for p in [1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9] {
+            let exact = (p / 100.0 * n as f64).ceil() * 0.731;
+            let got = h.percentile(p);
+            let rel = (got - exact).abs() / exact;
+            assert!(rel < 0.004, "p{p}: got {got}, want {exact} (rel {rel})");
+        }
+        // Extrema and mean stay exact.
+        assert_eq!(h.percentile(0.0), 0.731);
+        assert_eq!(h.percentile(100.0), n as f64 * 0.731);
+        assert_eq!(h.max(), n as f64 * 0.731);
+        let want_mean = 0.731 * (n + 1) as f64 / 2.0;
+        assert!((h.mean() - want_mean).abs() / want_mean < 1e-9);
+    }
+
+    #[test]
+    fn sketch_memory_is_bounded_by_range_not_count() {
+        let mut h = Histogram::new();
+        for i in 0..200_000u64 {
+            // Values cycle over ~3 decades regardless of i.
+            h.record(1.0 + (i % 997) as f64);
+        }
+        let sketch = h.sketch.as_ref().expect("spilled");
+        // 997 distinct values over ~10 binades: far fewer buckets than
+        // samples, and bounded no matter how long the stream runs.
+        assert!(sketch.buckets.len() <= 997);
+        assert!(h.samples().is_empty());
+        assert_eq!(h.len(), 200_000);
+    }
+
+    #[test]
+    fn sketch_handles_negatives_and_zero() {
+        let mut h = Histogram::new();
+        for i in 0..SKETCH_SPILL_AT as i64 {
+            h.record((i - (SKETCH_SPILL_AT as i64 / 2)) as f64);
+        }
+        assert!(!h.is_exact());
+        assert_eq!(h.percentile(0.0), -(SKETCH_SPILL_AT as f64) / 2.0);
+        let mid = h.percentile(50.0);
+        assert!(mid.abs() <= 2.0, "median {mid} should be near zero");
+        assert!(h.percentile(25.0) < h.percentile(75.0));
+    }
+
+    #[test]
+    fn sketch_percentiles_are_monotone_in_p() {
+        let mut h = Histogram::new();
+        for i in 0..SKETCH_SPILL_AT * 3 {
+            h.record(((i * 37) % 1021) as f64 + 0.5);
+        }
+        let mut last = f64::NEG_INFINITY;
+        for p in 0..=100 {
+            let v = h.percentile(p as f64);
+            assert!(v >= last, "p{p}: {v} < {last}");
+            last = v;
+        }
     }
 }
