@@ -195,6 +195,17 @@ impl App for MiniHttpd {
         }
         Ok(served)
     }
+
+    fn state_digest(&self) -> u64 {
+        // The doc root identifies what is being served; the counters are
+        // the observable request history. Connection fds and the file
+        // cache (a performance artifact holding fd numbers) are excluded.
+        vampos_ukernel::digest::DigestBuilder::new()
+            .str(&self.doc_root)
+            .u64(self.served)
+            .u64(self.not_found)
+            .finish()
+    }
 }
 
 #[cfg(test)]

@@ -56,4 +56,14 @@ pub trait App {
     ///
     /// Propagates unrecovered syscall failures.
     fn poll(&mut self, sys: &mut System) -> Result<usize, OsError>;
+
+    /// A deterministic digest of the application's *logical* state — the
+    /// observable the recovery-correctness oracles compare between a
+    /// faulted run and its fault-free twin. Implementations must cover the
+    /// state the paper claims component reboots preserve (stored key-values,
+    /// table rows, request counters) and must exclude incidental runtime
+    /// details (fd numbers, connection ids) that legitimately differ after
+    /// a recovery. Iteration over unordered containers must be sorted so
+    /// the digest is stable across processes.
+    fn state_digest(&self) -> u64;
 }

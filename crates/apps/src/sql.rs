@@ -329,6 +329,29 @@ impl App for MiniSql {
         // SQLite is embedded: there is no network to poll.
         Ok(0)
     }
+
+    fn state_digest(&self) -> u64 {
+        // Schema plus row contents, table names sorted. The statements
+        // counter is excluded: it resets on a full reboot while the
+        // database file restores the tables.
+        let mut names: Vec<&String> = self.tables.keys().collect();
+        names.sort();
+        let mut d = vampos_ukernel::digest::DigestBuilder::new().u64(names.len() as u64);
+        for name in names {
+            let table = &self.tables[name];
+            d = d.str(name).u64(table.columns.len() as u64);
+            for col in &table.columns {
+                d = d.str(col);
+            }
+            d = d.u64(table.rows.len() as u64);
+            for row in &table.rows {
+                for cell in row {
+                    d = d.str(cell);
+                }
+            }
+        }
+        d.finish()
+    }
 }
 
 #[cfg(test)]

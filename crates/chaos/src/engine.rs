@@ -1,0 +1,234 @@
+//! The campaign sweep: generate → execute (faulted + twin) → oracles →
+//! shrink, fanned out over worker threads with per-campaign seed isolation.
+//!
+//! Everything here is deterministic for a given configuration: campaign
+//! seeds are pure derivations of `(base seed, workload, index)`, each
+//! campaign builds its own simulated system (no shared state between
+//! workers), and [`vampos_bench::parallel_map`] preserves input order — so
+//! the sweep report is byte-identical across runs and across worker counts.
+
+use vampos_bench::parallel_map;
+use vampos_sim::derive_seed;
+
+use crate::gen::generate_spec;
+use crate::json;
+use crate::oracle::{self, Violation};
+use crate::shrink;
+use crate::spec::{CampaignSpec, WorkloadKind};
+
+/// Executions the shrinker may spend per failing campaign.
+const SHRINK_BUDGET: usize = 150;
+
+/// Sweep configuration (mirrors the `vampos-chaos` CLI).
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Base seed; every campaign derives its own from it.
+    pub seed: u64,
+    /// Campaigns per workload.
+    pub campaigns: u64,
+    /// Workloads to sweep.
+    pub workloads: Vec<WorkloadKind>,
+    /// Max scheduled events per campaign.
+    pub budget: usize,
+    /// Plant a deliberate state divergence in every campaign (pipeline
+    /// self-test: all campaigns must then fail and shrink).
+    pub plant: bool,
+    /// Run campaigns on the calling thread, in order (debugging aid).
+    pub sequential: bool,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            seed: 42,
+            campaigns: 100,
+            workloads: vec![WorkloadKind::Kv],
+            budget: 4,
+            plant: false,
+            sequential: false,
+        }
+    }
+}
+
+/// The outcome of one campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignOutcome {
+    /// The executed spec.
+    pub spec: CampaignSpec,
+    /// Oracle violations (empty = pass).
+    pub violations: Vec<Violation>,
+    /// The minimized reproducer, when the campaign failed.
+    pub shrunk: Option<CampaignSpec>,
+    /// Executions the shrinker spent.
+    pub shrink_runs: usize,
+}
+
+impl CampaignOutcome {
+    /// Whether every oracle was silent.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The minimized reproducer serialized as JSON (failing campaigns
+    /// only).
+    pub fn reproducer_json(&self) -> Option<String> {
+        self.shrunk.as_ref().map(json::to_json)
+    }
+
+    /// The stable one-line summary the sweep prints.
+    pub fn summary_line(&self) -> String {
+        if self.passed() {
+            format!(
+                "PASS {} #{} seed={:#018x} events={} ops={}",
+                self.spec.workload.name(),
+                self.spec.campaign,
+                self.spec.seed,
+                self.spec.events.len(),
+                self.spec.ops,
+            )
+        } else {
+            let kinds: Vec<&str> = {
+                let mut ks: Vec<&str> = self.violations.iter().map(|v| v.kind.name()).collect();
+                ks.sort_unstable();
+                ks.dedup();
+                ks
+            };
+            format!(
+                "FAIL {} #{} seed={:#018x} oracles=[{}] shrunk to {} event(s), {} op(s) in {} run(s)",
+                self.spec.workload.name(),
+                self.spec.campaign,
+                self.spec.seed,
+                kinds.join(","),
+                self.shrunk.as_ref().map_or(0, |s| s.events.len()),
+                self.shrunk.as_ref().map_or(0, |s| s.ops),
+                self.shrink_runs,
+            )
+        }
+    }
+}
+
+/// Executes one spec — faulted run, fault-free twin, all four oracles.
+pub fn execute_spec(spec: &CampaignSpec) -> Vec<Violation> {
+    let faulted = crate::drive::run(spec, true);
+    let twin = crate::drive::run(spec, false);
+    oracle::check(spec, &faulted, &twin)
+}
+
+/// Runs one campaign end to end, shrinking on failure.
+pub fn run_campaign(spec: CampaignSpec) -> CampaignOutcome {
+    let violations = execute_spec(&spec);
+    if violations.is_empty() {
+        return CampaignOutcome {
+            spec,
+            violations,
+            shrunk: None,
+            shrink_runs: 0,
+        };
+    }
+    let out = shrink::shrink(&spec, &violations, SHRINK_BUDGET, execute_spec);
+    CampaignOutcome {
+        spec,
+        violations,
+        shrunk: Some(out.spec),
+        shrink_runs: out.runs,
+    }
+}
+
+/// The result of a whole sweep.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Every campaign, in (workload, index) order.
+    pub outcomes: Vec<CampaignOutcome>,
+}
+
+impl SweepReport {
+    /// Failing campaigns.
+    pub fn failures(&self) -> impl Iterator<Item = &CampaignOutcome> {
+        self.outcomes.iter().filter(|o| !o.passed())
+    }
+
+    /// The full, deterministic text report (one line per campaign plus a
+    /// trailer).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for outcome in &self.outcomes {
+            out.push_str(&outcome.summary_line());
+            out.push('\n');
+            for v in &outcome.violations {
+                out.push_str(&format!("  {}: {}\n", v.kind.name(), v.detail));
+            }
+        }
+        let failed = self.failures().count();
+        out.push_str(&format!(
+            "{} campaign(s), {} passed, {} failed\n",
+            self.outcomes.len(),
+            self.outcomes.len() - failed,
+            failed,
+        ));
+        out
+    }
+}
+
+/// Runs a full sweep: `campaigns` specs per workload, fanned out over
+/// worker threads (or sequentially), order-preserving.
+pub fn run_sweep(cfg: &SweepConfig) -> SweepReport {
+    let mut specs = Vec::new();
+    for workload in &cfg.workloads {
+        // Two-level derivation: workload stream, then campaign stream —
+        // adding a workload to the sweep never perturbs another's seeds.
+        let stream = derive_seed(cfg.seed, workload.id());
+        for campaign in 0..cfg.campaigns {
+            let seed = derive_seed(stream, campaign);
+            specs.push(generate_spec(
+                *workload, seed, campaign, cfg.budget, cfg.plant,
+            ));
+        }
+    }
+    let outcomes = if cfg.sequential {
+        specs.into_iter().map(run_campaign).collect()
+    } else {
+        parallel_map(specs, run_campaign)
+    };
+    SweepReport { outcomes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(workloads: Vec<WorkloadKind>, plant: bool) -> SweepConfig {
+        SweepConfig {
+            seed: 42,
+            campaigns: 3,
+            workloads,
+            budget: 3,
+            plant,
+            sequential: false,
+        }
+    }
+
+    #[test]
+    fn sweep_is_deterministic_across_runs_and_scheduling() {
+        let cfg = tiny(vec![WorkloadKind::Kv, WorkloadKind::Echo], false);
+        let a = run_sweep(&cfg).render();
+        let b = run_sweep(&cfg).render();
+        assert_eq!(a, b);
+        let mut seq = cfg.clone();
+        seq.sequential = true;
+        assert_eq!(run_sweep(&seq).render(), a, "parallel vs sequential");
+    }
+
+    #[test]
+    fn adding_a_workload_does_not_perturb_existing_seeds() {
+        let kv_only = run_sweep(&tiny(vec![WorkloadKind::Kv], false));
+        let both = run_sweep(&tiny(vec![WorkloadKind::Echo, WorkloadKind::Kv], false));
+        let kv_in_both: Vec<u64> = both
+            .outcomes
+            .iter()
+            .filter(|o| o.spec.workload == WorkloadKind::Kv)
+            .map(|o| o.spec.seed)
+            .collect();
+        let kv_alone: Vec<u64> = kv_only.outcomes.iter().map(|o| o.spec.seed).collect();
+        assert_eq!(kv_in_both, kv_alone);
+    }
+}

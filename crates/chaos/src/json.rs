@@ -1,0 +1,491 @@
+//! Reproducer serialization: a minimal hand-rolled JSON reader/writer.
+//!
+//! The build environment is offline (no serde), and a reproducer only needs
+//! a small, fixed schema, so this module implements just enough JSON for
+//! [`CampaignSpec`]: objects, arrays, strings with basic escapes, and
+//! integers. Integers are kept as raw token strings end to end — seeds use
+//! the full `u64` range and must not round-trip through `f64`.
+
+use std::collections::BTreeMap;
+
+use crate::spec::{CampaignSpec, EventKind, EventSpec, FaultSpec, WorkloadKind};
+
+/// A parsed JSON value. Numbers keep their raw token text so 64-bit
+/// integers survive exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A numeric token, verbatim.
+    Num(String),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. Key order is irrelevant to the schema; a map keeps
+    /// lookups simple.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    fn as_u64(&self) -> Result<u64, String> {
+        match self {
+            Json::Num(raw) => raw.parse().map_err(|_| format!("not a u64: {raw}")),
+            other => Err(format!("expected number, got {other:?}")),
+        }
+    }
+
+    fn as_bool(&self) -> Result<bool, String> {
+        match self {
+            Json::Bool(b) => Ok(*b),
+            other => Err(format!("expected bool, got {other:?}")),
+        }
+    }
+
+    fn as_str(&self) -> Result<&str, String> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => Err(format!("expected string, got {other:?}")),
+        }
+    }
+
+    fn as_arr(&self) -> Result<&[Json], String> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            other => Err(format!("expected array, got {other:?}")),
+        }
+    }
+
+    fn get<'a>(&'a self, key: &str) -> Result<&'a Json, String> {
+        match self {
+            Json::Obj(map) => map.get(key).ok_or_else(|| format!("missing key {key:?}")),
+            other => Err(format!("expected object, got {other:?}")),
+        }
+    }
+}
+
+fn escape(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Serializes a spec as pretty-printed JSON (stable field order — the
+/// reproducer artifact must be byte-identical across runs).
+pub fn to_json(spec: &CampaignSpec) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"workload\": \"{}\",\n", spec.workload.name()));
+    out.push_str(&format!("  \"seed\": {},\n", spec.seed));
+    out.push_str(&format!("  \"campaign\": {},\n", spec.campaign));
+    out.push_str(&format!("  \"ops\": {},\n", spec.ops));
+    out.push_str(&format!("  \"tail\": {},\n", spec.tail));
+    out.push_str(&format!("  \"aof\": {},\n", spec.aof));
+    out.push_str(&format!("  \"plant\": {},\n", spec.plant));
+    out.push_str("  \"events\": [");
+    for (i, event) in spec.events.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("    { ");
+        out.push_str(&format!("\"at_ns\": {}, ", event.at_ns));
+        match &event.kind {
+            EventKind::ComponentReboot(name) => {
+                out.push_str("\"kind\": \"component_reboot\", \"component\": ");
+                escape(name, &mut out);
+            }
+            EventKind::FullReboot => out.push_str("\"kind\": \"full_reboot\""),
+            EventKind::Inject {
+                component,
+                after,
+                fault,
+            } => {
+                out.push_str("\"kind\": \"inject\", \"component\": ");
+                escape(component, &mut out);
+                out.push_str(&format!(", \"after\": {after}, "));
+                match fault {
+                    FaultSpec::Panic => out.push_str("\"fault\": \"panic\""),
+                    FaultSpec::Hang => out.push_str("\"fault\": \"hang\""),
+                    FaultSpec::LeakPerOp { bytes } => {
+                        out.push_str(&format!("\"fault\": \"leak\", \"bytes\": {bytes}"));
+                    }
+                    FaultSpec::BitFlip { offset, bit } => {
+                        out.push_str(&format!(
+                            "\"fault\": \"bit_flip\", \"offset\": {offset}, \"bit\": {bit}"
+                        ));
+                    }
+                }
+            }
+            EventKind::Fail(name) => {
+                out.push_str("\"kind\": \"fail\", \"component\": ");
+                escape(name, &mut out);
+            }
+            EventKind::RejuvenateAll => out.push_str("\"kind\": \"rejuvenate_all\""),
+        }
+        out.push_str(" }");
+    }
+    out.push_str(if spec.events.is_empty() {
+        "]\n"
+    } else {
+        "\n  ]\n"
+    });
+    out.push_str("}\n");
+    out
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_owned())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let b = *self.bytes.get(self.pos).ok_or("unterminated string")?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(s),
+                b'\\' => {
+                    let esc = *self.bytes.get(self.pos).ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b't' => s.push('\t'),
+                        b'r' => s.push('\r'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            s.push(char::from_u32(code).ok_or("invalid \\u escape")?);
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape \\{}", other as char)),
+                    }
+                }
+                other => {
+                    // Re-sync to char boundaries for multi-byte UTF-8.
+                    let start = self.pos - 1;
+                    let len = match other {
+                        b if b < 0x80 => 1,
+                        b if b >= 0xF0 => 4,
+                        b if b >= 0xE0 => 3,
+                        _ => 2,
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(start..start + len)
+                        .ok_or("truncated UTF-8")?;
+                    s.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(format!("expected number at byte {start}"));
+        }
+        Ok(Json::Num(
+            std::str::from_utf8(&self.bytes[start..self.pos])
+                .map_err(|e| e.to_string())?
+                .to_owned(),
+        ))
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'{' => {
+                self.expect(b'{')?;
+                let mut map = BTreeMap::new();
+                if self.peek()? == b'}' {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.expect(b':')?;
+                    map.insert(key, self.value()?);
+                    match self.peek()? {
+                        b',' => self.pos += 1,
+                        b'}' => {
+                            self.pos += 1;
+                            return Ok(Json::Obj(map));
+                        }
+                        other => return Err(format!("expected , or }} got {:?}", other as char)),
+                    }
+                }
+            }
+            b'[' => {
+                self.expect(b'[')?;
+                let mut items = Vec::new();
+                if self.peek()? == b']' {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    match self.peek()? {
+                        b',' => self.pos += 1,
+                        b']' => {
+                            self.pos += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        other => return Err(format!("expected , or ] got {:?}", other as char)),
+                    }
+                }
+            }
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+}
+
+/// Parses a JSON document into a [`Json`] tree.
+///
+/// # Errors
+///
+/// A human-readable description of the first syntax error.
+pub fn parse_value(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+fn event_from_json(v: &Json) -> Result<EventSpec, String> {
+    let at_ns = v.get("at_ns")?.as_u64()?;
+    let kind = match v.get("kind")?.as_str()? {
+        "component_reboot" => EventKind::ComponentReboot(v.get("component")?.as_str()?.to_owned()),
+        "full_reboot" => EventKind::FullReboot,
+        "fail" => EventKind::Fail(v.get("component")?.as_str()?.to_owned()),
+        "rejuvenate_all" => EventKind::RejuvenateAll,
+        "inject" => {
+            let fault = match v.get("fault")?.as_str()? {
+                "panic" => FaultSpec::Panic,
+                "hang" => FaultSpec::Hang,
+                "leak" => FaultSpec::LeakPerOp {
+                    bytes: v.get("bytes")?.as_u64()? as usize,
+                },
+                "bit_flip" => FaultSpec::BitFlip {
+                    offset: v.get("offset")?.as_u64()?,
+                    bit: v.get("bit")?.as_u64()? as u8,
+                },
+                other => return Err(format!("unknown fault {other:?}")),
+            };
+            EventKind::Inject {
+                component: v.get("component")?.as_str()?.to_owned(),
+                after: v.get("after")?.as_u64()?,
+                fault,
+            }
+        }
+        other => return Err(format!("unknown event kind {other:?}")),
+    };
+    Ok(EventSpec { at_ns, kind })
+}
+
+/// Parses a reproducer document back into a [`CampaignSpec`].
+///
+/// # Errors
+///
+/// A description of the first syntax or schema error.
+pub fn from_json(text: &str) -> Result<CampaignSpec, String> {
+    let v = parse_value(text)?;
+    let workload = v.get("workload")?.as_str()?;
+    let workload =
+        WorkloadKind::parse(workload).ok_or_else(|| format!("unknown workload {workload:?}"))?;
+    Ok(CampaignSpec {
+        workload,
+        seed: v.get("seed")?.as_u64()?,
+        campaign: v.get("campaign")?.as_u64()?,
+        ops: v.get("ops")?.as_u64()? as usize,
+        tail: v.get("tail")?.as_u64()? as usize,
+        aof: v.get("aof")?.as_bool()?,
+        plant: v.get("plant")?.as_bool()?,
+        events: v
+            .get("events")?
+            .as_arr()?
+            .iter()
+            .map(event_from_json)
+            .collect::<Result<Vec<_>, _>>()?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CampaignSpec {
+        CampaignSpec {
+            workload: WorkloadKind::Kv,
+            seed: u64::MAX - 3, // must survive without f64 rounding
+            campaign: 17,
+            ops: 48,
+            tail: 16,
+            aof: true,
+            plant: false,
+            events: vec![
+                EventSpec {
+                    at_ns: 1_234_567,
+                    kind: EventKind::ComponentReboot("9pfs".into()),
+                },
+                EventSpec {
+                    at_ns: 2_000_000,
+                    kind: EventKind::Inject {
+                        component: "vfs".into(),
+                        after: 3,
+                        fault: FaultSpec::BitFlip {
+                            offset: 4096,
+                            bit: 7,
+                        },
+                    },
+                },
+                EventSpec {
+                    at_ns: 2_500_000,
+                    kind: EventKind::Inject {
+                        component: "lwip".into(),
+                        after: 0,
+                        fault: FaultSpec::LeakPerOp { bytes: 512 },
+                    },
+                },
+                EventSpec {
+                    at_ns: 3_000_000,
+                    kind: EventKind::FullReboot,
+                },
+                EventSpec {
+                    at_ns: 3_500_000,
+                    kind: EventKind::Fail("timer".into()),
+                },
+                EventSpec {
+                    at_ns: 4_000_000,
+                    kind: EventKind::RejuvenateAll,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trips_every_event_kind() {
+        let spec = sample();
+        let text = to_json(&spec);
+        assert_eq!(from_json(&text).unwrap(), spec);
+    }
+
+    #[test]
+    fn u64_seeds_survive_exactly() {
+        let mut spec = sample();
+        spec.seed = 18_446_744_073_709_551_615; // u64::MAX
+        let text = to_json(&spec);
+        assert_eq!(from_json(&text).unwrap().seed, u64::MAX);
+    }
+
+    #[test]
+    fn serialization_is_stable() {
+        assert_eq!(to_json(&sample()), to_json(&sample()));
+    }
+
+    #[test]
+    fn empty_events_round_trip() {
+        let mut spec = sample();
+        spec.events.clear();
+        assert_eq!(from_json(&to_json(&spec)).unwrap(), spec);
+    }
+
+    #[test]
+    fn strings_with_escapes_round_trip() {
+        let mut spec = sample();
+        spec.events = vec![EventSpec {
+            at_ns: 1,
+            kind: EventKind::Fail("we\"ird\\nameß".into()),
+        }];
+        assert_eq!(from_json(&to_json(&spec)).unwrap(), spec);
+    }
+
+    #[test]
+    fn schema_errors_are_reported() {
+        assert!(from_json("{").is_err());
+        assert!(from_json("{}").is_err());
+        assert!(from_json("{\"workload\": \"marsrover\"}").is_err());
+        let truncated = to_json(&sample());
+        let broken = &truncated[..truncated.len() / 2];
+        assert!(from_json(broken).is_err());
+    }
+}

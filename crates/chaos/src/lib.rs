@@ -1,0 +1,53 @@
+//! `vampos-chaos`: a seeded, fully deterministic fault-campaign engine for
+//! the VampOS-RS reproduction.
+//!
+//! A *campaign* takes a workload (echo / kv / http / sql), a seed, and a
+//! fault budget; generates a randomized schedule of injected faults and
+//! administrative disruptions (panics, hangs, leaks, bit flips, timed
+//! component and full reboots); runs the faulted execution against a
+//! fault-free twin issuing the identical request stream; and checks four
+//! recovery-correctness oracles:
+//!
+//! 1. **state equivalence** — application state matches the twin once
+//!    recovery quiesces,
+//! 2. **replay consistency** — every rebooted component reaches the twin's
+//!    state digest,
+//! 3. **isolation** — no MPK policy violations during recovery,
+//! 4. **liveness** — every armed fault fired, every event came due, and
+//!    recovery stayed within the cost-model bound.
+//!
+//! Failing campaigns are shrunk to a minimal JSON reproducer that
+//! `vampos-chaos --replay <file>` re-executes bit-for-bit. Campaign sweeps
+//! fan out over worker threads with per-seed isolation and byte-identical
+//! output.
+//!
+//! ```
+//! use vampos_chaos::{run_sweep, SweepConfig, WorkloadKind};
+//!
+//! let cfg = SweepConfig {
+//!     seed: 7,
+//!     campaigns: 2,
+//!     workloads: vec![WorkloadKind::Echo],
+//!     ..SweepConfig::default()
+//! };
+//! let report = run_sweep(&cfg);
+//! assert_eq!(report.failures().count(), 0);
+//! ```
+
+pub mod drive;
+pub mod engine;
+pub mod gen;
+pub mod json;
+pub mod oracle;
+pub mod shrink;
+pub mod spec;
+
+pub use drive::RunResult;
+pub use engine::{
+    execute_spec, run_campaign, run_sweep, CampaignOutcome, SweepConfig, SweepReport,
+};
+pub use gen::generate_spec;
+pub use json::{from_json, to_json};
+pub use oracle::{OracleKind, Violation};
+pub use shrink::{shrink, ShrinkOutcome};
+pub use spec::{CampaignSpec, EventKind, EventSpec, FaultSpec, WorkloadKind};

@@ -1,0 +1,246 @@
+//! Reproducer minimization.
+//!
+//! A failing campaign is shrunk to a smaller spec that still violates (at
+//! least one of) the same oracles. Candidate moves, applied greedily to a
+//! fixpoint under a run budget:
+//!
+//! * drop one scheduled event,
+//! * halve an event's firing time, its `after` countdown, or a bit-flip
+//!   offset,
+//! * halve (then decrement) the main request count.
+//!
+//! Acceptance requires the candidate's violation kinds to *intersect* the
+//! original's: without that, shrinking can walk onto a different bug — the
+//! classic trap where dropping one event converts a state-equivalence
+//! failure into an unreachable-event liveness artifact, and the "minimal"
+//! reproducer no longer reproduces anything of interest.
+
+use std::collections::BTreeSet;
+
+use crate::oracle::{OracleKind, Violation};
+use crate::spec::{CampaignSpec, EventKind, FaultSpec};
+
+/// Shrink outcome: the smallest accepted spec and the number of campaign
+/// executions spent finding it.
+#[derive(Debug, Clone)]
+pub struct ShrinkOutcome {
+    /// The minimized spec (possibly the original, if nothing smaller
+    /// reproduced).
+    pub spec: CampaignSpec,
+    /// Executions spent.
+    pub runs: usize,
+}
+
+fn kinds(violations: &[Violation]) -> BTreeSet<OracleKind> {
+    violations.iter().map(|v| v.kind).collect()
+}
+
+/// Minimizes `spec` under `budget` campaign executions.
+///
+/// `execute` runs a candidate and returns its violations (the engine passes
+/// its own faulted-plus-twin pipeline in, which keeps this module free of
+/// drive details and directly testable).
+pub fn shrink<F>(
+    spec: &CampaignSpec,
+    original: &[Violation],
+    budget: usize,
+    mut execute: F,
+) -> ShrinkOutcome
+where
+    F: FnMut(&CampaignSpec) -> Vec<Violation>,
+{
+    let target = kinds(original);
+    let mut best = spec.clone();
+    let mut runs = 0usize;
+    if target.is_empty() {
+        return ShrinkOutcome { spec: best, runs };
+    }
+
+    let mut reproduces = |candidate: &CampaignSpec, runs: &mut usize| -> bool {
+        *runs += 1;
+        !kinds(&execute(candidate)).is_disjoint(&target)
+    };
+
+    loop {
+        let mut improved = false;
+
+        // Pass 1: drop events, one at a time.
+        let mut i = 0;
+        while i < best.events.len() {
+            if runs >= budget {
+                return ShrinkOutcome { spec: best, runs };
+            }
+            let mut candidate = best.clone();
+            candidate.events.remove(i);
+            if reproduces(&candidate, &mut runs) {
+                best = candidate;
+                improved = true;
+                // Same index now holds the next event.
+            } else {
+                i += 1;
+            }
+        }
+
+        // Pass 2: halve event times and numeric payloads.
+        for i in 0..best.events.len() {
+            if runs >= budget {
+                return ShrinkOutcome { spec: best, runs };
+            }
+            let mut candidate = best.clone();
+            let event = &mut candidate.events[i];
+            let mut changed = false;
+            if event.at_ns > 1 {
+                event.at_ns /= 2;
+                changed = true;
+            }
+            match &mut event.kind {
+                EventKind::Inject { after, fault, .. } => {
+                    if *after > 0 {
+                        *after /= 2;
+                        changed = true;
+                    }
+                    if let FaultSpec::BitFlip { offset, .. } = fault {
+                        if *offset > 0 {
+                            *offset /= 2;
+                            changed = true;
+                        }
+                    }
+                }
+                EventKind::ComponentReboot(_)
+                | EventKind::FullReboot
+                | EventKind::Fail(_)
+                | EventKind::RejuvenateAll => {}
+            }
+            if changed && reproduces(&candidate, &mut runs) {
+                best = candidate;
+                improved = true;
+            }
+        }
+
+        // Pass 3: shrink the request stream (halve, then decrement).
+        while best.ops > 1 {
+            if runs >= budget {
+                return ShrinkOutcome { spec: best, runs };
+            }
+            let mut candidate = best.clone();
+            candidate.ops = (candidate.ops / 2).max(1);
+            if candidate.ops == best.ops {
+                break;
+            }
+            if reproduces(&candidate, &mut runs) {
+                best = candidate;
+                improved = true;
+            } else {
+                break;
+            }
+        }
+        while best.ops > 1 && runs < budget {
+            let mut candidate = best.clone();
+            candidate.ops -= 1;
+            if reproduces(&candidate, &mut runs) {
+                best = candidate;
+                improved = true;
+            } else {
+                break;
+            }
+        }
+
+        if !improved || runs >= budget {
+            return ShrinkOutcome { spec: best, runs };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{EventSpec, WorkloadKind};
+
+    fn violation(kind: OracleKind) -> Violation {
+        Violation {
+            kind,
+            detail: "x".into(),
+        }
+    }
+
+    fn spec_with_events(n: usize) -> CampaignSpec {
+        CampaignSpec {
+            workload: WorkloadKind::Kv,
+            seed: 5,
+            campaign: 0,
+            ops: 64,
+            tail: 16,
+            aof: false,
+            plant: false,
+            events: (0..n)
+                .map(|i| EventSpec {
+                    at_ns: 1_000 * (i as u64 + 1),
+                    kind: EventKind::ComponentReboot(format!("c{i}")),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn drops_irrelevant_events_and_shrinks_ops() {
+        // Synthetic bug: reproduces iff the "c2" event is present.
+        let execute = |candidate: &CampaignSpec| {
+            if candidate
+                .events
+                .iter()
+                .any(|e| e.kind == EventKind::ComponentReboot("c2".into()))
+            {
+                vec![violation(OracleKind::StateEquivalence)]
+            } else {
+                Vec::new()
+            }
+        };
+        let spec = spec_with_events(5);
+        let original = execute(&spec);
+        let out = shrink(&spec, &original, 200, execute);
+        assert_eq!(out.spec.events.len(), 1, "{:?}", out.spec.events);
+        assert_eq!(out.spec.ops, 1);
+        assert!(out.runs <= 200);
+    }
+
+    #[test]
+    fn rejects_shrinks_onto_a_different_oracle() {
+        // Removing any event "fails" with a *different* kind; nothing may
+        // be accepted.
+        let execute = |candidate: &CampaignSpec| {
+            if candidate.events.len() < 3 || candidate.ops < 64 {
+                vec![violation(OracleKind::Liveness)]
+            } else {
+                vec![violation(OracleKind::Isolation)]
+            }
+        };
+        let spec = spec_with_events(3);
+        let original = vec![violation(OracleKind::Isolation)];
+        let out = shrink(&spec, &original, 100, execute);
+        // Time halvings keep the oracle and may be accepted; structural
+        // shrinks (fewer events, fewer ops) flip it and must not be.
+        assert_eq!(out.spec.events.len(), 3);
+        assert_eq!(out.spec.ops, 64);
+    }
+
+    #[test]
+    fn respects_the_run_budget() {
+        let execute = |_: &CampaignSpec| vec![violation(OracleKind::StateEquivalence)];
+        let spec = spec_with_events(8);
+        let original = vec![violation(OracleKind::StateEquivalence)];
+        let out = shrink(&spec, &original, 5, execute);
+        assert!(out.runs <= 5, "runs = {}", out.runs);
+    }
+
+    #[test]
+    fn passing_spec_is_left_alone() {
+        let mut calls = 0;
+        let out = shrink(&spec_with_events(4), &[], 100, |_| {
+            calls += 1;
+            Vec::new()
+        });
+        assert_eq!(out.runs, 0);
+        assert_eq!(out.spec.events.len(), 4);
+        let _ = calls;
+    }
+}

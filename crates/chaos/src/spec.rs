@@ -1,0 +1,239 @@
+//! The declarative description of one chaos campaign.
+//!
+//! A [`CampaignSpec`] is everything needed to re-execute a campaign
+//! bit-for-bit: the workload, the per-campaign seed, the request counts, and
+//! the absolute-time fault/disruption schedule. Specs are what the generator
+//! produces, what the shrinker mutates, and what `--replay` reads back from
+//! a reproducer JSON file — so they are plain data with no handles into a
+//! running system.
+
+use vampos_core::InjectedFault;
+use vampos_sim::Nanos;
+use vampos_workloads::Disruption;
+
+/// Which evaluation application the campaign drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// The echo server (§VII-C): fixed-size messages bounced back.
+    Echo,
+    /// MiniKv, the Redis stand-in: a SET stream.
+    Kv,
+    /// MiniHttpd, the Nginx stand-in: keep-alive GETs.
+    Http,
+    /// MiniSql, the SQLite stand-in: journaled INSERTs.
+    Sql,
+}
+
+impl WorkloadKind {
+    /// All workloads, in canonical order.
+    pub const ALL: [WorkloadKind; 4] = [
+        WorkloadKind::Echo,
+        WorkloadKind::Kv,
+        WorkloadKind::Http,
+        WorkloadKind::Sql,
+    ];
+
+    /// The canonical lowercase name (used in JSON and on the CLI).
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadKind::Echo => "echo",
+            WorkloadKind::Kv => "kv",
+            WorkloadKind::Http => "http",
+            WorkloadKind::Sql => "sql",
+        }
+    }
+
+    /// Parses a CLI/JSON name.
+    pub fn parse(s: &str) -> Option<WorkloadKind> {
+        WorkloadKind::ALL.into_iter().find(|w| w.name() == s)
+    }
+
+    /// A stable numeric id used for per-workload seed derivation.
+    pub fn id(self) -> u64 {
+        match self {
+            WorkloadKind::Echo => 0,
+            WorkloadKind::Kv => 1,
+            WorkloadKind::Http => 2,
+            WorkloadKind::Sql => 3,
+        }
+    }
+}
+
+/// The effect of an injected fault (mirrors [`vampos_core::FaultKind`] as
+/// plain serializable data).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultSpec {
+    /// One-shot fail-stop panic.
+    Panic,
+    /// One-shot hang (detected after the hang threshold).
+    Hang,
+    /// Continuous per-call heap leak.
+    LeakPerOp {
+        /// Bytes leaked per matching call.
+        bytes: usize,
+    },
+    /// One-shot arena bit flip.
+    BitFlip {
+        /// Arena-relative byte offset.
+        offset: u64,
+        /// Bit index (0–7).
+        bit: u8,
+    },
+}
+
+/// What a scheduled event does when it fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// Administrative component-level reboot of the named component.
+    ComponentReboot(String),
+    /// Conventional full reboot (application crashes and re-boots).
+    FullReboot,
+    /// Arm a fault against `component`.
+    Inject {
+        /// Target component.
+        component: String,
+        /// Matching calls to skip before the fault fires.
+        after: u64,
+        /// The effect.
+        fault: FaultSpec,
+    },
+    /// Immediate forced fail-stop of the named component.
+    Fail(String),
+    /// Rejuvenation sweep over every rebootable component.
+    RejuvenateAll,
+}
+
+/// One scheduled event: an action at an absolute virtual time (nanoseconds
+/// from the start of the drive).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventSpec {
+    /// Firing time, in nanoseconds relative to drive start.
+    pub at_ns: u64,
+    /// The action.
+    pub kind: EventKind,
+}
+
+impl EventSpec {
+    /// Converts to the workload layer's [`Disruption`].
+    pub fn to_disruption(&self) -> Disruption {
+        let at = Nanos::from_nanos(self.at_ns);
+        match &self.kind {
+            EventKind::ComponentReboot(name) => Disruption::component_reboot(at, name),
+            EventKind::FullReboot => Disruption::full_reboot(at),
+            EventKind::Inject {
+                component,
+                after,
+                fault,
+            } => {
+                let fault = match fault {
+                    FaultSpec::Panic => InjectedFault::panic_next(component),
+                    FaultSpec::Hang => InjectedFault::hang_next(component),
+                    FaultSpec::LeakPerOp { bytes } => InjectedFault::leak_per_op(component, *bytes),
+                    FaultSpec::BitFlip { offset, bit } => {
+                        InjectedFault::bit_flip(component, *offset, *bit)
+                    }
+                };
+                Disruption::inject(at, fault.after(*after))
+            }
+            EventKind::Fail(name) => Disruption::fail(at, name),
+            EventKind::RejuvenateAll => Disruption::rejuvenate_all(at),
+        }
+    }
+}
+
+/// A fully self-contained chaos campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignSpec {
+    /// The workload under test.
+    pub workload: WorkloadKind,
+    /// The per-campaign seed (already derived from the sweep's base seed —
+    /// replaying a spec needs no other seed input).
+    pub seed: u64,
+    /// Index of this campaign within its sweep (labeling only).
+    pub campaign: u64,
+    /// Main request count.
+    pub ops: usize,
+    /// Quiesce requests issued after the main stream so recovery settles
+    /// before the oracles compare state.
+    pub tail: usize,
+    /// MiniKv only: run with the append-only file enabled.
+    pub aof: bool,
+    /// Issue one extra mutating request in the faulted run only — a
+    /// deliberately planted state divergence the oracles must catch
+    /// (self-test of the whole pipeline).
+    pub plant: bool,
+    /// The fault/disruption schedule.
+    pub events: Vec<EventSpec>,
+}
+
+impl CampaignSpec {
+    /// Whether the schedule contains a full reboot (several oracles are
+    /// vacuous across one: connections and in-flight requests are
+    /// legitimately lost).
+    pub fn has_full_reboot(&self) -> bool {
+        self.events.iter().any(|e| e.kind == EventKind::FullReboot)
+    }
+
+    /// The schedule as workload-layer disruptions.
+    pub fn disruptions(&self) -> Vec<Disruption> {
+        self.events.iter().map(EventSpec::to_disruption).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_names_round_trip() {
+        for w in WorkloadKind::ALL {
+            assert_eq!(WorkloadKind::parse(w.name()), Some(w));
+        }
+        assert_eq!(WorkloadKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn event_converts_to_matching_disruption() {
+        let e = EventSpec {
+            at_ns: 1_000,
+            kind: EventKind::Inject {
+                component: "vfs".into(),
+                after: 2,
+                fault: FaultSpec::BitFlip { offset: 64, bit: 3 },
+            },
+        };
+        let d = e.to_disruption();
+        assert_eq!(d.at, Nanos::from_nanos(1_000));
+        match d.kind {
+            vampos_workloads::DisruptionKind::Inject(f) => {
+                assert_eq!(f.component, "vfs");
+                assert_eq!(f.after_calls, 2);
+                assert_eq!(
+                    f.kind,
+                    vampos_core::FaultKind::BitFlip { offset: 64, bit: 3 }
+                );
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn full_reboot_detection() {
+        let mut spec = CampaignSpec {
+            workload: WorkloadKind::Kv,
+            seed: 1,
+            campaign: 0,
+            ops: 10,
+            tail: 4,
+            aof: true,
+            plant: false,
+            events: vec![],
+        };
+        assert!(!spec.has_full_reboot());
+        spec.events.push(EventSpec {
+            at_ns: 5,
+            kind: EventKind::FullReboot,
+        });
+        assert!(spec.has_full_reboot());
+    }
+}

@@ -157,6 +157,14 @@ impl FaultPlan {
         self.faults.len()
     }
 
+    /// The armed faults, in arm order (the order [`FaultPlan::on_call`]
+    /// consults them). One-shot faults disappear from this slice once they
+    /// fire; continuous/deterministic faults stay with their
+    /// [`InjectedFault::fired`] counter advancing.
+    pub fn faults(&self) -> &[InjectedFault] {
+        &self.faults
+    }
+
     /// Disarms everything.
     pub fn clear(&mut self) {
         self.faults.clear();
@@ -266,5 +274,99 @@ mod tests {
         // The hang is still armed for the next call.
         assert_eq!(plan.armed(), 1);
         assert!(matches!(plan.on_call("vfs", "open"), FaultAction::Hang(_)));
+    }
+
+    #[test]
+    fn arm_order_gives_precedence_on_the_same_function() {
+        // Two faults scoped to the same component *and* function: the one
+        // armed first wins the call; the second fires on the next call.
+        let mut plan = FaultPlan::new(Nanos::SECOND);
+        plan.arm(InjectedFault::hang_next("vfs").on_func("write"));
+        plan.arm(InjectedFault::panic_next("vfs").on_func("write"));
+        assert!(matches!(plan.on_call("vfs", "write"), FaultAction::Hang(_)));
+        assert_eq!(plan.on_call("vfs", "write"), FaultAction::Panic);
+        assert_eq!(plan.armed(), 0);
+    }
+
+    #[test]
+    fn wildcard_armed_first_beats_func_scoped_armed_second() {
+        let mut plan = FaultPlan::new(Nanos::SECOND);
+        plan.arm(InjectedFault::panic_next("vfs")); // any function
+        plan.arm(InjectedFault::hang_next("vfs").on_func("write"));
+        // The wildcard was armed first, so it consumes the call even though
+        // the second fault names the function explicitly.
+        assert_eq!(plan.on_call("vfs", "write"), FaultAction::Panic);
+        assert!(matches!(plan.on_call("vfs", "write"), FaultAction::Hang(_)));
+    }
+
+    #[test]
+    fn earlier_delayed_fault_counts_down_even_when_a_later_fault_fires() {
+        // A delayed fault armed *before* the firing fault still burns its
+        // countdown on the call (the plan walks faults in arm order and
+        // decrements matching delays until one fault fires).
+        let mut plan = FaultPlan::new(Nanos::SECOND);
+        plan.arm(InjectedFault::panic_next("vfs").after(2));
+        plan.arm(InjectedFault::hang_next("vfs"));
+        // Call 1: the delayed panic decrements (2→1), then the hang fires.
+        assert!(matches!(plan.on_call("vfs", "open"), FaultAction::Hang(_)));
+        // Call 2: only the panic remains; it decrements (1→0), nothing fires.
+        assert_eq!(plan.on_call("vfs", "open"), FaultAction::None);
+        // Call 3: the panic's countdown is exhausted — it fires.
+        assert_eq!(plan.on_call("vfs", "open"), FaultAction::Panic);
+        assert_eq!(plan.armed(), 0);
+    }
+
+    #[test]
+    fn later_delayed_fault_is_frozen_on_calls_consumed_by_an_earlier_fault() {
+        // A delayed fault armed *after* the firing fault does NOT burn its
+        // countdown on the call the earlier fault consumed: at most one
+        // fault is evaluated-to-fire per call, and evaluation stops
+        // decrementing once an action is chosen.
+        let mut plan = FaultPlan::new(Nanos::SECOND);
+        plan.arm(InjectedFault::panic_next("vfs"));
+        plan.arm(InjectedFault::hang_next("vfs").after(1));
+        // Call 1: the panic fires; the hang's countdown must stay at 1.
+        assert_eq!(plan.on_call("vfs", "open"), FaultAction::Panic);
+        assert_eq!(plan.faults()[0].after_calls, 1, "countdown must be frozen");
+        // Call 2: the hang decrements (1→0), nothing fires.
+        assert_eq!(plan.on_call("vfs", "open"), FaultAction::None);
+        // Call 3: the hang fires.
+        assert!(matches!(plan.on_call("vfs", "open"), FaultAction::Hang(_)));
+    }
+
+    #[test]
+    fn countdowns_only_decrement_on_matching_calls() {
+        let mut plan = FaultPlan::new(Nanos::SECOND);
+        plan.arm(InjectedFault::panic_next("vfs").on_func("write").after(1));
+        // Non-matching component and non-matching function leave the
+        // countdown untouched.
+        assert_eq!(plan.on_call("9pfs", "write"), FaultAction::None);
+        assert_eq!(plan.on_call("vfs", "read"), FaultAction::None);
+        assert_eq!(plan.faults()[0].after_calls, 1);
+        assert_eq!(plan.on_call("vfs", "write"), FaultAction::None); // 1→0
+        assert_eq!(plan.on_call("vfs", "write"), FaultAction::Panic);
+    }
+
+    #[test]
+    fn clear_component_leaves_other_components_armed() {
+        let mut plan = FaultPlan::new(Nanos::SECOND);
+        plan.arm(InjectedFault::panic_next("vfs"));
+        plan.arm(InjectedFault::leak_per_op("vfs", 32));
+        plan.arm(InjectedFault::hang_next("9pfs").after(1));
+        plan.arm(InjectedFault::panic_next("lwip"));
+        assert_eq!(plan.armed(), 4);
+
+        plan.clear_component("vfs");
+        assert_eq!(plan.armed(), 2);
+        // The 9PFS countdown state survived the clear untouched.
+        assert_eq!(plan.faults()[0].component, "9pfs");
+        assert_eq!(plan.faults()[0].after_calls, 1);
+        // Cleared component: calls pass clean.
+        assert_eq!(plan.on_call("vfs", "open"), FaultAction::None);
+        // Other components' faults still fire exactly as armed.
+        assert_eq!(plan.on_call("9pfs", "read"), FaultAction::None); // 1→0
+        assert!(matches!(plan.on_call("9pfs", "read"), FaultAction::Hang(_)));
+        assert_eq!(plan.on_call("lwip", "socket"), FaultAction::Panic);
+        assert_eq!(plan.armed(), 0);
     }
 }

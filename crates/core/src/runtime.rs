@@ -482,6 +482,29 @@ impl System {
         self.faults.arm(fault);
     }
 
+    /// The faults still armed on the system, in arm order. A liveness
+    /// oracle can check that every armed fault either fired
+    /// ([`InjectedFault::fired`] > 0) or was consumed (absent here).
+    pub fn armed_faults(&self) -> &[crate::faults::InjectedFault] {
+        self.faults.faults()
+    }
+
+    /// Whether `component` can be rebooted alone (`None` for unknown
+    /// names). Host-shared components such as VIRTIO cannot (§VIII).
+    pub fn is_rebootable(&self, component: &str) -> Option<bool> {
+        self.by_name
+            .get(component)
+            .map(|&i| self.slots[i].desc.is_rebootable())
+    }
+
+    /// Whether the hang detector ignores `component` (`None` for unknown
+    /// names). Event-waiting components such as LWIP are exempt (§V-A).
+    pub fn is_hang_exempt(&self, component: &str) -> Option<bool> {
+        self.by_name
+            .get(component)
+            .map(|&i| self.slots[i].desc.is_hang_exempt())
+    }
+
     /// Current live log entries of a component.
     pub fn log_len(&self, component: &str) -> usize {
         self.by_name

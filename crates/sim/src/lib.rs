@@ -34,7 +34,7 @@ pub mod time;
 pub mod trace;
 
 pub use cost::CostModel;
-pub use rng::SimRng;
+pub use rng::{derive_seed, SimRng};
 pub use stats::{Histogram, Summary};
 pub use time::{Nanos, SimClock};
 pub use trace::{EventTrace, TraceEvent};

@@ -6,7 +6,7 @@ use vampos_sim::Nanos;
 use vampos_ukernel::OsError;
 
 /// What a disruption does when it fires.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum DisruptionKind {
     /// VampOS component-level reboot of the named component.
     ComponentReboot(String),
@@ -23,7 +23,7 @@ pub enum DisruptionKind {
 }
 
 /// One scheduled disruption.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Disruption {
     /// Virtual time at which to fire, relative to the start of the load
     /// run that carries the schedule.
@@ -65,6 +65,28 @@ impl Disruption {
         }
     }
 
+    /// Schedules a rejuvenation sweep of every rebootable component at `at`.
+    pub fn rejuvenate_all(at: Nanos) -> Self {
+        Disruption {
+            at,
+            kind: DisruptionKind::RejuvenateAll,
+        }
+    }
+
+    /// A total-order sort key: firing time first, then a deterministic
+    /// tiebreak on the action itself so schedules built from permuted
+    /// input fire identically (see [`Schedule::new`]).
+    fn order_key(&self) -> (Nanos, u8, String) {
+        let (rank, detail) = match &self.kind {
+            DisruptionKind::ComponentReboot(name) => (0, name.clone()),
+            DisruptionKind::FullReboot => (1, String::new()),
+            DisruptionKind::Inject(fault) => (2, format!("{fault:?}")),
+            DisruptionKind::Fail(name) => (3, name.clone()),
+            DisruptionKind::RejuvenateAll => (4, String::new()),
+        };
+        (self.at, rank, detail)
+    }
+
     /// Fires the disruption against the system (and application, which must
     /// re-boot after a full reboot).
     ///
@@ -102,10 +124,21 @@ pub struct Schedule {
 }
 
 impl Schedule {
-    /// Builds a schedule (sorted by time).
+    /// Builds a schedule sorted by firing time.
+    ///
+    /// Disruptions due at the *same* instant are ordered by a deterministic
+    /// tiebreak on the action (kind, then target), not by input position:
+    /// two schedules holding the same disruptions fire identically no
+    /// matter how the caller assembled the vector. Chaos-campaign replay
+    /// depends on this.
     pub fn new(mut items: Vec<Disruption>) -> Self {
-        items.sort_by_key(|d| d.at);
+        items.sort_by_key(Disruption::order_key);
         Schedule { items }
+    }
+
+    /// The disruptions still queued, in firing order.
+    pub fn items(&self) -> &[Disruption] {
+        &self.items
     }
 
     /// Fires every disruption due at or before `now`. Returns how many fired.

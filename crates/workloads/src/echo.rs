@@ -4,6 +4,7 @@ use vampos_apps::{App, Echo};
 use vampos_core::System;
 use vampos_ukernel::OsError;
 
+use crate::disruption::Schedule;
 use crate::report::{LoadReport, RequestRecord};
 
 /// Configuration of an echo run.
@@ -67,6 +68,68 @@ impl EchoLoad {
                 ok: echoed == payload,
             });
         }
+        report.duration = sys.clock().now().saturating_sub(started);
+        Ok(report)
+    }
+
+    /// Like [`EchoLoad::run`], but fires `schedule` at its virtual times and
+    /// reconnects a connection the server lost (full reboot). Count-based so
+    /// a faulted run issues exactly as many messages as its fault-free twin,
+    /// which is what makes the chaos oracles' request-level comparison
+    /// meaningful. The caller keeps the schedule and can inspect
+    /// [`Schedule::pending`] afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates system fail-stops.
+    pub fn run_with_disruptions(
+        &self,
+        sys: &mut System,
+        app: &mut Echo,
+        schedule: &mut Schedule,
+    ) -> Result<LoadReport, OsError> {
+        let mut report = LoadReport::default();
+        let started = sys.clock().now();
+        let mut conn = sys
+            .host()
+            .with(|w| w.network_mut().connect(vampos_apps::echo::ECHO_PORT));
+        app.poll(sys)?;
+        let payload = vec![b'm'; self.payload_len];
+        let one_way = sys.costs().net_rtt(self.payload_len, self.remote) / 2;
+        for _ in 0..self.messages {
+            schedule.fire_due(sys.clock().now().saturating_sub(started), sys, app)?;
+            let dead = !matches!(
+                sys.host().with(|w| w.network().state(conn)),
+                Ok(vampos_host::ClientConnState::Established)
+            );
+            if dead {
+                report.reconnects += 1;
+                conn = sys
+                    .host()
+                    .with(|w| w.network_mut().connect(vampos_apps::echo::ECHO_PORT));
+                app.poll(sys)?;
+            }
+            let start = sys.clock().now();
+            sys.host()
+                .with(|w| w.network_mut().send(conn, &payload))
+                .map_err(|e| OsError::Io(e.to_string()))?;
+            sys.clock().advance(one_way);
+            app.poll(sys)?;
+            sys.clock().advance(one_way);
+            let echoed = sys
+                .host()
+                .with(|w| w.network_mut().recv(conn))
+                .unwrap_or_default();
+            report.records.push(RequestRecord {
+                start,
+                end: sys.clock().now(),
+                ok: echoed == payload,
+            });
+        }
+        // Quiesce: a disruption can come due during the final message's
+        // recovery window (recovery jumps the clock); fire it before
+        // handing the schedule back.
+        schedule.fire_due(sys.clock().now().saturating_sub(started), sys, app)?;
         report.duration = sys.clock().now().saturating_sub(started);
         Ok(report)
     }

@@ -165,6 +165,63 @@ impl HttpLoad {
         report.duration = sys.clock().now().saturating_sub(started);
         Ok(report)
     }
+
+    /// A count-based single-client variant: exactly `requests` GETs with
+    /// [`HttpLoad::think_time`] between them, firing `schedule` before each.
+    /// Unlike the duration-based [`HttpLoad::run`], a faulted run issues the
+    /// same request stream as its fault-free twin even when recovery
+    /// stretches virtual time — the property the chaos oracles compare on.
+    /// The caller keeps the schedule for liveness checks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates unrecovered system failures (fail-stop).
+    pub fn run_requests(
+        &self,
+        sys: &mut System,
+        app: &mut MiniHttpd,
+        requests: usize,
+        schedule: &mut Schedule,
+    ) -> Result<LoadReport, OsError> {
+        let mut report = LoadReport::default();
+        let started = sys.clock().now();
+        let one_way = sys.costs().net_rtt(0, self.remote) / 2;
+        let mut conn = self.connect(sys, app, &mut report, true)?;
+        for _ in 0..requests {
+            schedule.fire_due(sys.clock().now().saturating_sub(started), sys, app)?;
+            if Self::conn_dead(sys, conn) {
+                conn = self.connect(sys, app, &mut report, false)?;
+            }
+            let start = sys.clock().now();
+            let request = format!("GET {} HTTP/1.1\r\nHost: vampos\r\n\r\n", self.path);
+            let send_ok = sys
+                .host()
+                .with(|w| w.network_mut().send(conn, request.as_bytes()))
+                .is_ok();
+            let mut ok = false;
+            if send_ok {
+                sys.clock().advance(one_way);
+                app.poll(sys)?;
+                sys.clock().advance(one_way);
+                let response = sys
+                    .host()
+                    .with(|w| w.network_mut().recv(conn))
+                    .unwrap_or_default();
+                ok = response.starts_with(b"HTTP/1.1 200") && !Self::conn_dead(sys, conn);
+            }
+            report.records.push(RequestRecord {
+                start,
+                end: sys.clock().now(),
+                ok,
+            });
+            sys.clock().advance(self.think_time);
+        }
+        // Quiesce: fire anything that came due during the final request's
+        // recovery window before handing the schedule back.
+        schedule.fire_due(sys.clock().now().saturating_sub(started), sys, app)?;
+        report.duration = sys.clock().now().saturating_sub(started);
+        Ok(report)
+    }
 }
 
 #[cfg(test)]

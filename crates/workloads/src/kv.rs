@@ -100,6 +100,52 @@ impl KvLoad {
         Ok(report)
     }
 
+    /// Like [`KvLoad::run_sets`], but fires `schedule` at its virtual times
+    /// and reconnects when the server drops the connection (full reboot).
+    /// Count-based so a faulted run issues exactly the SET stream of its
+    /// fault-free twin; the caller keeps the schedule for liveness checks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates system fail-stops.
+    pub fn run_sets_with_disruptions(
+        &self,
+        sys: &mut System,
+        app: &mut MiniKv,
+        sets: usize,
+        schedule: &mut Schedule,
+    ) -> Result<LoadReport, OsError> {
+        let mut report = LoadReport::default();
+        let started = sys.clock().now();
+        let mut conn = Self::connect(sys, app)?;
+        let value = "v".repeat(self.value_len);
+        for i in 0..sets {
+            schedule.fire_due(sys.clock().now().saturating_sub(started), sys, app)?;
+            let dead = !matches!(
+                sys.host().with(|w| w.network().state(conn)),
+                Ok(vampos_host::ClientConnState::Established)
+            );
+            if dead {
+                report.reconnects += 1;
+                conn = Self::connect(sys, app)?;
+            }
+            let key = format!("{:0width$}", i % 10_000, width = self.key_len);
+            let start = sys.clock().now();
+            let resp = self.round_trip(sys, app, conn, &format!("SET {key} {value}"))?;
+            report.records.push(RequestRecord {
+                start,
+                end: sys.clock().now(),
+                ok: resp == b"+OK\n",
+            });
+        }
+        // Quiesce: a disruption can come due during the final SET's
+        // recovery window (recovery jumps the clock); fire it before
+        // handing the schedule back.
+        schedule.fire_due(sys.clock().now().saturating_sub(started), sys, app)?;
+        report.duration = sys.clock().now().saturating_sub(started);
+        Ok(report)
+    }
+
     /// The Fig. 8 scenario: a background GET stream plus a once-per-interval
     /// latency probe, with `disruptions` firing mid-run (e.g. an injected
     /// 9PFS panic, or a full reboot). Returns the probe time series.

@@ -22,7 +22,7 @@ pub mod kv;
 pub mod report;
 pub mod sql;
 
-pub use disruption::{Disruption, DisruptionKind};
+pub use disruption::{Disruption, DisruptionKind, Schedule};
 pub use echo::EchoLoad;
 pub use http::HttpLoad;
 pub use kv::{KvLoad, LatencyPoint};

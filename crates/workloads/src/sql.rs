@@ -4,6 +4,7 @@ use vampos_apps::MiniSql;
 use vampos_core::System;
 use vampos_ukernel::OsError;
 
+use crate::disruption::Schedule;
 use crate::report::{LoadReport, RequestRecord};
 
 /// Configuration of a SQL insert run.
@@ -48,6 +49,46 @@ impl SqlLoad {
             });
             result?;
         }
+        report.duration = sys.clock().now().saturating_sub(started);
+        Ok(report)
+    }
+
+    /// Like [`SqlLoad::run`], but fires `schedule` at its virtual times
+    /// between statements (SQLite is embedded — there is no connection to
+    /// lose, but component reboots and injected faults still land on the
+    /// file-system path every INSERT exercises). The caller keeps the
+    /// schedule for liveness checks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SQL/storage errors and system fail-stops.
+    pub fn run_with_disruptions(
+        &self,
+        sys: &mut System,
+        db: &mut MiniSql,
+        schedule: &mut Schedule,
+    ) -> Result<LoadReport, OsError> {
+        let mut report = LoadReport::default();
+        let started = sys.clock().now();
+        if db.row_count("items").is_none() {
+            db.execute(sys, "CREATE TABLE items (id, body)")?;
+        }
+        let body = "x".repeat(self.item_len.max(1));
+        for i in 0..self.inserts {
+            schedule.fire_due(sys.clock().now().saturating_sub(started), sys, db)?;
+            let start = sys.clock().now();
+            let result = db.execute(sys, &format!("INSERT INTO items VALUES ({i}, '{body}')"));
+            report.records.push(RequestRecord {
+                start,
+                end: sys.clock().now(),
+                ok: result.is_ok(),
+            });
+            result?;
+        }
+        // Quiesce: a disruption can come due during the final insert's
+        // recovery window (recovery jumps the clock); fire it before
+        // handing the schedule back.
+        schedule.fire_due(sys.clock().now().saturating_sub(started), sys, db)?;
         report.duration = sys.clock().now().saturating_sub(started);
         Ok(report)
     }

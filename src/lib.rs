@@ -48,6 +48,7 @@
 
 pub use vampos_analyze as analyze;
 pub use vampos_apps as apps;
+pub use vampos_chaos as chaos;
 pub use vampos_core as core;
 pub use vampos_host as host;
 pub use vampos_mem as mem;

@@ -135,13 +135,10 @@ impl RefModel {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    #[test]
-    fn file_stack_matches_the_reference_model(
-        ops in proptest::collection::vec(file_op(), 1..50),
-    ) {
+/// The property body, callable from named regression tests as well as the
+/// proptest harness.
+fn check_file_stack_matches_reference(ops: &[FileOp]) {
+    {
         let host = vampos_host::HostHandle::new();
         for i in 0..3 {
             host.with(|w| w.ninep_mut().put_file(&format!("/f{i}"), &[b'0'; 50]));
@@ -158,10 +155,14 @@ proptest! {
         }
         let mut fds: Vec<u64> = Vec::new();
         let pick = |fds: &[u64], slot: u8| -> Option<u64> {
-            if fds.is_empty() { None } else { Some(fds[slot as usize % fds.len()]) }
+            if fds.is_empty() {
+                None
+            } else {
+                Some(fds[slot as usize % fds.len()])
+            }
         };
 
-        for op in &ops {
+        for op in ops {
             match op {
                 FileOp::Open { path, append } => {
                     let path = format!("/f{}", path % 3);
@@ -200,7 +201,12 @@ proptest! {
                         prop_assert_eq!(got, want, "pread(fd={})", fd);
                     }
                 }
-                FileOp::Pwrite { fd_slot, len, off, byte } => {
+                FileOp::Pwrite {
+                    fd_slot,
+                    len,
+                    off,
+                    byte,
+                } => {
                     if let Some(fd) = pick(&fds, *fd_slot) {
                         let bytes = vec![*byte; *len as usize];
                         sys.os().pwrite(fd, &bytes, *off as u64).unwrap();
@@ -246,4 +252,41 @@ proptest! {
         }
         prop_assert!(!sys.has_failed());
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn file_stack_matches_the_reference_model(
+        ops in proptest::collection::vec(file_op(), 1..50),
+    ) {
+        check_file_stack_matches_reference(&ops);
+    }
+}
+
+/// The minimal counterexample proptest once found (see
+/// `file_semantics.proptest-regressions`): a read at an offset past EOF
+/// (lseek to 51 in a 50-byte file) followed by a write exercised the
+/// empty-read-at-EOF offset rule. Promoted to a named test so it always
+/// runs, even if the regressions file is lost or proptest's replay format
+/// changes.
+#[test]
+fn regression_read_past_eof_then_write() {
+    check_file_stack_matches_reference(&[
+        FileOp::Open {
+            path: 0,
+            append: false,
+        },
+        FileOp::LseekSet {
+            fd_slot: 0,
+            off: 51,
+        },
+        FileOp::Read { fd_slot: 0, len: 1 },
+        FileOp::Write {
+            fd_slot: 0,
+            len: 1,
+            byte: 0,
+        },
+    ]);
 }

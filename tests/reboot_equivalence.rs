@@ -135,6 +135,67 @@ fn build() -> System {
         .unwrap()
 }
 
+/// The property body behind `reboots_are_observationally_equivalent`,
+/// callable from named regression tests as well as the proptest harness.
+fn check_observational_equivalence(ops: &[Op]) {
+    let mut with = build();
+    let mut without = build();
+    let mut fds_a = Vec::new();
+    let mut fds_b = Vec::new();
+    for (i, op) in ops.iter().enumerate() {
+        let a = apply(&mut with, &mut fds_a, op, true);
+        let b = apply(&mut without, &mut fds_b, op, false);
+        // Syscall results must agree except for the reboot markers
+        // (which are no-ops on the control system).
+        prop_assert_eq!(&a, &b, "op #{} {:?} diverged: {} vs {}", i, op, a, b);
+    }
+    for component in ["vfs", "9pfs", "process"] {
+        prop_assert_eq!(
+            with.state_digest(component),
+            without.state_digest(component),
+            "{} digests diverged",
+            component
+        );
+    }
+    prop_assert!(!with.has_failed());
+}
+
+/// The property body behind `shrinking_preserves_restoration`.
+fn check_shrinking_preserves_restoration(ops: &[Op]) {
+    let run = |shrinking: bool| {
+        let mut cfg = match Mode::vampos_das() {
+            Mode::VampOs(c) => c,
+            _ => unreachable!(),
+        };
+        cfg.log_shrinking = shrinking;
+        let host = vampos_host::HostHandle::new();
+        host.with(|w| {
+            for i in 0..4 {
+                w.ninep_mut().put_file(&format!("/p{i}"), &[b'0'; 64]);
+            }
+        });
+        let mut sys = System::builder()
+            .mode(Mode::VampOs(cfg))
+            .components(ComponentSet::sqlite())
+            .host(host)
+            .seed(7)
+            .build()
+            .unwrap();
+        let mut fds = Vec::new();
+        for op in ops {
+            // Reboots fire in both runs here; the variable is shrinking.
+            apply(&mut sys, &mut fds, op, true);
+        }
+        sys.reboot_component("vfs").expect("final reboot");
+        sys.reboot_component("9pfs").expect("final reboot");
+        (
+            sys.state_digest("vfs").unwrap(),
+            sys.state_digest("9pfs").unwrap(),
+        )
+    };
+    prop_assert_eq!(run(true), run(false));
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -144,26 +205,7 @@ proptest! {
     fn reboots_are_observationally_equivalent(
         ops in proptest::collection::vec(op_strategy(), 1..60),
     ) {
-        let mut with = build();
-        let mut without = build();
-        let mut fds_a = Vec::new();
-        let mut fds_b = Vec::new();
-        for (i, op) in ops.iter().enumerate() {
-            let a = apply(&mut with, &mut fds_a, op, true);
-            let b = apply(&mut without, &mut fds_b, op, false);
-            // Syscall results must agree except for the reboot markers
-            // (which are no-ops on the control system).
-            prop_assert_eq!(&a, &b, "op #{} {:?} diverged: {} vs {}", i, op, a, b);
-        }
-        for component in ["vfs", "9pfs", "process"] {
-            prop_assert_eq!(
-                with.state_digest(component),
-                without.state_digest(component),
-                "{} digests diverged",
-                component
-            );
-        }
-        prop_assert!(!with.has_failed());
+        check_observational_equivalence(&ops);
     }
 
     /// Session-aware shrinking never changes what a reboot restores:
@@ -173,37 +215,18 @@ proptest! {
     fn shrinking_preserves_restoration(
         ops in proptest::collection::vec(op_strategy(), 1..50),
     ) {
-        let run = |shrinking: bool| {
-            let mut cfg = match Mode::vampos_das() {
-                Mode::VampOs(c) => c,
-                _ => unreachable!(),
-            };
-            cfg.log_shrinking = shrinking;
-            let host = vampos_host::HostHandle::new();
-            host.with(|w| {
-                for i in 0..4 {
-                    w.ninep_mut().put_file(&format!("/p{i}"), &[b'0'; 64]);
-                }
-            });
-            let mut sys = System::builder()
-                .mode(Mode::VampOs(cfg))
-                .components(ComponentSet::sqlite())
-                .host(host)
-                .seed(7)
-                .build()
-                .unwrap();
-            let mut fds = Vec::new();
-            for op in &ops {
-                // Reboots fire in both runs here; the variable is shrinking.
-                apply(&mut sys, &mut fds, op, true);
-            }
-            sys.reboot_component("vfs").expect("final reboot");
-            sys.reboot_component("9pfs").expect("final reboot");
-            (
-                sys.state_digest("vfs").unwrap(),
-                sys.state_digest("9pfs").unwrap(),
-            )
-        };
-        prop_assert_eq!(run(true), run(false));
+        check_shrinking_preserves_restoration(&ops);
     }
+}
+
+/// The minimal counterexample proptest once found (see
+/// `reboot_equivalence.proptest-regressions`): reopening a path right
+/// after a close + reboot exposed fd-table state that the reboot had to
+/// restore exactly. Promoted to a named test so it always runs, even if
+/// the regressions file is lost or proptest's replay format changes.
+#[test]
+fn regression_reopen_after_close_and_reboot() {
+    let ops = [Op::Open(0), Op::Close(0), Op::Reboot(0), Op::Open(0)];
+    check_observational_equivalence(&ops);
+    check_shrinking_preserves_restoration(&ops);
 }
