@@ -3,12 +3,20 @@
 //! ```text
 //! repro [fig5|table3|fig6|fig7|table4|table5|fig8|ablations|all]
 //!       [--quick] [--sequential] [--json[=PATH]]
+//!       [--trace-out=PATH] [--metrics-out=PATH]
 //! ```
 //!
 //! `--quick` scales the workloads down (used by CI); the default sizes
 //! follow the paper where tractable. All timings are *virtual* time from
 //! the simulation's cost model — compare shapes and ratios with the paper,
 //! not absolute numbers.
+//!
+//! `--trace-out` / `--metrics-out` run a canonical instrumented scenario —
+//! a SQLite-shaped system serving file syscalls through an injected 9PFS
+//! panic, an administrative reboot, and aging-driven rejuvenation — and
+//! write a Perfetto-loadable Chrome trace (`--trace-out`) and Prometheus
+//! text exposition, or a JSON dump for `.json` paths (`--metrics-out`).
+//! Virtual time makes both exports byte-identical across runs.
 //!
 //! By default independent experiments render concurrently on worker
 //! threads and print in the fixed order above; `--sequential` forces the
@@ -78,6 +86,22 @@ fn main() {
             .map(str::to_owned)
             .or_else(|| (a == "--json").then(|| "BENCH.json".to_owned()))
     });
+    let trace_out = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--trace-out=").map(str::to_owned));
+    let metrics_out = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--metrics-out=").map(str::to_owned));
+    if trace_out.is_some() || metrics_out.is_some() {
+        if !export_telemetry(trace_out.as_deref(), metrics_out.as_deref()) {
+            std::process::exit(1);
+        }
+        // Telemetry export is its own mode: no section was named, don't
+        // also run the full evaluation.
+        if args.iter().all(|a| a.starts_with("--")) {
+            return;
+        }
+    }
     let which = args
         .iter()
         .find(|a| !a.starts_with("--"))
@@ -195,6 +219,73 @@ fn write_bench_json(path: &str, selected: &[&Section], quick: bool) -> bool {
 
 fn heading(out: &mut String, title: &str) {
     let _ = writeln!(out, "\n=== {title} ===");
+}
+
+/// Runs the canonical instrumented scenario and writes the requested
+/// telemetry exports. The scenario exercises every span kind the collector
+/// knows: cross-component calls and syscalls from file I/O, a full
+/// fault-triggered recovery (detect → checkpoint-restore → replay → resume)
+/// from an injected 9PFS panic, an administrative VFS reboot, and
+/// aging-driven rejuvenation.
+fn export_telemetry(trace_out: Option<&str>, metrics_out: Option<&str>) -> bool {
+    use vampos_core::{ComponentSet, InjectedFault, Mode, System, TelemetrySink};
+    use vampos_oslib::vfs::OpenFlags;
+
+    let sink = TelemetrySink::default();
+    let scenario = || -> Result<(), vampos_ukernel::OsError> {
+        let mut sys = System::builder()
+            .mode(Mode::vampos_das())
+            .components(ComponentSet::sqlite())
+            .seed(42)
+            .telemetry(sink.clone())
+            .build()?;
+        let fd = sys
+            .os()
+            .open("/telemetry.db", OpenFlags::RDWR | OpenFlags::CREAT)?;
+        for i in 0..16u8 {
+            sys.os().write(fd, &[i; 32])?;
+        }
+        sys.os().fsync(fd)?;
+        // Fail-stop 9PFS mid-write: the runtime detects the panic, reboots
+        // the component, replays its log, and re-executes the call.
+        sys.inject_fault(InjectedFault::panic_next("9pfs"));
+        sys.os().write(fd, b"post-fault")?;
+        // Administrative recovery paths on top of the fault-triggered one.
+        sys.reboot_component("vfs")?;
+        sys.rejuvenate_aged(1)?;
+        sys.os().fsync(fd)?;
+        sys.os().close(fd)?;
+        Ok(())
+    };
+    if let Err(e) = scenario() {
+        eprintln!("telemetry scenario failed: {e}");
+        return false;
+    }
+
+    let write = |path: &str, data: &str| -> bool {
+        if let Err(e) = std::fs::write(path, data) {
+            eprintln!("cannot write {path}: {e}");
+            return false;
+        }
+        println!("telemetry written: {path}");
+        true
+    };
+    if let Some(path) = trace_out {
+        if !write(path, &sink.with(|hub| hub.chrome_trace_json())) {
+            return false;
+        }
+    }
+    if let Some(path) = metrics_out {
+        let dump = if path.ends_with(".json") {
+            sink.with(|hub| hub.metrics_json())
+        } else {
+            sink.with(|hub| hub.prometheus_text())
+        };
+        if !write(path, &dump) {
+            return false;
+        }
+    }
+    true
 }
 
 fn render_fig5(quick: bool) -> String {

@@ -14,6 +14,7 @@ use vampos_apps::{App, Echo, MiniHttpd, MiniKv, MiniSql};
 use vampos_core::{ComponentSet, Mode, System};
 use vampos_host::HostHandle;
 use vampos_sim::{Nanos, TraceEvent};
+use vampos_telemetry::TelemetrySink;
 use vampos_workloads::{EchoLoad, HttpLoad, KvLoad, Schedule, SqlLoad};
 
 use crate::spec::{CampaignSpec, WorkloadKind};
@@ -81,19 +82,21 @@ fn component_set(workload: WorkloadKind) -> ComponentSet {
     }
 }
 
-fn build_system(spec: &CampaignSpec) -> Result<System, String> {
+fn build_system(spec: &CampaignSpec, sink: Option<&TelemetrySink>) -> Result<System, String> {
     let host = HostHandle::new();
     if spec.workload == WorkloadKind::Http {
         host.with(|w| w.ninep_mut().put_file("/www/index.html", &[b'x'; 180]));
     }
-    System::builder()
+    let mut builder = System::builder()
         .mode(Mode::vampos_das())
         .components(component_set(spec.workload))
         .seed(spec.seed)
         .host(host)
-        .trace_capacity(TRACE_CAPACITY)
-        .build()
-        .map_err(|e| format!("boot failed: {e:?}"))
+        .trace_capacity(TRACE_CAPACITY);
+    if let Some(sink) = sink {
+        builder = builder.telemetry(sink.clone());
+    }
+    builder.build().map_err(|e| format!("boot failed: {e:?}"))
 }
 
 fn http_load() -> HttpLoad {
@@ -109,6 +112,18 @@ fn http_load() -> HttpLoad {
 /// Runs one spec. `faulted` selects whether the schedule (and the planted
 /// extra request) apply; the twin is the same call with `faulted = false`.
 pub fn run(spec: &CampaignSpec, faulted: bool) -> RunResult {
+    run_with_sink(spec, faulted, None)
+}
+
+/// [`run`] with an optional telemetry sink attached to the simulated
+/// system. The sink observes every cross-component call, syscall, and
+/// recovery the run performs; virtual time makes the collected spans
+/// byte-identical across repeated executions of the same spec.
+pub fn run_with_sink(
+    spec: &CampaignSpec,
+    faulted: bool,
+    sink: Option<&TelemetrySink>,
+) -> RunResult {
     let disruptions = if faulted {
         spec.disruptions()
     } else {
@@ -139,7 +154,7 @@ pub fn run(spec: &CampaignSpec, faulted: bool) -> RunResult {
         error: None,
     };
 
-    let mut sys = match build_system(spec) {
+    let mut sys = match build_system(spec, sink) {
         Ok(sys) => sys,
         Err(e) => {
             result.error = Some(e);

@@ -9,6 +9,7 @@
 
 use vampos_bench::parallel_map;
 use vampos_sim::derive_seed;
+use vampos_telemetry::{SpanDump, TelemetrySink};
 
 use crate::gen::generate_spec;
 use crate::json;
@@ -18,6 +19,10 @@ use crate::spec::{CampaignSpec, WorkloadKind};
 
 /// Executions the shrinker may spend per failing campaign.
 const SHRINK_BUDGET: usize = 150;
+
+/// Telemetry spans embedded in a failing campaign's reproducer: the last
+/// window of activity before the faulted run quiesced.
+const SPAN_TAIL: usize = 24;
 
 /// Sweep configuration (mirrors the `vampos-chaos` CLI).
 #[derive(Debug, Clone)]
@@ -61,6 +66,10 @@ pub struct CampaignOutcome {
     pub shrunk: Option<CampaignSpec>,
     /// Executions the shrinker spent.
     pub shrink_runs: usize,
+    /// The trailing telemetry-span window of the shrunk faulted run —
+    /// the last thing the system did before the oracles fired. Empty for
+    /// passing campaigns.
+    pub span_tail: Vec<SpanDump>,
 }
 
 impl CampaignOutcome {
@@ -70,9 +79,11 @@ impl CampaignOutcome {
     }
 
     /// The minimized reproducer serialized as JSON (failing campaigns
-    /// only).
+    /// only), with the shrunk run's trailing span window embedded.
     pub fn reproducer_json(&self) -> Option<String> {
-        self.shrunk.as_ref().map(json::to_json)
+        self.shrunk
+            .as_ref()
+            .map(|s| json::reproducer_to_json(s, &self.span_tail))
     }
 
     /// The stable one-line summary the sweep prints.
@@ -114,6 +125,15 @@ pub fn execute_spec(spec: &CampaignSpec) -> Vec<Violation> {
     oracle::check(spec, &faulted, &twin)
 }
 
+/// Re-executes the shrunk spec once more with a telemetry sink attached
+/// and harvests the trailing span window. The extra run is deterministic
+/// (virtual clock, derived seeds), so the tail is byte-stable.
+fn harvest_span_tail(spec: &CampaignSpec) -> Vec<SpanDump> {
+    let sink = TelemetrySink::default();
+    crate::drive::run_with_sink(spec, true, Some(&sink));
+    sink.with(|hub| hub.tail(SPAN_TAIL))
+}
+
 /// Runs one campaign end to end, shrinking on failure.
 pub fn run_campaign(spec: CampaignSpec) -> CampaignOutcome {
     let violations = execute_spec(&spec);
@@ -123,14 +143,17 @@ pub fn run_campaign(spec: CampaignSpec) -> CampaignOutcome {
             violations,
             shrunk: None,
             shrink_runs: 0,
+            span_tail: Vec::new(),
         };
     }
     let out = shrink::shrink(&spec, &violations, SHRINK_BUDGET, execute_spec);
+    let span_tail = harvest_span_tail(&out.spec);
     CampaignOutcome {
         spec,
         violations,
         shrunk: Some(out.spec),
         shrink_runs: out.runs,
+        span_tail,
     }
 }
 

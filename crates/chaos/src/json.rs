@@ -8,6 +8,8 @@
 
 use std::collections::BTreeMap;
 
+use vampos_telemetry::SpanDump;
+
 use crate::spec::{CampaignSpec, EventKind, EventSpec, FaultSpec, WorkloadKind};
 
 /// A parsed JSON value. Numbers keep their raw token text so 64-bit
@@ -141,6 +143,63 @@ pub fn to_json(spec: &CampaignSpec) -> String {
     });
     out.push_str("}\n");
     out
+}
+
+/// Serializes a reproducer: the spec plus the shrunk faulted run's trailing
+/// telemetry-span window. With an empty tail this is exactly [`to_json`];
+/// otherwise a `"span_tail"` array is spliced in before the closing brace.
+/// [`from_json`] ignores the extra key, so reproducers with embedded spans
+/// replay unchanged.
+pub fn reproducer_to_json(spec: &CampaignSpec, tail: &[SpanDump]) -> String {
+    let mut out = to_json(spec);
+    if tail.is_empty() {
+        return out;
+    }
+    // `to_json` always ends `}\n`; re-open the object at the events `]`.
+    out.truncate(out.len() - 2);
+    while out.ends_with(char::is_whitespace) {
+        out.pop();
+    }
+    out.push_str(",\n  \"span_tail\": [");
+    for (i, span) in tail.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("    { \"track\": ");
+        escape(&span.track, &mut out);
+        out.push_str(", \"name\": ");
+        escape(&span.name, &mut out);
+        out.push_str(&format!(
+            ", \"start_ns\": {}, \"dur_ns\": {}, \"depth\": {} }}",
+            span.start_ns, span.dur_ns, span.depth
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Extracts the embedded span tail from a reproducer document. Returns an
+/// empty vector when the document has no `"span_tail"` key (reproducers
+/// written before spans were embedded, or passing-spec serializations).
+///
+/// # Errors
+///
+/// A description of the first syntax or schema error.
+pub fn span_tail_from_json(text: &str) -> Result<Vec<SpanDump>, String> {
+    let v = parse_value(text)?;
+    let Ok(arr) = v.get("span_tail") else {
+        return Ok(Vec::new());
+    };
+    arr.as_arr()?
+        .iter()
+        .map(|e| {
+            Ok(SpanDump {
+                track: e.get("track")?.as_str()?.to_owned(),
+                name: e.get("name")?.as_str()?.to_owned(),
+                start_ns: e.get("start_ns")?.as_u64()?,
+                dur_ns: e.get("dur_ns")?.as_u64()?,
+                depth: e.get("depth")?.as_u64()? as u32,
+            })
+        })
+        .collect()
 }
 
 struct Parser<'a> {
@@ -477,6 +536,53 @@ mod tests {
             kind: EventKind::Fail("we\"ird\\nameß".into()),
         }];
         assert_eq!(from_json(&to_json(&spec)).unwrap(), spec);
+    }
+
+    fn sample_tail() -> Vec<SpanDump> {
+        vec![
+            SpanDump {
+                track: "9pfs".into(),
+                name: "recovery".into(),
+                start_ns: 10_000,
+                dur_ns: 5_500,
+                depth: 0,
+            },
+            SpanDump {
+                track: "9pfs".into(),
+                name: "log_replay".into(),
+                start_ns: 12_000,
+                dur_ns: 2_000,
+                depth: 1,
+            },
+        ]
+    }
+
+    #[test]
+    fn reproducer_with_empty_tail_is_plain_to_json() {
+        let spec = sample();
+        assert_eq!(reproducer_to_json(&spec, &[]), to_json(&spec));
+    }
+
+    #[test]
+    fn span_tail_round_trips_and_spec_still_parses() {
+        for empty_events in [false, true] {
+            let mut spec = sample();
+            if empty_events {
+                spec.events.clear();
+            }
+            let tail = sample_tail();
+            let text = reproducer_to_json(&spec, &tail);
+            assert_eq!(from_json(&text).unwrap(), spec, "spec survives the tail");
+            assert_eq!(span_tail_from_json(&text).unwrap(), tail);
+        }
+    }
+
+    #[test]
+    fn documents_without_a_tail_yield_an_empty_tail() {
+        assert_eq!(
+            span_tail_from_json(&to_json(&sample())).unwrap(),
+            Vec::new()
+        );
     }
 
     #[test]

@@ -42,12 +42,13 @@ pub mod oracle;
 pub mod shrink;
 pub mod spec;
 
-pub use drive::RunResult;
+pub use drive::{run_with_sink, RunResult};
 pub use engine::{
     execute_spec, run_campaign, run_sweep, CampaignOutcome, SweepConfig, SweepReport,
 };
 pub use gen::generate_spec;
-pub use json::{from_json, to_json};
+pub use json::{from_json, reproducer_to_json, span_tail_from_json, to_json};
 pub use oracle::{OracleKind, Violation};
 pub use shrink::{shrink, ShrinkOutcome};
 pub use spec::{CampaignSpec, EventKind, EventSpec, FaultSpec, WorkloadKind};
+pub use vampos_telemetry::{SpanDump, TelemetrySink};

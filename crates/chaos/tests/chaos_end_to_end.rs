@@ -3,8 +3,10 @@
 //! exposes.
 
 use vampos_chaos::{
-    execute_spec, from_json, run_sweep, to_json, OracleKind, SweepConfig, WorkloadKind,
+    execute_spec, from_json, reproducer_to_json, run_sweep, run_with_sink, span_tail_from_json,
+    CampaignSpec, OracleKind, SweepConfig, TelemetrySink, WorkloadKind,
 };
+use vampos_telemetry::validate_exposition;
 
 #[test]
 fn seeded_sweep_passes_and_is_deterministic_across_runs_and_fanout() {
@@ -64,12 +66,16 @@ fn planted_divergence_shrinks_to_a_reproducer_that_replays() {
         .iter()
         .any(|v| v.kind == OracleKind::StateEquivalence));
 
-    // The minimized spec round-trips through JSON losslessly...
+    // The minimized spec round-trips through JSON losslessly, with the
+    // shrunk run's trailing telemetry spans embedded alongside it...
     let json = failure
         .reproducer_json()
         .expect("failures carry a reproducer");
     let spec = from_json(&json).expect("reproducer parses");
-    assert_eq!(to_json(&spec), json);
+    let tail = span_tail_from_json(&json).expect("span tail parses");
+    assert!(!tail.is_empty(), "failing reproducers embed a span tail");
+    assert_eq!(reproducer_to_json(&spec, &tail), json);
+    assert_eq!(tail, failure.span_tail);
 
     // ...and still reproduces the planted divergence when replayed, the
     // exact path `vampos-chaos --replay` takes.
@@ -80,4 +86,58 @@ fn planted_divergence_shrinks_to_a_reproducer_that_replays() {
             .any(|v| v.kind == OracleKind::StateEquivalence),
         "replay lost the violation: {replayed:?}"
     );
+}
+
+/// The telemetry export the CLI performs: re-run one spec faulted with a
+/// sink attached, render both exporters.
+fn export(spec: &CampaignSpec) -> (String, String) {
+    let sink = TelemetrySink::default();
+    run_with_sink(spec, true, Some(&sink));
+    (
+        sink.with(|hub| hub.chrome_trace_json()),
+        sink.with(|hub| hub.prometheus_text()),
+    )
+}
+
+#[test]
+fn telemetry_exports_are_byte_identical_across_sequential_and_parallel_sweeps() {
+    let cfg = SweepConfig {
+        seed: 42,
+        campaigns: 2,
+        workloads: vec![WorkloadKind::Kv],
+        plant: true,
+        ..SweepConfig::default()
+    };
+    let parallel = run_sweep(&cfg);
+    let sequential = run_sweep(&SweepConfig {
+        sequential: true,
+        ..cfg
+    });
+
+    // Reproducers — span tails included — are identical whether campaigns
+    // ran on worker threads or inline.
+    assert_eq!(parallel.outcomes.len(), sequential.outcomes.len());
+    for (p, s) in parallel.outcomes.iter().zip(&sequential.outcomes) {
+        assert_eq!(p.reproducer_json(), s.reproducer_json());
+        assert_eq!(p.span_tail, s.span_tail);
+    }
+
+    // The exported trace and exposition for the same shrunk spec are
+    // byte-identical across both sweeps' reproducers and across repeated
+    // exports, and the exposition passes the format check.
+    let spec_p = parallel.failures().next().unwrap().shrunk.clone().unwrap();
+    let spec_s = sequential
+        .failures()
+        .next()
+        .unwrap()
+        .shrunk
+        .clone()
+        .unwrap();
+    assert_eq!(spec_p, spec_s);
+    let (trace_a, prom_a) = export(&spec_p);
+    let (trace_b, prom_b) = export(&spec_s);
+    assert_eq!(trace_a, trace_b);
+    assert_eq!(prom_a, prom_b);
+    validate_exposition(&prom_a).expect("exposition format");
+    assert!(trace_a.starts_with("{\"traceEvents\":["));
 }

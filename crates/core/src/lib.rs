@@ -50,3 +50,6 @@ pub use reboot::{FullRebootOutcome, RebootOutcome};
 pub use resilience::AgingEntry;
 pub use runtime::{MemoryReport, System, SystemBuilder};
 pub use stats::{DowntimeWindow, SystemStats};
+pub use vampos_telemetry::{
+    Collector, RecoveryPhase, SpanDump, SpanKind, SpanRecord, TelemetryHub, TelemetrySink,
+};

@@ -5,10 +5,11 @@
 
 use std::collections::VecDeque;
 
-use vampos_sim::{Nanos, TraceEvent};
+use vampos_sim::Nanos;
+use vampos_telemetry::RecoveryPhase;
 use vampos_ukernel::{OsError, Value};
 
-use crate::runtime::{Ctx, ReplayState, System};
+use crate::runtime::{Ctx, PendingRecovery, ReplayState, System};
 use crate::stats::DowntimeWindow;
 
 /// The result of a component-level reboot.
@@ -113,15 +114,32 @@ impl System {
             .join("+");
 
         let start = self.clock.now();
-        self.trace.push(TraceEvent::RebootStart {
-            component: label.clone(),
+        // Failure paths stash their detection context; an explicit reboot
+        // (admin / rejuvenation) has none. The recovery span is back-dated
+        // to when detection began so downtime reads off the span directly.
+        let pending = self.pending_recovery.take();
+        let trigger = pending.as_ref().map(|p| p.kind).unwrap_or("admin");
+        let span_start = pending.as_ref().map(|p| p.detect_start).unwrap_or(start);
+        let detect_end = pending.as_ref().map(|p| p.detect_end).unwrap_or(start);
+        self.emit(|c| c.recovery_begin(&label, trigger, span_start));
+        self.emit(|c| {
+            c.recovery_phase(&label, RecoveryPhase::FailureDetect, span_start, detect_end)
         });
         let mut replayed_total = 0usize;
         let mut snapshot_total = 0usize;
         for &member in &members {
-            let (replayed, snap) = self.reboot_one(member)?;
-            replayed_total += replayed;
-            snapshot_total += snap;
+            match self.reboot_one(member) {
+                Ok((replayed, snap)) => {
+                    replayed_total += replayed;
+                    snapshot_total += snap;
+                }
+                Err(e) => {
+                    let at = self.clock.now();
+                    let detail = e.to_string();
+                    self.emit(|c| c.recovery_abort(&label, at, &detail));
+                    return Err(e);
+                }
+            }
         }
         let end = self.clock.now();
         self.stats.component_reboots += 1;
@@ -131,10 +149,7 @@ impl System {
             start,
             end,
         });
-        self.trace.push(TraceEvent::RebootDone {
-            component: label.clone(),
-            replayed: replayed_total,
-        });
+        self.emit(|c| c.recovery_end(&label, end, replayed_total, snapshot_total));
         Ok(RebootOutcome {
             component: label,
             downtime: end.saturating_sub(start),
@@ -146,6 +161,8 @@ impl System {
     /// Reboots a single slot: stop thread → checkpoint restore → respawn →
     /// encapsulated replay → runtime-data restore.
     fn reboot_one(&mut self, idx: usize) -> Result<(usize, usize), OsError> {
+        let member_name = self.slots[idx].name.clone();
+        let restore_start = self.clock.now();
         self.slots[idx].up = false;
         self.clock.advance(self.costs.ctx_switch); // stop the thread
 
@@ -177,11 +194,22 @@ impl System {
             }
         }
 
+        let restore_end = self.clock.now();
+        self.emit(|c| {
+            c.recovery_phase(
+                &member_name,
+                RecoveryPhase::CheckpointRestore,
+                restore_start,
+                restore_end,
+            )
+        });
+
         // Attach a fresh thread (§V-A).
         self.clock.advance(self.costs.thread_spawn);
 
         // Encapsulated restoration: replay the selected log entries with
         // downcalls answered from the return-value log.
+        let replay_start = self.clock.now();
         let mut replayed = 0usize;
         if self.slots[idx].desc.is_stateful() {
             let entries = self.slots[idx].log.replay_entries();
@@ -225,6 +253,16 @@ impl System {
             }
         }
 
+        let replay_end = self.clock.now();
+        self.emit(|c| {
+            c.recovery_phase(
+                &member_name,
+                RecoveryPhase::LogReplay,
+                replay_start,
+                replay_end,
+            )
+        });
+
         if let Some(data) = extract {
             comp.restore_runtime(data)?;
         }
@@ -233,6 +271,10 @@ impl System {
         self.slots[idx].comp = Some(comp);
         self.slots[idx].up = true;
         self.slots[idx].reboots += 1;
+        let resume_end = self.clock.now();
+        self.emit(|c| {
+            c.recovery_phase(&member_name, RecoveryPhase::Resume, replay_end, resume_end)
+        });
         Ok((replayed, snapshot_bytes))
     }
 
@@ -252,17 +294,21 @@ impl System {
             .get(component)
             .ok_or_else(|| OsError::UnknownComponent(component.to_owned()))?;
         self.stats.failures += 1;
+        let detect_start = self.clock.now();
         self.clock.advance(self.costs.detector_check);
-        self.trace.push(TraceEvent::FailureDetected {
-            component: component.to_owned(),
-            kind: "panic".to_owned(),
-        });
+        let detect_end = self.clock.now();
+        self.emit(|c| c.failure_detected(component, "panic", detect_end));
         if !self.auto_recover || !self.slots[tid].desc.is_rebootable() {
             return Err(self.terminal_failure(
                 tid,
                 &format!("component {component} fail-stopped without recovery"),
             ));
         }
+        self.pending_recovery = Some(PendingRecovery {
+            kind: "panic",
+            detect_start,
+            detect_end,
+        });
         self.reboot_index(tid)
     }
 
@@ -329,9 +375,11 @@ impl System {
             end,
         });
         let resets_after = self.host.with(|w| w.network().resets_seen());
+        let connections_reset = resets_after - resets_before;
+        self.emit(|c| c.full_reboot(start, end, connections_reset));
         Ok(FullRebootOutcome {
             downtime: end.saturating_sub(start),
-            connections_reset: resets_after - resets_before,
+            connections_reset,
         })
     }
 
@@ -348,17 +396,16 @@ impl System {
         args: &[Value],
     ) -> Result<Value, OsError> {
         self.stats.failures += 1;
+        let detect_start = self.clock.now();
         self.clock.advance(self.costs.detector_check);
+        let detect_end = self.clock.now();
         let kind = match &err {
             OsError::Panic { .. } => "panic",
             OsError::Hang { .. } => "hang",
             OsError::ProtectionFault(_) => "mpk-violation",
             _ => "failure",
         };
-        self.trace.push(TraceEvent::FailureDetected {
-            component: target.to_owned(),
-            kind: kind.to_owned(),
-        });
+        self.emit(|c| c.failure_detected(target, kind, detect_end));
 
         if !self.auto_recover {
             return Err(err);
@@ -370,6 +417,11 @@ impl System {
         }
         match self.retry_depth {
             0 => {
+                self.pending_recovery = Some(PendingRecovery {
+                    kind,
+                    detect_start,
+                    detect_end,
+                });
                 self.reboot_index(tid)?;
             }
             1 if self.alternates.contains_key(target) => {
@@ -383,6 +435,11 @@ impl System {
                     .remove(target)
                     .expect("checked contains_key");
                 self.faults.clear_component(target);
+                self.pending_recovery = Some(PendingRecovery {
+                    kind,
+                    detect_start,
+                    detect_end,
+                });
                 self.swap_component(tid, alt)?;
                 self.stats.version_swaps += 1;
             }
@@ -418,9 +475,9 @@ impl System {
         if self.graceful {
             self.slots[tid].up = false;
             self.slots[tid].condemned = true;
-            self.trace.push(TraceEvent::Note(format!(
-                "component {name} condemned; system degraded: {reason}"
-            )));
+            let text = format!("component {name} condemned; system degraded: {reason}");
+            let at = self.clock.now();
+            self.emit(|c| c.note(&text, at));
             return OsError::FailStop {
                 reason: format!("{reason} (component {name} condemned; system degraded)"),
             };

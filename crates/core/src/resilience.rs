@@ -23,7 +23,7 @@
 //!   [`System::rejuvenate_aged`] reboots exactly the components whose leak
 //!   volume crossed a threshold.
 
-use vampos_sim::TraceEvent;
+use vampos_telemetry::RecoveryPhase;
 use vampos_ukernel::{ComponentBox, OsError};
 
 use crate::reboot::RebootOutcome;
@@ -61,18 +61,31 @@ impl System {
             )));
         }
         let start = self.clock.now();
-        self.trace.push(TraceEvent::RebootStart {
-            component: name.clone(),
+        // Multi-version recovery stashes its detection context like a
+        // reboot; a plain update has none.
+        let pending = self.pending_recovery.take();
+        let trigger = pending.as_ref().map(|_| "version-swap").unwrap_or("update");
+        let span_start = pending.as_ref().map(|p| p.detect_start).unwrap_or(start);
+        let detect_end = pending.as_ref().map(|p| p.detect_end).unwrap_or(start);
+        self.emit(|c| c.recovery_begin(&name, trigger, span_start));
+        self.emit(|c| {
+            c.recovery_phase(&name, RecoveryPhase::FailureDetect, span_start, detect_end)
         });
         self.slots[tid].up = false;
 
         // The old implementation's boot checkpoint does not describe the
         // new code's memory image; the replacement boots from its own
         // pristine state and re-earns a checkpoint.
-        let old = self.slots[tid]
-            .comp
-            .take()
-            .ok_or_else(|| OsError::Io(format!("{name} busy during swap")))?;
+        let old = match self.slots[tid].comp.take() {
+            Some(old) => old,
+            None => {
+                let err = OsError::Io(format!("{name} busy during swap"));
+                let at = self.clock.now();
+                let detail = err.to_string();
+                self.emit(|c| c.recovery_abort(&name, at, &detail));
+                return Err(err);
+            }
+        };
         let extract = old.extract_runtime();
         drop(old);
 
@@ -82,6 +95,7 @@ impl System {
         self.slots[tid].boot_snapshot = None;
 
         // Encapsulated restoration against the new implementation.
+        let replay_start = self.clock.now();
         let mut replayed = 0usize;
         if self.slots[tid].desc.is_stateful() {
             let entries = self.slots[tid].log.replay_entries();
@@ -101,27 +115,42 @@ impl System {
                     Ok(ret) if ret == entry.ret => {}
                     Ok(ret) => {
                         self.failed = true;
-                        return Err(OsError::ReplayMismatch {
-                            component: name,
+                        let err = OsError::ReplayMismatch {
+                            component: name.clone(),
                             detail: format!(
                                 "{} replayed to {ret} on the replacement (logged {})",
                                 entry.func, entry.ret
                             ),
-                        });
+                        };
+                        let at = self.clock.now();
+                        let detail = err.to_string();
+                        self.emit(|c| c.recovery_abort(&name, at, &detail));
+                        return Err(err);
                     }
                     Err(e) => {
                         self.failed = true;
-                        return Err(OsError::ReplayMismatch {
-                            component: name,
+                        let err = OsError::ReplayMismatch {
+                            component: name.clone(),
                             detail: format!("{} failed on the replacement: {e}", entry.func),
-                        });
+                        };
+                        let at = self.clock.now();
+                        let detail = err.to_string();
+                        self.emit(|c| c.recovery_abort(&name, at, &detail));
+                        return Err(err);
                     }
                 }
                 replayed += 1;
             }
         }
+        let replay_end = self.clock.now();
+        self.emit(|c| c.recovery_phase(&name, RecoveryPhase::LogReplay, replay_start, replay_end));
         if let Some(data) = extract {
-            replacement.restore_runtime(data)?;
+            if let Err(e) = replacement.restore_runtime(data) {
+                let at = self.clock.now();
+                let detail = e.to_string();
+                self.emit(|c| c.recovery_abort(&name, at, &detail));
+                return Err(e);
+            }
         }
         replacement.finish_replay();
 
@@ -138,15 +167,13 @@ impl System {
         self.slots[tid].up = true;
         self.slots[tid].reboots += 1;
         let end = self.clock.now();
+        self.emit(|c| c.recovery_phase(&name, RecoveryPhase::Resume, replay_end, end));
         self.stats.downtime.push(crate::stats::DowntimeWindow {
             component: name.clone(),
             start,
             end,
         });
-        self.trace.push(TraceEvent::RebootDone {
-            component: name,
-            replayed,
-        });
+        self.emit(|c| c.recovery_end(&name, end, replayed, 0));
         Ok(RebootOutcome {
             component: self.slots[tid].name.clone(),
             downtime: end.saturating_sub(start),

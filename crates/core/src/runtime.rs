@@ -6,7 +6,8 @@ use std::collections::HashMap;
 use vampos_host::HostHandle;
 use vampos_mem::Snapshot;
 use vampos_mpk::{AccessKind, DomainId, KeyRegistry, Pkru};
-use vampos_sim::{CostModel, EventTrace, Nanos, SimClock, SimRng, TraceEvent};
+use vampos_sim::{CostModel, EventTrace, Nanos, SimClock, SimRng};
+use vampos_telemetry::{Collector, TelemetrySink};
 use vampos_ukernel::{names, CallContext, ComponentBox, ComponentDescriptor, OsError, Value};
 
 use crate::config::{ComponentSet, Mode, SchedulerKind};
@@ -88,6 +89,17 @@ pub struct System {
     pub(crate) failed: bool,
     pub(crate) retry_depth: u32,
     pub(crate) booted_at: Nanos,
+    pub(crate) telemetry: Option<TelemetrySink>,
+    pub(crate) pending_recovery: Option<PendingRecovery>,
+}
+
+/// Detection context stashed by the failure paths so the recovery span a
+/// subsequent [`System::reboot_index`] opens can name its trigger and be
+/// back-dated to when detection started.
+pub(crate) struct PendingRecovery {
+    pub(crate) kind: &'static str,
+    pub(crate) detect_start: Nanos,
+    pub(crate) detect_end: Nanos,
 }
 
 impl std::fmt::Debug for System {
@@ -114,6 +126,7 @@ pub struct SystemBuilder {
     graceful: bool,
     alternates: Vec<ComponentBox>,
     allow_analysis_errors: bool,
+    telemetry: Option<TelemetrySink>,
 }
 
 impl std::fmt::Debug for SystemBuilder {
@@ -140,6 +153,7 @@ impl Default for SystemBuilder {
             graceful: false,
             alternates: Vec::new(),
             allow_analysis_errors: false,
+            telemetry: None,
         }
     }
 }
@@ -185,6 +199,15 @@ impl SystemBuilder {
     /// Event-trace capacity (events retained).
     pub fn trace_capacity(mut self, capacity: usize) -> Self {
         self.trace_capacity = capacity;
+        self
+    }
+
+    /// Attaches a telemetry sink: every cross-component call, syscall and
+    /// recovery is additionally recorded as a timestamped span (with
+    /// per-component metrics) in the sink's [`vampos_telemetry::TelemetryHub`].
+    /// The legacy event trace keeps recording either way.
+    pub fn telemetry(mut self, sink: TelemetrySink) -> Self {
+        self.telemetry = Some(sink);
         self
     }
 
@@ -345,6 +368,8 @@ impl SystemBuilder {
             failed: false,
             retry_depth: 0,
             booted_at: Nanos::ZERO,
+            telemetry: self.telemetry,
+            pending_recovery: None,
         };
         sys.boot()?;
         Ok(sys)
@@ -455,6 +480,21 @@ impl System {
     /// The event trace.
     pub fn trace(&self) -> &EventTrace {
         &self.trace
+    }
+
+    /// The attached telemetry sink, if any.
+    pub fn telemetry(&self) -> Option<&TelemetrySink> {
+        self.telemetry.as_ref()
+    }
+
+    /// Fans one observability event out to every collector: the legacy
+    /// event trace first (preserving its historical push order), then the
+    /// telemetry hub when one is attached.
+    pub(crate) fn emit(&mut self, f: impl Fn(&mut dyn Collector)) {
+        f(&mut self.trace);
+        if let Some(sink) = &self.telemetry {
+            sink.with(|hub| f(hub));
+        }
     }
 
     /// Clears the event trace (keeps recording).
@@ -579,9 +619,13 @@ impl System {
     /// [`OsError::FailStop`].
     pub fn syscall(&mut self, target: &str, func: &str, args: &[Value]) -> Result<Value, OsError> {
         let start = self.clock.now();
+        self.emit(|c| c.syscall_begin(func, start));
         let result = self.invoke_from(None, target, func, args);
         let took = self.clock.now().saturating_sub(start);
         self.stats.record_syscall(func, took);
+        let end = self.clock.now();
+        let ok = result.is_ok();
+        self.emit(|c| c.syscall_end(end, ok));
         result
     }
 
@@ -620,16 +664,16 @@ impl System {
         let permitted = pkru.permits(victim_key, AccessKind::Write);
         if isolation && !permitted {
             self.stats.mpk_switches += 1;
-            self.trace.push(TraceEvent::MpkViolation {
-                component: from.to_owned(),
-                region_owner: to.to_owned(),
-            });
+            let at = self.clock.now();
+            self.emit(|c| c.mpk_violation(from, to, at));
             self.stats.failures += 1;
-            self.trace.push(TraceEvent::FailureDetected {
-                component: from.to_owned(),
-                kind: "mpk-violation".to_owned(),
-            });
+            self.emit(|c| c.failure_detected(from, "mpk-violation", at));
             if self.auto_recover && self.slots[from_idx].desc.is_rebootable() {
+                self.pending_recovery = Some(PendingRecovery {
+                    kind: "mpk-violation",
+                    detect_start: at,
+                    detect_end: at,
+                });
                 self.reboot_index(from_idx)?;
             }
             return Err(OsError::ProtectionFault(format!(
@@ -838,16 +882,12 @@ impl System {
 
         let logged = self.mode.is_vampos() && self.slots[tid].desc.is_logged(func);
         let args_bytes: usize = args.iter().map(Value::byte_len).sum();
+        let hop_start = self.clock.now();
         self.charge_request_hop(caller, tid, args_bytes, logged);
-        if self.trace.is_enabled() {
-            self.trace.push(TraceEvent::MessageHop {
-                caller: caller
-                    .map(|c| self.slots[c].name.clone())
-                    .unwrap_or_else(|| names::APP.to_owned()),
-                target: target.to_owned(),
-                func: func.to_owned(),
-            });
-        }
+        let caller_name = caller
+            .map(|c| self.slots[c].name.clone())
+            .unwrap_or_else(|| names::APP.to_owned());
+        self.emit(|c| c.call_begin(&caller_name, target, func, hop_start));
 
         let mut comp = self.slots[tid].comp.take().expect("checked above");
         let mut ctx = Ctx {
@@ -860,7 +900,7 @@ impl System {
         let downcalls = ctx.pending.take().unwrap_or_default();
         self.slots[tid].comp = Some(comp);
 
-        match result {
+        let outcome = match result {
             Ok(ret) => {
                 let ret_bytes = ret.byte_len();
                 self.charge_reply_hop(caller, tid, ret_bytes);
@@ -885,7 +925,11 @@ impl System {
                 self.charge_reply_hop(caller, tid, 8);
                 Err(err)
             }
-        }
+        };
+        let end = self.clock.now();
+        let ok = outcome.is_ok();
+        self.emit(|c| c.call_end(end, ok));
+        outcome
     }
 
     fn append_log(
@@ -923,14 +967,18 @@ impl System {
             let name = slot.name.clone();
             self.clock
                 .advance(self.costs.log_shrink_scan * (removed as u64 + slot.log.len() as u64));
-            self.trace.push(TraceEvent::LogShrunk {
-                component: name,
-                removed,
-            });
+            let at = self.clock.now();
+            self.emit(|c| c.log_shrunk(&name, removed, at));
         }
         // Threshold-triggered compaction of still-open sessions (§V-F).
         if cfg.log_shrinking && self.slots[tid].log.len() > cfg.shrink_threshold {
             self.compact_component_log(tid);
+        }
+        if self.telemetry.is_some() {
+            let name = self.slots[tid].name.clone();
+            let bytes = self.slots[tid].log.byte_len();
+            let records = self.slots[tid].log.record_count();
+            self.emit(|c| c.log_stats(&name, bytes, records));
         }
     }
 
@@ -950,10 +998,9 @@ impl System {
         if removed_total > 0 {
             self.clock.advance(self.costs.compaction_pause);
             self.stats.log_removed += removed_total as u64;
-            self.trace.push(TraceEvent::LogShrunk {
-                component: self.slots[tid].name.clone(),
-                removed: removed_total,
-            });
+            let name = self.slots[tid].name.clone();
+            let at = self.clock.now();
+            self.emit(|c| c.log_shrunk(&name, removed_total, at));
         }
     }
 }
@@ -1056,5 +1103,16 @@ impl CallContext for Ctx<'_> {
 
     fn replay_hint(&self) -> Option<&Value> {
         self.replay.as_ref().map(|r| &r.hint)
+    }
+
+    fn trace_instant(&mut self, name: &str, detail: &str) {
+        // Replayed downcalls must not re-emit their original instants: the
+        // replay already renders as a `log_replay` phase span.
+        if self.replay.is_some() || self.sys.telemetry.is_none() {
+            return;
+        }
+        let track = self.sys.slots[self.me].name.clone();
+        let at = self.sys.clock.now();
+        self.sys.emit(|c| c.instant(&track, name, detail, at));
     }
 }

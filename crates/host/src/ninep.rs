@@ -148,6 +148,25 @@ pub enum NinePRequest {
     },
 }
 
+impl NinePRequest {
+    /// The 9P message kind as a stable lowercase name (telemetry labels).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            NinePRequest::Attach { .. } => "attach",
+            NinePRequest::Walk { .. } => "walk",
+            NinePRequest::Open { .. } => "open",
+            NinePRequest::Create { .. } => "create",
+            NinePRequest::Mkdir { .. } => "mkdir",
+            NinePRequest::Read { .. } => "read",
+            NinePRequest::Write { .. } => "write",
+            NinePRequest::Fsync { .. } => "fsync",
+            NinePRequest::Clunk { .. } => "clunk",
+            NinePRequest::Remove { .. } => "remove",
+            NinePRequest::Stat { .. } => "stat",
+        }
+    }
+}
+
 /// A response from the server.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum NinePResponse {

@@ -77,7 +77,8 @@ pub struct EventTrace {
     events: VecDeque<TraceEvent>,
     capacity: usize,
     enabled: bool,
-    dropped: u64,
+    evicted: u64,
+    suppressed: u64,
 }
 
 impl Default for EventTrace {
@@ -93,11 +94,13 @@ impl EventTrace {
             events: VecDeque::with_capacity(capacity.min(4096)),
             capacity: capacity.max(1),
             enabled: true,
-            dropped: 0,
+            evicted: 0,
+            suppressed: 0,
         }
     }
 
-    /// Enables or disables recording. Disabled pushes are counted as dropped.
+    /// Enables or disables recording. Disabled pushes are counted as
+    /// suppressed.
     pub fn set_enabled(&mut self, enabled: bool) {
         self.enabled = enabled;
     }
@@ -110,12 +113,12 @@ impl EventTrace {
     /// Records an event (evicting the oldest when full).
     pub fn push(&mut self, event: TraceEvent) {
         if !self.enabled {
-            self.dropped += 1;
+            self.suppressed += 1;
             return;
         }
         if self.events.len() == self.capacity {
             self.events.pop_front();
-            self.dropped += 1;
+            self.evicted += 1;
         }
         self.events.push_back(event);
     }
@@ -130,9 +133,21 @@ impl EventTrace {
         self.events.is_empty()
     }
 
-    /// Number of events evicted or suppressed so far.
+    /// Number of retained events evicted by ring overflow so far.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Number of pushes discarded while recording was disabled.
+    pub fn suppressed(&self) -> u64 {
+        self.suppressed
+    }
+
+    /// Total events lost for any reason: [`EventTrace::evicted`] +
+    /// [`EventTrace::suppressed`]. Kept for callers that only care whether
+    /// the trace is complete.
     pub fn dropped(&self) -> u64 {
-        self.dropped
+        self.evicted + self.suppressed
     }
 
     /// Iterates retained events, oldest first.
@@ -140,7 +155,7 @@ impl EventTrace {
         self.events.iter()
     }
 
-    /// Clears all retained events (the dropped counter is kept).
+    /// Clears all retained events (the loss counters are kept).
     pub fn clear(&mut self) {
         self.events.clear();
     }
@@ -176,19 +191,36 @@ mod tests {
         }
         let got: Vec<_> = t.iter().cloned().collect();
         assert_eq!(got, vec![note("2"), note("3"), note("4")]);
+        assert_eq!(t.evicted(), 2);
+        assert_eq!(t.suppressed(), 0);
         assert_eq!(t.dropped(), 2);
     }
 
     #[test]
-    fn disabled_trace_counts_drops() {
+    fn disabled_trace_counts_suppressions() {
         let mut t = EventTrace::default();
         t.set_enabled(false);
         t.push(note("x"));
         assert!(t.is_empty());
+        assert_eq!(t.suppressed(), 1);
+        assert_eq!(t.evicted(), 0);
         assert_eq!(t.dropped(), 1);
         t.set_enabled(true);
         t.push(note("y"));
         assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn eviction_and_suppression_are_counted_separately() {
+        let mut t = EventTrace::with_capacity(1);
+        t.push(note("a"));
+        t.push(note("b")); // evicts "a"
+        t.set_enabled(false);
+        t.push(note("c")); // suppressed
+        t.push(note("d")); // suppressed
+        assert_eq!(t.evicted(), 1);
+        assert_eq!(t.suppressed(), 2);
+        assert_eq!(t.dropped(), 3);
     }
 
     #[test]
@@ -207,13 +239,14 @@ mod tests {
     }
 
     #[test]
-    fn clear_keeps_dropped_counter() {
+    fn clear_keeps_loss_counters() {
         let mut t = EventTrace::with_capacity(1);
         t.push(note("a"));
         t.push(note("b"));
         assert_eq!(t.dropped(), 1);
         t.clear();
         assert!(t.is_empty());
+        assert_eq!(t.evicted(), 1);
         assert_eq!(t.dropped(), 1);
     }
 

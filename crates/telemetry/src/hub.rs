@@ -1,0 +1,678 @@
+//! The [`TelemetryHub`]: a structured, bounded span-and-metrics collector.
+//!
+//! The hub turns the [`Collector`] narration into three artifacts:
+//!
+//! * finished [`SpanRecord`]s (a bounded deque; oldest evicted first),
+//! * [`InstantRecord`] point events attached to their enclosing span,
+//! * a [`MetricsRegistry`] of per-component counters/gauges/histograms.
+//!
+//! Because the runtime's span pairs are strictly LIFO (see [`Collector`]),
+//! the hub keeps a plain stack of open spans; `*_end` calls pop it.
+//! [`TelemetrySink`] is the shared handle the runtime holds: a
+//! `Rc<RefCell<_>>` wrapper matching the simulator's single-threaded,
+//! `!Send` clock discipline.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::rc::Rc;
+
+use vampos_sim::Nanos;
+
+use crate::collector::{Collector, RecoveryPhase};
+use crate::metrics::MetricsRegistry;
+use crate::perfetto;
+
+/// Default bound on retained finished spans and instants.
+const DEFAULT_CAPACITY: usize = 1 << 16;
+
+/// What a span measured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// A cross-component call.
+    Call,
+    /// An application-layer syscall.
+    Syscall,
+    /// A component (or whole-application) recovery.
+    Recovery,
+    /// One phase inside a recovery.
+    Phase,
+}
+
+impl SpanKind {
+    /// Stable category name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Call => "call",
+            SpanKind::Syscall => "syscall",
+            SpanKind::Recovery => "recovery",
+            SpanKind::Phase => "phase",
+        }
+    }
+}
+
+/// A finished span: a named interval on a component track.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Unique, monotonically increasing id (creation order).
+    pub id: u64,
+    /// Id of the enclosing span open at creation time, if any.
+    pub parent: Option<u64>,
+    /// Track (component) the span renders on.
+    pub track: String,
+    /// Span name (function, `recovery`, or a recovery-phase name).
+    pub name: String,
+    /// What the span measured.
+    pub kind: SpanKind,
+    /// Start timestamp (virtual).
+    pub start: Nanos,
+    /// End timestamp (virtual); `end >= start` always.
+    pub end: Nanos,
+    /// Structured attributes, in emission order.
+    pub attrs: Vec<(&'static str, String)>,
+}
+
+impl SpanRecord {
+    /// Span duration.
+    pub fn duration(&self) -> Nanos {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+/// A point event attached to a track (and, when one was open, a span).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstantRecord {
+    /// Track (component) the instant renders on.
+    pub track: String,
+    /// Event name (e.g. `failure_detected`, `mpk_denial`).
+    pub name: String,
+    /// Timestamp (virtual).
+    pub at: Nanos,
+    /// Id of the span that was innermost-open when the event fired.
+    pub parent: Option<u64>,
+    /// Structured attributes, in emission order.
+    pub attrs: Vec<(&'static str, String)>,
+}
+
+/// A compact, serializable view of one span — what chaos reproducers embed
+/// as their trailing span window (`span_tail`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanDump {
+    /// Track (component) name.
+    pub track: String,
+    /// Span name.
+    pub name: String,
+    /// Start timestamp in virtual nanoseconds.
+    pub start_ns: u64,
+    /// Duration in virtual nanoseconds.
+    pub dur_ns: u64,
+    /// Nesting depth (number of retained ancestors).
+    pub depth: u32,
+}
+
+#[derive(Debug)]
+struct OpenSpan {
+    id: u64,
+    parent: Option<u64>,
+    track: String,
+    name: String,
+    kind: SpanKind,
+    start: Nanos,
+    attrs: Vec<(&'static str, String)>,
+}
+
+/// The structured collector: span trees, instants, and metrics.
+#[derive(Debug, Default)]
+pub struct TelemetryHub {
+    next_id: u64,
+    open: Vec<OpenSpan>,
+    finished: VecDeque<SpanRecord>,
+    instants: VecDeque<InstantRecord>,
+    evicted: u64,
+    metrics: MetricsRegistry,
+}
+
+impl TelemetryHub {
+    /// Creates an empty hub.
+    pub fn new() -> Self {
+        TelemetryHub::default()
+    }
+
+    fn push_finished(&mut self, record: SpanRecord) {
+        if self.finished.len() == DEFAULT_CAPACITY {
+            self.finished.pop_front();
+            self.evicted += 1;
+        }
+        self.finished.push_back(record);
+    }
+
+    fn push_instant(&mut self, record: InstantRecord) {
+        if self.instants.len() == DEFAULT_CAPACITY {
+            self.instants.pop_front();
+            self.evicted += 1;
+        }
+        self.instants.push_back(record);
+    }
+
+    fn open_span(
+        &mut self,
+        track: &str,
+        name: &str,
+        kind: SpanKind,
+        start: Nanos,
+        attrs: Vec<(&'static str, String)>,
+    ) {
+        let id = self.next_id;
+        self.next_id += 1;
+        let parent = self.open.last().map(|s| s.id);
+        self.open.push(OpenSpan {
+            id,
+            parent,
+            track: track.to_owned(),
+            name: name.to_owned(),
+            kind,
+            start,
+            attrs,
+        });
+    }
+
+    fn close_span(&mut self, expected: SpanKind, end: Nanos) -> Option<SpanRecord> {
+        let span = self.open.pop()?;
+        debug_assert_eq!(
+            span.kind, expected,
+            "unbalanced span stack: closing {:?} but innermost open is {} ({:?})",
+            expected, span.name, span.kind
+        );
+        let record = SpanRecord {
+            id: span.id,
+            parent: span.parent,
+            track: span.track,
+            name: span.name,
+            kind: span.kind,
+            start: span.start,
+            end: end.max(span.start),
+            attrs: span.attrs,
+        };
+        self.push_finished(record.clone());
+        Some(record)
+    }
+
+    fn attach_instant(
+        &mut self,
+        track: &str,
+        name: &str,
+        at: Nanos,
+        attrs: Vec<(&'static str, String)>,
+    ) {
+        let parent = self.open.last().map(|s| s.id);
+        self.push_instant(InstantRecord {
+            track: track.to_owned(),
+            name: name.to_owned(),
+            at,
+            parent,
+            attrs,
+        });
+    }
+
+    /// Finished spans, in completion order.
+    pub fn spans(&self) -> impl Iterator<Item = &SpanRecord> {
+        self.finished.iter()
+    }
+
+    /// Instant events, in emission order.
+    pub fn instants(&self) -> impl Iterator<Item = &InstantRecord> {
+        self.instants.iter()
+    }
+
+    /// Number of spans currently open (non-zero only mid-call).
+    pub fn open_spans(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Records evicted because the bounded buffers overflowed.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// The aggregated metrics.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// The aggregated metrics, mutably (percentile queries need `&mut`).
+    pub fn metrics_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.metrics
+    }
+
+    /// Renders retained spans and instants as Chrome trace-event JSON
+    /// (loads in Perfetto / `chrome://tracing`): one track per component,
+    /// recovery phases as nested slices, instants as thread-scoped points.
+    pub fn chrome_trace_json(&self) -> String {
+        let mut spans: Vec<&SpanRecord> = self.finished.iter().collect();
+        spans.sort_by_key(|s| (s.start, s.id));
+        let mut instants: Vec<&InstantRecord> = self.instants.iter().collect();
+        instants.sort_by_key(|i| i.at);
+        perfetto::chrome_trace(&spans, &instants)
+    }
+
+    /// Renders the metrics as Prometheus text exposition.
+    pub fn prometheus_text(&mut self) -> String {
+        crate::prometheus::render(&mut self.metrics)
+    }
+
+    /// Renders the metrics as a deterministic JSON dump.
+    pub fn metrics_json(&mut self) -> String {
+        self.metrics.to_json()
+    }
+
+    /// The last `n` finished spans ordered by `(start, id)`, with nesting
+    /// depth computed against all retained spans (ancestors evicted from
+    /// the bounded buffer stop the depth walk).
+    pub fn tail(&self, n: usize) -> Vec<SpanDump> {
+        let mut sorted: Vec<&SpanRecord> = self.finished.iter().collect();
+        sorted.sort_by_key(|s| (s.start, s.id));
+        let parents: BTreeMap<u64, Option<u64>> =
+            self.finished.iter().map(|s| (s.id, s.parent)).collect();
+        let skip = sorted.len().saturating_sub(n);
+        sorted
+            .into_iter()
+            .skip(skip)
+            .map(|s| {
+                let mut depth = 0u32;
+                let mut cursor = s.parent;
+                while let Some(id) = cursor {
+                    depth += 1;
+                    cursor = parents.get(&id).copied().flatten();
+                }
+                SpanDump {
+                    track: s.track.clone(),
+                    name: s.name.clone(),
+                    start_ns: s.start.as_nanos(),
+                    dur_ns: s.duration().as_nanos(),
+                    depth,
+                }
+            })
+            .collect()
+    }
+
+    fn innermost_recovery(&self) -> Option<(u64, String)> {
+        self.open
+            .iter()
+            .rev()
+            .find(|s| s.kind == SpanKind::Recovery)
+            .map(|s| (s.id, s.track.clone()))
+    }
+
+    /// All track names referenced by retained spans and instants, sorted.
+    pub fn tracks(&self) -> BTreeSet<String> {
+        let mut tracks: BTreeSet<String> = BTreeSet::new();
+        for s in &self.finished {
+            tracks.insert(s.track.clone());
+        }
+        for i in &self.instants {
+            tracks.insert(i.track.clone());
+        }
+        tracks
+    }
+}
+
+impl Collector for TelemetryHub {
+    fn call_begin(&mut self, caller: &str, target: &str, func: &str, at: Nanos) {
+        self.open_span(
+            target,
+            func,
+            SpanKind::Call,
+            at,
+            vec![("caller", caller.to_owned())],
+        );
+        self.metrics.counter_add(
+            "vampos_calls_total",
+            &[("component", target), ("direction", "in")],
+            1,
+        );
+        self.metrics.counter_add(
+            "vampos_calls_total",
+            &[("component", caller), ("direction", "out")],
+            1,
+        );
+    }
+
+    fn call_end(&mut self, at: Nanos, ok: bool) {
+        if let Some(span) = self.close_span(SpanKind::Call, at) {
+            self.metrics.observe(
+                "vampos_call_latency_us",
+                &[("component", &span.track)],
+                span.duration(),
+            );
+            if !ok {
+                self.metrics.counter_add(
+                    "vampos_call_errors_total",
+                    &[("component", &span.track)],
+                    1,
+                );
+            }
+        }
+    }
+
+    fn syscall_begin(&mut self, func: &str, at: Nanos) {
+        self.open_span("app", func, SpanKind::Syscall, at, Vec::new());
+        self.metrics
+            .counter_add("vampos_syscalls_total", &[("func", func)], 1);
+    }
+
+    fn syscall_end(&mut self, at: Nanos, ok: bool) {
+        if let Some(span) = self.close_span(SpanKind::Syscall, at) {
+            self.metrics.observe(
+                "vampos_syscall_latency_us",
+                &[("func", &span.name)],
+                span.duration(),
+            );
+            if !ok {
+                self.metrics
+                    .counter_add("vampos_syscall_errors_total", &[("func", &span.name)], 1);
+            }
+        }
+    }
+
+    fn recovery_begin(&mut self, component: &str, trigger: &str, at: Nanos) {
+        self.open_span(
+            component,
+            "recovery",
+            SpanKind::Recovery,
+            at,
+            vec![("trigger", trigger.to_owned())],
+        );
+    }
+
+    fn recovery_phase(&mut self, member: &str, phase: RecoveryPhase, start: Nanos, end: Nanos) {
+        let (parent, track) = match self.innermost_recovery() {
+            Some((id, track)) => (Some(id), track),
+            None => (None, member.to_owned()),
+        };
+        let id = self.next_id;
+        self.next_id += 1;
+        self.push_finished(SpanRecord {
+            id,
+            parent,
+            track,
+            name: phase.name().to_owned(),
+            kind: SpanKind::Phase,
+            start,
+            end: end.max(start),
+            attrs: vec![("member", member.to_owned())],
+        });
+        self.metrics.observe(
+            "vampos_recovery_phase_us",
+            &[("component", member), ("phase", phase.name())],
+            end.saturating_sub(start),
+        );
+    }
+
+    fn recovery_end(&mut self, component: &str, at: Nanos, replayed: usize, snap_bytes: usize) {
+        if let Some(mut span) = self.close_span(SpanKind::Recovery, at) {
+            span.attrs.push(("replayed", replayed.to_string()));
+            span.attrs.push(("snapshot_bytes", snap_bytes.to_string()));
+            // Re-write the stored record with the enriched attributes.
+            if let Some(stored) = self.finished.back_mut() {
+                stored.attrs = span.attrs.clone();
+            }
+            self.metrics.counter_add(
+                "vampos_component_reboots_total",
+                &[("component", component)],
+                1,
+            );
+            self.metrics.counter_add(
+                "vampos_replayed_entries_total",
+                &[("component", component)],
+                replayed as u64,
+            );
+            self.metrics.counter_add(
+                "vampos_snapshot_restored_bytes_total",
+                &[("component", component)],
+                snap_bytes as u64,
+            );
+            self.metrics.observe(
+                "vampos_recovery_downtime_us",
+                &[("component", component)],
+                span.duration(),
+            );
+        }
+    }
+
+    fn recovery_abort(&mut self, component: &str, at: Nanos, error: &str) {
+        if self.close_span(SpanKind::Recovery, at).is_some() {
+            if let Some(stored) = self.finished.back_mut() {
+                stored.attrs.push(("error", error.to_owned()));
+            }
+            self.metrics.counter_add(
+                "vampos_recovery_aborts_total",
+                &[("component", component)],
+                1,
+            );
+        }
+    }
+
+    fn failure_detected(&mut self, component: &str, kind: &str, at: Nanos) {
+        self.attach_instant(
+            component,
+            "failure_detected",
+            at,
+            vec![("kind", kind.to_owned())],
+        );
+        self.metrics.counter_add(
+            "vampos_failures_total",
+            &[("component", component), ("kind", kind)],
+            1,
+        );
+    }
+
+    fn mpk_violation(&mut self, component: &str, region_owner: &str, at: Nanos) {
+        self.attach_instant(
+            component,
+            "mpk_denial",
+            at,
+            vec![("region_owner", region_owner.to_owned())],
+        );
+        self.metrics
+            .counter_add("vampos_mpk_denials_total", &[("component", component)], 1);
+    }
+
+    fn log_shrunk(&mut self, component: &str, removed: usize, at: Nanos) {
+        self.attach_instant(
+            component,
+            "log_shrunk",
+            at,
+            vec![("removed", removed.to_string())],
+        );
+        self.metrics.counter_add(
+            "vampos_log_shrunk_entries_total",
+            &[("component", component)],
+            removed as u64,
+        );
+    }
+
+    fn log_stats(&mut self, component: &str, live_bytes: usize, live_records: usize) {
+        self.metrics.gauge_set(
+            "vampos_log_bytes_live",
+            &[("component", component)],
+            live_bytes as u64,
+        );
+        self.metrics.gauge_set(
+            "vampos_log_records_live",
+            &[("component", component)],
+            live_records as u64,
+        );
+    }
+
+    fn full_reboot(&mut self, start: Nanos, end: Nanos, connections_reset: u64) {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.push_finished(SpanRecord {
+            id,
+            parent: None,
+            track: "*".to_owned(),
+            name: "full_reboot".to_owned(),
+            kind: SpanKind::Recovery,
+            start,
+            end: end.max(start),
+            attrs: vec![("connections_reset", connections_reset.to_string())],
+        });
+        self.metrics
+            .counter_add("vampos_full_reboots_total", &[], 1);
+        self.metrics
+            .counter_add("vampos_connections_reset_total", &[], connections_reset);
+        self.metrics.observe(
+            "vampos_recovery_downtime_us",
+            &[("component", "*")],
+            end.saturating_sub(start),
+        );
+    }
+
+    fn instant(&mut self, track: &str, name: &str, detail: &str, at: Nanos) {
+        let attrs = if detail.is_empty() {
+            Vec::new()
+        } else {
+            vec![("detail", detail.to_owned())]
+        };
+        self.attach_instant(track, name, at, attrs);
+    }
+
+    fn note(&mut self, text: &str, at: Nanos) {
+        self.attach_instant("system", text, at, Vec::new());
+    }
+}
+
+/// A cloneable, shared handle to a [`TelemetryHub`].
+///
+/// The runtime stores one of these (when telemetry is enabled) and calls
+/// [`TelemetrySink::with`] to emit; harnesses keep a clone to export after
+/// the run. Like [`vampos_sim::SimClock`], the sink is `!Send` — the whole
+/// simulation is single-threaded by construction.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetrySink {
+    hub: Rc<RefCell<TelemetryHub>>,
+}
+
+impl TelemetrySink {
+    /// Creates a sink over a fresh, empty hub.
+    pub fn new() -> Self {
+        TelemetrySink::default()
+    }
+
+    /// Runs `f` with exclusive access to the hub.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called re-entrantly from inside another `with` closure.
+    pub fn with<R>(&self, f: impl FnOnce(&mut TelemetryHub) -> R) -> R {
+        f(&mut self.hub.borrow_mut())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(n: u64) -> Nanos {
+        Nanos::from_nanos(n)
+    }
+
+    #[test]
+    fn call_spans_nest_and_record_latency() {
+        let mut hub = TelemetryHub::new();
+        hub.call_begin("app", "9pfs", "read", ns(100));
+        hub.call_begin("9pfs", "virtio", "ninep", ns(150));
+        hub.call_end(ns(180), true);
+        hub.call_end(ns(250), true);
+        let spans: Vec<&SpanRecord> = hub.spans().collect();
+        assert_eq!(spans.len(), 2);
+        // Inner span finishes first.
+        assert_eq!(spans[0].track, "virtio");
+        assert_eq!(spans[0].parent, Some(spans[1].id));
+        assert_eq!(spans[1].track, "9pfs");
+        assert_eq!(spans[1].parent, None);
+        assert_eq!(spans[1].duration(), ns(150));
+        assert_eq!(hub.open_spans(), 0);
+    }
+
+    #[test]
+    fn recovery_spans_carry_phases_and_outcome_attrs() {
+        let mut hub = TelemetryHub::new();
+        hub.recovery_begin("9pfs", "panic", ns(1_000));
+        hub.recovery_phase("9pfs", RecoveryPhase::FailureDetect, ns(1_000), ns(1_200));
+        hub.recovery_phase(
+            "9pfs",
+            RecoveryPhase::CheckpointRestore,
+            ns(1_200),
+            ns(1_500),
+        );
+        hub.recovery_phase("9pfs", RecoveryPhase::LogReplay, ns(1_500), ns(2_000));
+        hub.recovery_phase("9pfs", RecoveryPhase::Resume, ns(2_000), ns(2_100));
+        hub.recovery_end("9pfs", ns(2_100), 7, 4096);
+        let spans: Vec<&SpanRecord> = hub.spans().collect();
+        assert_eq!(spans.len(), 5);
+        let recovery = spans.iter().find(|s| s.kind == SpanKind::Recovery).unwrap();
+        assert_eq!(recovery.name, "recovery");
+        assert!(recovery.attrs.contains(&("trigger", "panic".to_owned())));
+        assert!(recovery.attrs.contains(&("replayed", "7".to_owned())));
+        for phase in spans.iter().filter(|s| s.kind == SpanKind::Phase) {
+            assert_eq!(phase.parent, Some(recovery.id));
+            assert_eq!(phase.track, "9pfs");
+        }
+    }
+
+    #[test]
+    fn instants_attach_to_the_innermost_open_span() {
+        let mut hub = TelemetryHub::new();
+        hub.mpk_violation("lwip", "9pfs", ns(5));
+        hub.call_begin("app", "lwip", "send", ns(10));
+        hub.failure_detected("lwip", "panic", ns(20));
+        hub.call_end(ns(30), false);
+        let instants: Vec<&InstantRecord> = hub.instants().collect();
+        assert_eq!(instants[0].parent, None);
+        assert!(instants[1].parent.is_some());
+        let errors = hub
+            .metrics()
+            .counter_value("vampos_call_errors_total", &[("component", "lwip")]);
+        assert_eq!(errors, Some(1));
+    }
+
+    #[test]
+    fn tail_orders_by_start_and_computes_depth() {
+        let mut hub = TelemetryHub::new();
+        hub.recovery_begin("vfs", "admin", ns(100));
+        hub.recovery_phase("vfs", RecoveryPhase::LogReplay, ns(150), ns(180));
+        hub.recovery_end("vfs", ns(200), 0, 0);
+        let tail = hub.tail(10);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].name, "recovery");
+        assert_eq!(tail[0].depth, 0);
+        assert_eq!(tail[1].name, "log_replay");
+        assert_eq!(tail[1].depth, 1);
+        let just_one = hub.tail(1);
+        assert_eq!(just_one.len(), 1);
+        assert_eq!(just_one[0].name, "log_replay");
+    }
+
+    #[test]
+    fn sink_is_shared_between_clones() {
+        let sink = TelemetrySink::new();
+        let other = sink.clone();
+        sink.with(|hub| hub.note("hello", ns(1)));
+        assert_eq!(other.with(|hub| hub.instants().count()), 1);
+    }
+
+    #[test]
+    fn full_reboot_records_a_star_track_span() {
+        let mut hub = TelemetryHub::new();
+        hub.full_reboot(ns(0), ns(5_000), 3);
+        let spans: Vec<&SpanRecord> = hub.spans().collect();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].track, "*");
+        assert_eq!(spans[0].name, "full_reboot");
+        assert_eq!(
+            hub.metrics()
+                .counter_value("vampos_connections_reset_total", &[]),
+            Some(3)
+        );
+    }
+}

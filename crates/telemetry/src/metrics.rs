@@ -1,0 +1,362 @@
+//! Per-component metrics: counters, gauges, and latency histograms.
+//!
+//! The registry is deliberately schemaless — emission sites name the metric
+//! and its labels inline, and everything lands in `BTreeMap`s so iteration
+//! (and therefore every export) is in stable lexicographic order. Latency
+//! observations reuse [`vampos_sim::Histogram`], the log-linear sketch from
+//! the stats layer, recording **microseconds** (the convention
+//! [`vampos_sim::Histogram::record_nanos`] established).
+
+use std::collections::BTreeMap;
+
+use vampos_sim::{Histogram, Nanos};
+
+/// A sorted list of `(label name, label value)` pairs identifying a series.
+pub type LabelSet = Vec<(&'static str, String)>;
+
+/// Help strings for every metric the runtime emits, keyed by metric name.
+/// Exporters fall back to the metric name itself for unknown metrics.
+pub const METRIC_HELP: &[(&str, &str)] = &[
+    (
+        "vampos_call_errors_total",
+        "Cross-component calls that returned an error, by callee.",
+    ),
+    (
+        "vampos_call_latency_us",
+        "Cross-component call latency in virtual microseconds, by callee.",
+    ),
+    (
+        "vampos_calls_total",
+        "Cross-component calls, by component and direction (in/out).",
+    ),
+    (
+        "vampos_component_reboots_total",
+        "Completed component-level recoveries, by component.",
+    ),
+    (
+        "vampos_connections_reset_total",
+        "TCP connections reset by whole-application reboots.",
+    ),
+    (
+        "vampos_failures_total",
+        "Failure-detector firings, by component and failure kind.",
+    ),
+    (
+        "vampos_full_reboots_total",
+        "Whole-application reboots (the baseline VampOS avoids).",
+    ),
+    (
+        "vampos_log_bytes_live",
+        "Live function-log bytes, by component.",
+    ),
+    (
+        "vampos_log_records_live",
+        "Live function-log records, by component.",
+    ),
+    (
+        "vampos_log_shrunk_entries_total",
+        "Log entries removed by session-aware shrinking, by component.",
+    ),
+    (
+        "vampos_mpk_denials_total",
+        "MPK access-check denials, by offending component.",
+    ),
+    (
+        "vampos_recovery_aborts_total",
+        "Recoveries that failed (e.g. replay mismatch), by component.",
+    ),
+    (
+        "vampos_recovery_downtime_us",
+        "Recovery downtime windows in virtual microseconds, by component.",
+    ),
+    (
+        "vampos_recovery_phase_us",
+        "Recovery phase durations in virtual microseconds, by component and phase.",
+    ),
+    (
+        "vampos_replayed_entries_total",
+        "Log entries replayed during encapsulated restoration, by component.",
+    ),
+    (
+        "vampos_snapshot_restored_bytes_total",
+        "Checkpoint bytes restored during recoveries, by component.",
+    ),
+    (
+        "vampos_syscall_errors_total",
+        "Application syscalls that returned an error, by function.",
+    ),
+    (
+        "vampos_syscall_latency_us",
+        "Application syscall latency in virtual microseconds, by function.",
+    ),
+    (
+        "vampos_syscalls_total",
+        "Application syscalls, by function.",
+    ),
+];
+
+/// Looks up the help string for `name`, falling back to the name itself.
+pub fn metric_help(name: &str) -> &str {
+    METRIC_HELP
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, h)| *h)
+        .unwrap_or(name)
+}
+
+fn label_key(labels: &[(&'static str, &str)]) -> LabelSet {
+    let mut key: LabelSet = labels.iter().map(|(k, v)| (*k, (*v).to_owned())).collect();
+    key.sort_by(|a, b| a.0.cmp(b.0));
+    key
+}
+
+/// Registry of counters, gauges, and histograms in stable iteration order.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, BTreeMap<LabelSet, u64>>,
+    gauges: BTreeMap<&'static str, BTreeMap<LabelSet, u64>>,
+    histograms: BTreeMap<&'static str, BTreeMap<LabelSet, Histogram>>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `delta` to the counter `name{labels}` (created at zero).
+    pub fn counter_add(&mut self, name: &'static str, labels: &[(&'static str, &str)], delta: u64) {
+        *self
+            .counters
+            .entry(name)
+            .or_default()
+            .entry(label_key(labels))
+            .or_insert(0) += delta;
+    }
+
+    /// Sets the gauge `name{labels}` to `value`.
+    pub fn gauge_set(&mut self, name: &'static str, labels: &[(&'static str, &str)], value: u64) {
+        self.gauges
+            .entry(name)
+            .or_default()
+            .insert(label_key(labels), value);
+    }
+
+    /// Records a duration into the histogram `name{labels}` (as µs).
+    pub fn observe(&mut self, name: &'static str, labels: &[(&'static str, &str)], d: Nanos) {
+        self.histograms
+            .entry(name)
+            .or_default()
+            .entry(label_key(labels))
+            .or_default()
+            .record_nanos(d);
+    }
+
+    /// Current value of a counter series, if it exists.
+    pub fn counter_value(&self, name: &str, labels: &[(&'static str, &str)]) -> Option<u64> {
+        self.counters.get(name)?.get(&label_key(labels)).copied()
+    }
+
+    /// Current value of a gauge series, if it exists.
+    pub fn gauge_value(&self, name: &str, labels: &[(&'static str, &str)]) -> Option<u64> {
+        self.gauges.get(name)?.get(&label_key(labels)).copied()
+    }
+
+    /// Number of observations in a histogram series (0 when absent).
+    pub fn histogram_len(&self, name: &str, labels: &[(&'static str, &str)]) -> usize {
+        self.histograms
+            .get(name)
+            .and_then(|m| m.get(&label_key(labels)))
+            .map(|h| h.len())
+            .unwrap_or(0)
+    }
+
+    /// Counter families in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, &BTreeMap<LabelSet, u64>)> {
+        self.counters.iter().map(|(n, m)| (*n, m))
+    }
+
+    /// Gauge families in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, &BTreeMap<LabelSet, u64>)> {
+        self.gauges.iter().map(|(n, m)| (*n, m))
+    }
+
+    /// Histogram families in name order, mutably (quantile queries mutate).
+    pub fn histograms_mut(
+        &mut self,
+    ) -> impl Iterator<Item = (&'static str, &mut BTreeMap<LabelSet, Histogram>)> {
+        self.histograms.iter_mut().map(|(n, m)| (*n, m))
+    }
+
+    /// Renders the registry as a deterministic JSON document:
+    /// `{"counters": {...}, "gauges": {...}, "summaries": {...}}` with
+    /// series keyed by a `k=v,k=v` label string in sorted order.
+    pub fn to_json(&mut self) -> String {
+        fn label_string(labels: &LabelSet) -> String {
+            labels
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        }
+        fn escape(s: &str) -> String {
+            let mut out = String::with_capacity(s.len());
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        let mut out = String::from("{\n  \"counters\": {");
+        let mut first_family = true;
+        for (name, series) in &self.counters {
+            if !first_family {
+                out.push(',');
+            }
+            first_family = false;
+            out.push_str(&format!("\n    \"{}\": {{", escape(name)));
+            let mut first = true;
+            for (labels, value) in series {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str(&format!(
+                    "\n      \"{}\": {}",
+                    escape(&label_string(labels)),
+                    value
+                ));
+            }
+            out.push_str("\n    }");
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        first_family = true;
+        for (name, series) in &self.gauges {
+            if !first_family {
+                out.push(',');
+            }
+            first_family = false;
+            out.push_str(&format!("\n    \"{}\": {{", escape(name)));
+            let mut first = true;
+            for (labels, value) in series {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str(&format!(
+                    "\n      \"{}\": {}",
+                    escape(&label_string(labels)),
+                    value
+                ));
+            }
+            out.push_str("\n    }");
+        }
+        out.push_str("\n  },\n  \"summaries\": {");
+        first_family = true;
+        for (name, series) in self.histograms.iter_mut() {
+            if !first_family {
+                out.push(',');
+            }
+            first_family = false;
+            out.push_str(&format!("\n    \"{}\": {{", escape(name)));
+            let mut first = true;
+            for (labels, hist) in series.iter_mut() {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str(&format!(
+                    "\n      \"{}\": {{\"count\": {}, \"mean\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}}",
+                    escape(&label_string(labels)),
+                    hist.len(),
+                    hist.mean(),
+                    hist.percentile(50.0),
+                    hist.percentile(90.0),
+                    hist.percentile(99.0),
+                    hist.max(),
+                ));
+            }
+            out.push_str("\n    }");
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_label_set() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("vampos_calls_total", &[("component", "vfs")], 1);
+        m.counter_add("vampos_calls_total", &[("component", "vfs")], 2);
+        m.counter_add("vampos_calls_total", &[("component", "lwip")], 5);
+        assert_eq!(
+            m.counter_value("vampos_calls_total", &[("component", "vfs")]),
+            Some(3)
+        );
+        assert_eq!(
+            m.counter_value("vampos_calls_total", &[("component", "lwip")]),
+            Some(5)
+        );
+        assert_eq!(m.counter_value("vampos_calls_total", &[]), None);
+    }
+
+    #[test]
+    fn label_order_does_not_matter() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("x", &[("a", "1"), ("b", "2")], 1);
+        m.counter_add("x", &[("b", "2"), ("a", "1")], 1);
+        assert_eq!(m.counter_value("x", &[("a", "1"), ("b", "2")]), Some(2));
+    }
+
+    #[test]
+    fn gauges_overwrite() {
+        let mut m = MetricsRegistry::new();
+        m.gauge_set("vampos_log_bytes_live", &[("component", "vfs")], 100);
+        m.gauge_set("vampos_log_bytes_live", &[("component", "vfs")], 40);
+        assert_eq!(
+            m.gauge_value("vampos_log_bytes_live", &[("component", "vfs")]),
+            Some(40)
+        );
+    }
+
+    #[test]
+    fn observations_land_in_microseconds() {
+        let mut m = MetricsRegistry::new();
+        m.observe("lat", &[], Nanos::from_micros(12));
+        assert_eq!(m.histogram_len("lat", &[]), 1);
+        let json = m.to_json();
+        assert!(json.contains("\"mean\": 12"), "json was: {json}");
+    }
+
+    #[test]
+    fn json_dump_is_deterministic() {
+        let build = || {
+            let mut m = MetricsRegistry::new();
+            m.counter_add("b_total", &[("c", "x")], 2);
+            m.counter_add("a_total", &[], 1);
+            m.gauge_set("g", &[("c", "y")], 7);
+            m.observe("h_us", &[], Nanos::from_micros(3));
+            m.to_json()
+        };
+        assert_eq!(build(), build());
+        assert!(build().find("a_total").unwrap() < build().find("b_total").unwrap());
+    }
+
+    #[test]
+    fn every_help_entry_is_sorted_and_unique() {
+        for w in METRIC_HELP.windows(2) {
+            assert!(w[0].0 < w[1].0, "{} !< {}", w[0].0, w[1].0);
+        }
+        assert!(metric_help("vampos_calls_total").contains("calls"));
+        assert_eq!(metric_help("unknown_metric"), "unknown_metric");
+    }
+}

@@ -1,0 +1,210 @@
+//! Chrome trace-event JSON export (loads in Perfetto / `chrome://tracing`).
+//!
+//! Layout: one *thread* (track) per component, named via `ph:"M"`
+//! `thread_name` metadata. Spans are `ph:"X"` complete events with `ts` /
+//! `dur` in microseconds; Perfetto nests same-track slices by containment,
+//! so recovery-phase child spans render inside their recovery slice.
+//! Instants are `ph:"i"` thread-scoped events.
+//!
+//! Determinism: tracks are assigned `tid`s in sorted-name order, events are
+//! emitted sorted by `(start, id)`, and timestamps are formatted from
+//! integer nanoseconds as `<µs>.<3-digit-ns-remainder>` — no float
+//! formatting anywhere, so two same-seed runs serialize byte-identically.
+
+use std::collections::BTreeMap;
+
+use crate::hub::{InstantRecord, SpanRecord};
+
+/// Escapes a string for embedding in a JSON string literal.
+pub(crate) fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats integer nanoseconds as a microsecond JSON number token with
+/// nanosecond precision (`2500` ns → `2.500`).
+fn micros(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+fn args_json(pairs: &[(&str, String)]) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in pairs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":\"{}\"", escape(k), escape(v)));
+    }
+    out.push('}');
+    out
+}
+
+/// Renders spans and instants (already sorted by the caller) as a Chrome
+/// trace-event JSON document: `{"traceEvents": [...]}`.
+pub fn chrome_trace(spans: &[&SpanRecord], instants: &[&InstantRecord]) -> String {
+    // Assign tids in sorted track-name order: pid is always 1.
+    let mut tids: BTreeMap<&str, u64> = BTreeMap::new();
+    for s in spans {
+        tids.entry(&s.track).or_insert(0);
+    }
+    for i in instants {
+        tids.entry(&i.track).or_insert(0);
+    }
+    for (n, (_, tid)) in tids.iter_mut().enumerate() {
+        *tid = n as u64 + 1;
+    }
+
+    let mut events: Vec<String> = Vec::with_capacity(tids.len() + spans.len() + instants.len());
+    for (track, tid) in &tids {
+        events.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\"args\":{{\"name\":\"{}\"}}}}",
+            tid,
+            escape(track)
+        ));
+    }
+    for s in spans {
+        let tid = tids[s.track.as_str()];
+        let mut args: Vec<(&str, String)> = vec![("id", s.id.to_string())];
+        if let Some(parent) = s.parent {
+            args.push(("parent", parent.to_string()));
+        }
+        args.extend(s.attrs.iter().map(|(k, v)| (*k, v.clone())));
+        events.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\"args\":{}}}",
+            escape(&s.name),
+            s.kind.name(),
+            micros(s.start.as_nanos()),
+            micros(s.duration().as_nanos()),
+            tid,
+            args_json(&args)
+        ));
+    }
+    for i in instants {
+        let tid = tids[i.track.as_str()];
+        let mut args: Vec<(&str, String)> = Vec::new();
+        if let Some(parent) = i.parent {
+            args.push(("parent", parent.to_string()));
+        }
+        args.extend(i.attrs.iter().map(|(k, v)| (*k, v.clone())));
+        events.push(format!(
+            "{{\"name\":\"{}\",\"cat\":\"instant\",\"ph\":\"i\",\"ts\":{},\"pid\":1,\"tid\":{},\"s\":\"t\",\"args\":{}}}",
+            escape(&i.name),
+            micros(i.at.as_nanos()),
+            tid,
+            args_json(&args)
+        ));
+    }
+
+    let mut out = String::from("{\"traceEvents\":[\n");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(e);
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hub::SpanKind;
+    use vampos_sim::Nanos;
+
+    fn span(
+        id: u64,
+        parent: Option<u64>,
+        track: &str,
+        name: &str,
+        start: u64,
+        end: u64,
+    ) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            track: track.to_owned(),
+            name: name.to_owned(),
+            kind: if name == "recovery" {
+                SpanKind::Recovery
+            } else {
+                SpanKind::Call
+            },
+            start: Nanos::from_nanos(start),
+            end: Nanos::from_nanos(end),
+            attrs: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn timestamps_are_microseconds_with_nanosecond_remainder() {
+        assert_eq!(micros(0), "0.000");
+        assert_eq!(micros(2_500), "2.500");
+        assert_eq!(micros(1_000_042), "1000.042");
+    }
+
+    #[test]
+    fn tracks_get_stable_tids_in_name_order() {
+        let s1 = span(0, None, "zeta", "recovery", 0, 10);
+        let s2 = span(1, None, "alpha", "call", 5, 8);
+        let json = chrome_trace(&[&s1, &s2], &[]);
+        let alpha = json.find("\"name\":\"alpha\"").unwrap();
+        let zeta = json.find("\"name\":\"zeta\"").unwrap();
+        assert!(alpha < zeta, "metadata should list alpha (tid 1) first");
+        assert!(json.contains("\"tid\":1,\"args\":{\"name\":\"alpha\"}"));
+        assert!(json.contains("\"tid\":2,\"args\":{\"name\":\"zeta\"}"));
+    }
+
+    #[test]
+    fn complete_events_have_ts_dur_pid() {
+        let s = span(3, Some(1), "9pfs", "recovery", 1_500, 4_000);
+        let json = chrome_trace(&[&s], &[]);
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ts\":1.500"));
+        assert!(json.contains("\"dur\":2.500"));
+        assert!(json.contains("\"pid\":1"));
+        assert!(json.contains("\"parent\":\"1\""));
+    }
+
+    #[test]
+    fn instants_are_thread_scoped() {
+        let i = InstantRecord {
+            track: "lwip".to_owned(),
+            name: "mpk_denial".to_owned(),
+            at: Nanos::from_nanos(77),
+            parent: None,
+            attrs: vec![("region_owner", "9pfs".to_owned())],
+        };
+        let json = chrome_trace(&[], &[&i]);
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"s\":\"t\""));
+        assert!(json.contains("\"region_owner\":\"9pfs\""));
+    }
+
+    #[test]
+    fn output_is_identical_for_identical_input() {
+        let s = span(0, None, "vfs", "call", 10, 20);
+        let a = chrome_trace(&[&s], &[]);
+        let b = chrome_trace(&[&s], &[]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn escape_handles_quotes_and_control_chars() {
+        assert_eq!(escape("a\"b"), "a\\\"b");
+        assert_eq!(escape("a\\b"), "a\\\\b");
+        assert_eq!(escape("a\nb"), "a\\nb");
+        assert_eq!(escape("a\u{1}b"), "a\\u0001b");
+    }
+}

@@ -358,6 +358,11 @@ pub trait CallContext {
     fn replay_hint(&self) -> Option<&Value> {
         None
     }
+
+    /// Emits a point event on the component's telemetry track (e.g. a
+    /// VIRTIO host kick or a 9P RPC). No-op unless the runtime has a
+    /// telemetry collector attached; never emitted during replay.
+    fn trace_instant(&mut self, _name: &str, _detail: &str) {}
 }
 
 /// A unikernel component.

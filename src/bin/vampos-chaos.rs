@@ -19,21 +19,33 @@
 //! timestamps. Exit codes: 0 all oracles silent, 1 violations found, 2
 //! usage or I/O error.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use vampos::chaos::{execute_spec, from_json, run_sweep, SweepConfig, WorkloadKind};
+use vampos::chaos::{
+    execute_spec, from_json, run_sweep, run_with_sink, span_tail_from_json, CampaignSpec,
+    SweepConfig, TelemetrySink, WorkloadKind,
+};
 
 struct Args {
     sweep: SweepConfig,
     replay: Option<PathBuf>,
     out_dir: PathBuf,
+    trace_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
 }
 
 fn usage() -> String {
     "usage: vampos-chaos [--seed N] [--campaigns K] [--workload echo|kv|http|sql|all]\n\
      \x20                   [--budget B] [--plant] [--sequential] [--out DIR]\n\
-     \x20      vampos-chaos --replay FILE\n"
+     \x20                   [--trace-out FILE] [--metrics-out FILE]\n\
+     \x20      vampos-chaos --replay FILE [--trace-out FILE] [--metrics-out FILE]\n\
+     \n\
+     --trace-out writes a Chrome trace-event JSON (load in Perfetto / chrome://tracing)\n\
+     --metrics-out writes Prometheus text exposition (or a JSON dump for .json paths)\n\
+     Both exports re-execute one deterministic spec with telemetry attached: the\n\
+     first failing campaign's shrunk reproducer in sweep mode (the first campaign\n\
+     when all pass), or the replayed spec in --replay mode.\n"
         .to_owned()
 }
 
@@ -42,6 +54,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         sweep: SweepConfig::default(),
         replay: None,
         out_dir: PathBuf::from("."),
+        trace_out: None,
+        metrics_out: None,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -70,6 +84,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--plant" => args.sweep.plant = true,
             "--sequential" => args.sweep.sequential = true,
             "--out" => args.out_dir = PathBuf::from(value("--out")?),
+            "--trace-out" => args.trace_out = Some(PathBuf::from(value("--trace-out")?)),
+            "--metrics-out" => args.metrics_out = Some(PathBuf::from(value("--metrics-out")?)),
             "--replay" => args.replay = Some(PathBuf::from(value("--replay")?)),
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
@@ -78,7 +94,65 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     Ok(args)
 }
 
-fn replay(path: &PathBuf) -> Result<bool, String> {
+/// Re-executes `spec` faulted with a telemetry sink attached and writes the
+/// requested exports. The run is deterministic, so the files are
+/// byte-identical across invocations with the same spec.
+fn export_telemetry(
+    spec: &CampaignSpec,
+    trace_out: Option<&Path>,
+    metrics_out: Option<&Path>,
+) -> Result<(), String> {
+    if trace_out.is_none() && metrics_out.is_none() {
+        return Ok(());
+    }
+    let sink = TelemetrySink::default();
+    run_with_sink(spec, true, Some(&sink));
+    let write = |path: &Path, data: &str| -> Result<(), String> {
+        std::fs::write(path, data).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        println!("telemetry written: {}", path.display());
+        Ok(())
+    };
+    if let Some(path) = trace_out {
+        write(path, &sink.with(|hub| hub.chrome_trace_json()))?;
+    }
+    if let Some(path) = metrics_out {
+        let dump = if path.extension().is_some_and(|e| e == "json") {
+            sink.with(|hub| hub.metrics_json())
+        } else {
+            sink.with(|hub| hub.prometheus_text())
+        };
+        write(path, &dump)?;
+    }
+    Ok(())
+}
+
+/// Prints the reproducer's embedded span tail as an indented timeline —
+/// the last thing the faulted system did before the oracles fired.
+fn print_span_tail(text: &str) {
+    let tail = match span_tail_from_json(text) {
+        Ok(tail) => tail,
+        Err(e) => {
+            eprintln!("warning: unreadable span_tail: {e}");
+            return;
+        }
+    };
+    if tail.is_empty() {
+        return;
+    }
+    println!("embedded span tail ({} span(s), oldest first):", tail.len());
+    for span in &tail {
+        println!(
+            "  {:>12} ns  {}{} :: {}  [{} ns]",
+            span.start_ns,
+            "  ".repeat(span.depth as usize),
+            span.track,
+            span.name,
+            span.dur_ns,
+        );
+    }
+}
+
+fn replay(args: &Args, path: &PathBuf) -> Result<bool, String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
     let spec = from_json(&text)?;
@@ -90,7 +164,13 @@ fn replay(path: &PathBuf) -> Result<bool, String> {
         spec.events.len(),
         spec.ops,
     );
+    print_span_tail(&text);
     let violations = execute_spec(&spec);
+    export_telemetry(
+        &spec,
+        args.trace_out.as_deref(),
+        args.metrics_out.as_deref(),
+    )?;
     if violations.is_empty() {
         println!("all four oracles silent: the reproducer no longer fails");
         Ok(true)
@@ -115,7 +195,7 @@ fn main() -> ExitCode {
     };
 
     if let Some(path) = &args.replay {
-        return match replay(path) {
+        return match replay(&args, path) {
             Ok(true) => ExitCode::SUCCESS,
             Ok(false) => ExitCode::from(1),
             Err(msg) => {
@@ -146,6 +226,25 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
         println!("reproducer written: {}", file.display());
+    }
+
+    // Telemetry exports instrument one deterministic spec: the first
+    // failure's shrunk reproducer when the sweep found one, otherwise the
+    // first campaign.
+    let export_spec = report
+        .failures()
+        .next()
+        .and_then(|o| o.shrunk.clone())
+        .or_else(|| report.outcomes.first().map(|o| o.spec.clone()));
+    if let Some(spec) = export_spec {
+        if let Err(msg) = export_telemetry(
+            &spec,
+            args.trace_out.as_deref(),
+            args.metrics_out.as_deref(),
+        ) {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
     }
     exit
 }

@@ -19,6 +19,8 @@
 //! * [`oslib`] — the nine Unikraft-style components (VFS, 9PFS, LWIP, ...);
 //! * [`core`] — the VampOS runtime itself (message passing, scheduling,
 //!   logging/replay, protection domains, checkpointing, reboot engine);
+//! * [`telemetry`] — recovery-span tracing, per-component metrics, and
+//!   deterministic Perfetto / Prometheus exporters;
 //! * [`apps`] — Echo, MiniHttpd, MiniKv and MiniSql sample applications;
 //! * [`workloads`] — client-side load generators used by the experiments.
 //!
@@ -55,6 +57,7 @@ pub use vampos_mem as mem;
 pub use vampos_mpk as mpk;
 pub use vampos_oslib as oslib;
 pub use vampos_sim as sim;
+pub use vampos_telemetry as telemetry;
 pub use vampos_ukernel as ukernel;
 pub use vampos_workloads as workloads;
 
@@ -67,5 +70,6 @@ pub mod prelude {
     };
     pub use vampos_oslib::vfs::OpenFlags;
     pub use vampos_sim::{CostModel, Nanos, SimClock, SimRng};
+    pub use vampos_telemetry::{Collector, RecoveryPhase, SpanDump, TelemetryHub, TelemetrySink};
     pub use vampos_ukernel::{ComponentName, OsError, Value};
 }
