@@ -6,7 +6,7 @@
 //! experiment (paper Table V) exercises exactly what full reboots break:
 //! long-lived TCP connections and their in-flight requests.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use vampos_core::System;
 use vampos_oslib::OpenFlags;
@@ -33,10 +33,13 @@ struct CachedFile {
 pub struct MiniHttpd {
     doc_root: String,
     listen_fd: Option<u64>,
-    conns: HashMap<u64, ConnState>,
+    /// Ordered by fd so `poll` walks connections deterministically: the
+    /// fleet experiments compare same-seed runs byte-for-byte, which a
+    /// randomized hash-map iteration order would break.
+    conns: BTreeMap<u64, ConnState>,
     /// Open-file cache, like Nginx's `open_file_cache`: files stay open
     /// across requests and are served with positional reads.
-    file_cache: HashMap<String, CachedFile>,
+    file_cache: BTreeMap<String, CachedFile>,
     served: u64,
     not_found: u64,
 }
@@ -53,8 +56,8 @@ impl MiniHttpd {
         MiniHttpd {
             doc_root: doc_root.trim_end_matches('/').to_owned(),
             listen_fd: None,
-            conns: HashMap::new(),
-            file_cache: HashMap::new(),
+            conns: BTreeMap::new(),
+            file_cache: BTreeMap::new(),
             served: 0,
             not_found: 0,
         }

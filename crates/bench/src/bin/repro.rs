@@ -1,10 +1,12 @@
 //! `repro` — regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [fig5|table3|fig6|fig7|table4|table5|fig8|ablations|all]
-//!       [--quick] [--sequential] [--json[=PATH]]
+//! repro [fig5|table3|fig6|fig7|table4|table5|fleet|fig8|ablations|all]
+//!       [--list] [--quick] [--sequential] [--json[=PATH]]
 //!       [--trace-out=PATH] [--metrics-out=PATH]
 //! ```
+//!
+//! `--list` prints every experiment's name and description and exits.
 //!
 //! `--quick` scales the workloads down (used by CI); the default sizes
 //! follow the paper where tractable. All timings are *virtual* time from
@@ -29,7 +31,7 @@ use std::env;
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use vampos_bench::experiments::{ablations, fig5, fig6, fig7, fig8, table3, table4, table5};
+use vampos_bench::experiments::{ablations, fig5, fig6, fig7, fig8, fleet, table3, table4, table5};
 use vampos_bench::format::{bytes, render_table, us};
 use vampos_bench::parallel::{parallel_map, worker_count};
 use vampos_sim::Nanos;
@@ -39,46 +41,68 @@ use vampos_sim::Nanos;
 /// in the fixed order of this list.
 struct Section {
     key: &'static str,
+    desc: &'static str,
     render: fn(bool) -> String,
 }
 
-const SECTIONS: [Section; 8] = [
+const SECTIONS: [Section; 9] = [
     Section {
         key: "fig5",
+        desc: "system call execution times across the five configurations",
         render: render_fig5,
     },
     Section {
         key: "table3",
+        desc: "log space overheads in system calls, normal vs shrunk",
         render: render_table3,
     },
     Section {
         key: "fig6",
+        desc: "component reboot times with replay counts and snapshot sizes",
         render: render_fig6,
     },
     Section {
         key: "fig7",
+        desc: "application execution time and memory utilisation",
         render: render_fig7,
     },
     Section {
         key: "table4",
+        desc: "throughput across log-shrink-threshold settings",
         render: render_table4,
     },
     Section {
         key: "table5",
+        desc: "request successes across rejuvenation, VampOS vs full reboot",
         render: render_table5,
     },
     Section {
+        key: "fleet",
+        desc: "Table V at cluster scale: routing policies over rolling rejuvenation, N = 1/4/16",
+        render: render_fleet,
+    },
+    Section {
         key: "fig8",
+        desc: "Redis GET latency across failure recovery",
         render: render_fig8,
     },
     Section {
         key: "ablations",
+        desc: "what MPK isolation, log shrinking and key virtualisation each buy",
         render: render_ablations,
     },
 ];
 
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        println!("experiments:");
+        for s in &SECTIONS {
+            println!("  {:<10} {}", s.key, s.desc);
+        }
+        println!("  {:<10} every experiment above, in that order", "all");
+        return;
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let sequential = args.iter().any(|a| a == "--sequential");
     let json_path = args.iter().find_map(|a| {
@@ -114,7 +138,9 @@ fn main() {
         .collect();
     if selected.is_empty() {
         eprintln!(
-            "unknown experiment {which:?}; expected fig5|table3|fig6|fig7|table4|table5|fig8|ablations|all"
+            "unknown experiment {which:?}; expected \
+             fig5|table3|fig6|fig7|table4|table5|fleet|fig8|ablations|all \
+             (see --list)"
         );
         std::process::exit(2);
     }
@@ -487,6 +513,45 @@ fn render_table5(quick: bool) -> String {
         out,
         "{}",
         render_table(&["config", "success", "fails", "ratio", "reboots"], &rows)
+    );
+    out
+}
+
+fn render_fleet(quick: bool) -> String {
+    let clients_per_instance = if quick { 2 } else { 4 };
+    let mut out = String::new();
+    heading(
+        &mut out,
+        &format!(
+            "Fleet — Table V at cluster scale ({clients_per_instance} clients/instance, \
+             rolling rejuvenation every 60ms)"
+        ),
+    );
+    let result = fleet::run(clients_per_instance);
+    let rows: Vec<Vec<String>> = result
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.instances.to_string(),
+                r.config.to_owned(),
+                r.successes.to_string(),
+                r.failures.to_string(),
+                format!("{:.1}%", r.success_pct),
+                us(r.p50_us),
+                us(r.p99_us),
+                r.retried.to_string(),
+                r.reboots.to_string(),
+            ]
+        })
+        .collect();
+    let _ = write!(
+        out,
+        "{}",
+        render_table(
+            &["N", "config", "success", "fails", "ratio", "p50", "p99", "retried", "reboots"],
+            &rows
+        )
     );
     out
 }

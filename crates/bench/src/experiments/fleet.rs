@@ -1,0 +1,190 @@
+//! Fleet experiment — Table V taken to cluster scale.
+//!
+//! The paper's Table V shows one unikernel surviving component-by-component
+//! rejuvenation. Operators run N of them behind a balancer, which is where
+//! recovery-awareness pays: a balancer that treats "component mid-reboot"
+//! as *drained* rather than *down* can roll rejuvenation across the fleet
+//! without losing a request. This experiment sweeps fleet sizes
+//! N ∈ {1, 4, 16} over five configurations:
+//!
+//! * recovery-aware routing + rolling component rejuvenation (the system),
+//! * least-outstanding and round-robin routing over the same rolling plan
+//!   (ablations: reactive and blind routing),
+//! * rolling full-reboot failover (the Unikraft-style baseline), and
+//! * undrained simultaneous rejuvenation (the naive cron-job baseline).
+//!
+//! Every (size, configuration) pair is an independent deterministic fleet
+//! seeded from [`super::EXP_SEED`], so the sweep fans out over workers and
+//! stays byte-identical to a sequential run.
+
+use vampos_cluster::{Fleet, FleetConfig, FleetLoad, FleetPlan, Policy};
+use vampos_sim::Nanos;
+
+use super::EXP_SEED;
+use crate::parallel::parallel_map;
+
+/// One (fleet size, configuration) outcome.
+#[derive(Debug, Clone)]
+pub struct FleetRow {
+    /// Fleet size.
+    pub instances: usize,
+    /// Configuration label.
+    pub config: &'static str,
+    /// Successful requests.
+    pub successes: usize,
+    /// Failed requests (timeouts and dead connections).
+    pub failures: usize,
+    /// Success ratio in percent.
+    pub success_pct: f64,
+    /// Median latency over successful requests, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile latency over successful requests, microseconds.
+    pub p99_us: f64,
+    /// Requests re-issued after a dead connection.
+    pub retried: u64,
+    /// Proactive migrations the policy ordered.
+    pub redirects: u64,
+    /// Reboots performed across the fleet (component + full).
+    pub reboots: u64,
+}
+
+/// The full fleet sweep.
+#[derive(Debug, Clone)]
+pub struct FleetResult {
+    /// Fleet sizes swept.
+    pub sizes: Vec<usize>,
+    /// Open-loop clients per instance.
+    pub clients_per_instance: usize,
+    /// Rows grouped by size, configurations in a fixed order.
+    pub rows: Vec<FleetRow>,
+}
+
+/// Rolling schedule: one instance at a time, spaced wider than the ~48 ms
+/// component-rejuvenation window so reboot windows never overlap.
+const START: Nanos = Nanos::from_millis(20);
+const SPACING: Nanos = Nanos::from_millis(60);
+const DRAIN_LEAD: Nanos = Nanos::from_millis(8);
+
+/// One configuration: label, routing policy, maintenance-plan constructor.
+type Config = (&'static str, Policy, fn(usize) -> FleetPlan);
+
+/// The five configurations, in render order.
+const CONFIGS: [Config; 5] = [
+    ("aware+rolling", Policy::RecoveryAware, rolling),
+    ("least-out+rolling", Policy::LeastOutstanding, rolling),
+    ("round-robin+rolling", Policy::RoundRobin, rolling),
+    ("full-reboot failover", Policy::RoundRobin, rolling_full),
+    ("simultaneous rejuv", Policy::RoundRobin, simultaneous),
+];
+
+fn rolling(n: usize) -> FleetPlan {
+    FleetPlan::rolling_rejuvenation(n, START, SPACING, DRAIN_LEAD)
+}
+
+fn rolling_full(n: usize) -> FleetPlan {
+    FleetPlan::rolling_full_reboot(n, START, SPACING)
+}
+
+fn simultaneous(n: usize) -> FleetPlan {
+    FleetPlan::simultaneous_rejuvenation(n, START + SPACING)
+}
+
+fn load(instances: usize, clients_per_instance: usize) -> FleetLoad {
+    let think = Nanos::from_millis(4);
+    // Enough requests per client to span the whole rolling schedule plus
+    // slack, so every reboot window sees traffic.
+    let span = START + SPACING * instances as u64 + Nanos::from_millis(110);
+    FleetLoad {
+        clients: clients_per_instance * instances,
+        requests_per_client: (span.as_nanos() / think.as_nanos()) as usize,
+        think_time: think,
+        ..FleetLoad::default()
+    }
+}
+
+fn run_one(instances: usize, config: usize, clients_per_instance: usize) -> FleetRow {
+    let (label, policy, plan) = CONFIGS[config];
+    let mut fleet = Fleet::new(FleetConfig {
+        instances,
+        seed: EXP_SEED,
+        ..FleetConfig::default()
+    })
+    .expect("fleet boot");
+    let report = fleet
+        .run(
+            &load(instances, clients_per_instance),
+            policy,
+            plan(instances),
+        )
+        .expect("fleet run");
+    FleetRow {
+        instances,
+        config: label,
+        successes: report.successes(),
+        failures: report.failures(),
+        success_pct: report.success_pct(),
+        p50_us: report.p50_us(),
+        p99_us: report.p99_us(),
+        retried: report.retried,
+        redirects: report.redirects,
+        reboots: report.component_reboots + report.full_reboots,
+    }
+}
+
+/// Sweeps the given fleet sizes over all five configurations; every
+/// (size, configuration) pair is an independent fleet and runs on its own
+/// worker.
+pub fn run_sized(sizes: &[usize], clients_per_instance: usize) -> FleetResult {
+    let units: Vec<(usize, usize)> = sizes
+        .iter()
+        .flat_map(|&n| (0..CONFIGS.len()).map(move |c| (n, c)))
+        .collect();
+    let rows = parallel_map(units, |(n, c)| run_one(n, c, clients_per_instance));
+    FleetResult {
+        sizes: sizes.to_vec(),
+        clients_per_instance,
+        rows,
+    }
+}
+
+/// Runs the standard sweep: N ∈ {1, 4, 16}.
+pub fn run(clients_per_instance: usize) -> FleetResult {
+    run_sized(&[1, 4, 16], clients_per_instance)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovery_aware_rolling_beats_both_baselines_at_n4() {
+        let result = run_sized(&[4], 4);
+        let row = |label: &str| {
+            result
+                .rows
+                .iter()
+                .find(|r| r.config == label)
+                .unwrap_or_else(|| panic!("missing row {label}"))
+        };
+        let aware = row("aware+rolling");
+        let full = row("full-reboot failover");
+        let simultaneous = row("simultaneous rejuv");
+        assert_eq!(aware.failures, 0, "aware lost {}", aware.failures);
+        assert!(
+            aware.success_pct > full.success_pct,
+            "aware {} vs full {}",
+            aware.success_pct,
+            full.success_pct
+        );
+        assert!(
+            aware.success_pct > simultaneous.success_pct,
+            "aware {} vs simultaneous {}",
+            aware.success_pct,
+            simultaneous.success_pct
+        );
+        assert!(full.failures > 0);
+        assert!(simultaneous.failures > 0);
+        assert_eq!(aware.reboots, 8 * 4);
+        assert_eq!(full.reboots, 4);
+    }
+}

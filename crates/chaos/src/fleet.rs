@@ -1,0 +1,265 @@
+//! Fleet-level chaos campaigns: instance-scoped fault schedules against a
+//! multi-instance cluster, checked with the fleet oracles.
+//!
+//! A fleet campaign injects component-level panics into *individual
+//! instances* of a [`Fleet`] while an open-loop client population runs
+//! through the balancer, then checks two things:
+//!
+//! * **equivalence** — every instance ends in the same component and
+//!   application state as a fault-free twin fleet that served the identical
+//!   request stream (component-level recovery is invisible at the fleet
+//!   boundary), and
+//! * **liveness** — every armed fault fired, the request accounting
+//!   balances, and every instance still answers a probe.
+//!
+//! Soundness mirrors the single-system generator ([`crate::gen`]): faults
+//! target only the file-path components (`vfs`, `9pfs`) — every request
+//! exercises them, their recovery preserves connections, and a panic there
+//! indicts the recovery machinery rather than the schedule — and at most
+//! one fault is aimed at any instance, so no recovery ever nests. The
+//! routing policy is round-robin, the only one whose decisions are
+//! independent of recovery timing, which keeps the faulted and twin fleets
+//! serving identical per-instance streams.
+
+use vampos_bench::parallel_map;
+use vampos_cluster::{
+    check_equivalence, check_liveness, Fleet, FleetConfig, FleetLoad, FleetOpKind, FleetPlan,
+    FleetViolation, Policy,
+};
+use vampos_core::InjectedFault;
+use vampos_sim::{derive_seed, Nanos, SimRng};
+use vampos_ukernel::OsError;
+
+/// One instance-scoped fault: a one-shot panic armed against `component`
+/// on `instance` at `at_ns` (relative to run start).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstanceFault {
+    /// Arming time, nanoseconds from run start.
+    pub at_ns: u64,
+    /// Target instance.
+    pub instance: usize,
+    /// Target component.
+    pub component: String,
+}
+
+/// A fully self-contained fleet campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetCampaignSpec {
+    /// Fleet size.
+    pub instances: usize,
+    /// The per-campaign seed (already derived).
+    pub seed: u64,
+    /// Index within its sweep (labeling only).
+    pub campaign: u64,
+    /// Open-loop clients.
+    pub clients: usize,
+    /// Requests per client.
+    pub requests_per_client: usize,
+    /// The instance-scoped fault schedule.
+    pub faults: Vec<InstanceFault>,
+    /// Self-test: perturb the faulted fleet after the run so the
+    /// equivalence oracle *must* flag a divergence.
+    pub plant: bool,
+}
+
+/// Outcome of one fleet campaign.
+#[derive(Debug, Clone)]
+pub struct FleetCampaignOutcome {
+    /// The spec that ran.
+    pub spec: FleetCampaignSpec,
+    /// Oracle violations (empty = recovery was fleet-transparent).
+    pub violations: Vec<FleetViolation>,
+    /// Requests that missed their deadline while an instance recovered.
+    pub failures: usize,
+    /// Total requests recorded.
+    pub requests: usize,
+    /// Component reboots the faults triggered across the fleet.
+    pub recovery_reboots: u64,
+}
+
+/// Components a fleet campaign may panic (see module docs).
+const TARGETS: [&str; 2] = ["vfs", "9pfs"];
+
+/// Generates one fleet campaign spec — a pure function of its arguments.
+///
+/// `budget` caps the number of faults; at most one lands on any instance.
+pub fn generate_fleet_spec(
+    seed: u64,
+    campaign: u64,
+    instances: usize,
+    budget: usize,
+) -> FleetCampaignSpec {
+    let mut rng = SimRng::seed_from(seed);
+    let clients = 2 * instances.max(1);
+    let requests_per_client = rng.gen_between(24, 48) as usize;
+    let mut spec = FleetCampaignSpec {
+        instances,
+        seed,
+        campaign,
+        clients,
+        requests_per_client,
+        faults: Vec::new(),
+        plant: false,
+    };
+    // The open-loop arrival grid is fixed, so the span of the clean run is
+    // known without a probe; faults land in its first 80% so the remaining
+    // requests trigger any armed fault before the run ends.
+    let span_ns = FleetLoad::default().think_time.as_nanos() * requests_per_client as u64;
+    let window_ns = (span_ns * 4 / 5).max(1);
+    let mut unfaulted: Vec<usize> = (0..instances).collect();
+    for _ in 0..budget.min(instances) {
+        let pick = rng.gen_range(unfaulted.len() as u64) as usize;
+        let instance = unfaulted.swap_remove(pick);
+        spec.faults.push(InstanceFault {
+            at_ns: rng.gen_between(1, window_ns + 1),
+            instance,
+            component: TARGETS[rng.gen_range(TARGETS.len() as u64) as usize].to_owned(),
+        });
+    }
+    spec.faults.sort_by_key(|f| (f.at_ns, f.instance));
+    spec
+}
+
+impl FleetCampaignSpec {
+    fn plan(&self) -> FleetPlan {
+        let mut plan = FleetPlan::none();
+        for fault in &self.faults {
+            plan = plan.with(
+                Nanos::from_nanos(fault.at_ns),
+                fault.instance,
+                FleetOpKind::Inject(InjectedFault::panic_next(&fault.component)),
+            );
+        }
+        plan
+    }
+
+    fn load(&self) -> FleetLoad {
+        FleetLoad {
+            clients: self.clients,
+            requests_per_client: self.requests_per_client,
+            ..FleetLoad::default()
+        }
+    }
+
+    fn config(&self) -> FleetConfig {
+        FleetConfig {
+            instances: self.instances,
+            seed: self.seed,
+            ..FleetConfig::default()
+        }
+    }
+}
+
+/// Runs one fleet campaign: faulted fleet vs fault-free twin under the
+/// identical client population, equivalence checked before the (state
+/// perturbing) liveness probe.
+///
+/// # Errors
+///
+/// Propagates simulation errors (an instance that fail-stopped outright).
+pub fn run_fleet_campaign(spec: &FleetCampaignSpec) -> Result<FleetCampaignOutcome, OsError> {
+    let load = spec.load();
+    let mut faulted = Fleet::new(spec.config())?;
+    let report = faulted.run(&load, Policy::RoundRobin, spec.plan())?;
+    let mut twin = Fleet::new(spec.config())?;
+    twin.run(&load, Policy::RoundRobin, FleetPlan::none())?;
+
+    if spec.plant {
+        // Self-test: one extra request against the faulted fleet only — a
+        // deliberate state divergence the equivalence oracle must catch.
+        faulted.probe(&load.path)?;
+    }
+
+    let mut violations = check_equivalence(&faulted, &twin);
+    violations.extend(check_liveness(&mut faulted, &load, &report)?);
+    Ok(FleetCampaignOutcome {
+        spec: spec.clone(),
+        violations,
+        failures: report.failures(),
+        requests: report.requests(),
+        recovery_reboots: faulted
+            .instances()
+            .iter()
+            .map(|i| i.sys.stats().component_reboots)
+            .sum(),
+    })
+}
+
+/// Runs `campaigns` independently seeded fleet campaigns (fanned out over
+/// workers, reported in campaign order).
+///
+/// # Errors
+///
+/// Propagates the first simulation error of any campaign.
+pub fn run_fleet_sweep(
+    seed: u64,
+    campaigns: u64,
+    instances: usize,
+    budget: usize,
+) -> Result<Vec<FleetCampaignOutcome>, OsError> {
+    let specs: Vec<FleetCampaignSpec> = (0..campaigns)
+        .map(|c| generate_fleet_spec(derive_seed(seed, c), c, instances, budget))
+        .collect();
+    parallel_map(specs, |spec| run_fleet_campaign(&spec))
+        .into_iter()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_a_pure_function_of_the_seed() {
+        let a = generate_fleet_spec(42, 0, 4, 2);
+        let b = generate_fleet_spec(42, 0, 4, 2);
+        assert_eq!(a, b);
+        let c = generate_fleet_spec(43, 0, 4, 2);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn schedules_respect_the_soundness_rules() {
+        for seed in 0..30u64 {
+            let spec = generate_fleet_spec(seed, 0, 4, 3);
+            assert!(spec.faults.len() <= 3);
+            let mut hit: Vec<usize> = spec.faults.iter().map(|f| f.instance).collect();
+            let total = hit.len();
+            hit.sort_unstable();
+            hit.dedup();
+            assert_eq!(total, hit.len(), "two faults on one instance: {spec:?}");
+            for fault in &spec.faults {
+                assert!(TARGETS.contains(&fault.component.as_str()), "{spec:?}");
+                assert!(fault.instance < 4, "{spec:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn a_small_sweep_passes_every_oracle() {
+        let outcomes = run_fleet_sweep(7, 3, 3, 2).expect("sweep");
+        assert_eq!(outcomes.len(), 3);
+        let mut recoveries = 0;
+        for outcome in &outcomes {
+            assert!(
+                outcome.violations.is_empty(),
+                "campaign {}: {:?}",
+                outcome.spec.campaign,
+                outcome.violations
+            );
+            recoveries += outcome.recovery_reboots;
+        }
+        assert!(recoveries > 0, "the sweep never triggered a recovery");
+    }
+
+    #[test]
+    fn a_planted_divergence_is_caught() {
+        let mut spec = generate_fleet_spec(derive_seed(7, 0), 0, 3, 2);
+        spec.plant = true;
+        let outcome = run_fleet_campaign(&spec).expect("campaign");
+        assert!(
+            !outcome.violations.is_empty(),
+            "the oracles missed a planted divergence"
+        );
+    }
+}

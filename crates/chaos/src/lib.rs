@@ -36,6 +36,7 @@
 
 pub mod drive;
 pub mod engine;
+pub mod fleet;
 pub mod gen;
 pub mod json;
 pub mod oracle;
@@ -45,6 +46,10 @@ pub mod spec;
 pub use drive::{run_with_sink, RunResult};
 pub use engine::{
     execute_spec, run_campaign, run_sweep, CampaignOutcome, SweepConfig, SweepReport,
+};
+pub use fleet::{
+    generate_fleet_spec, run_fleet_campaign, run_fleet_sweep, FleetCampaignOutcome,
+    FleetCampaignSpec, InstanceFault,
 };
 pub use gen::generate_spec;
 pub use json::{from_json, reproducer_to_json, span_tail_from_json, to_json};

@@ -1,0 +1,116 @@
+//! Routing policies for the fleet front-end.
+
+use vampos_sim::Nanos;
+
+use crate::instance::Instance;
+
+/// How the balancer picks an instance for a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Keep-alive connections assigned round-robin at connect time; a
+    /// client sticks to its instance until the connection dies.
+    RoundRobin,
+    /// Sticky, but a client migrates whenever some instance has strictly
+    /// fewer outstanding requests than its current one. Reacts to reboot
+    /// windows only *after* a request has already queued behind one.
+    LeastOutstanding,
+    /// Sticky round-robin over *eligible* instances only: an instance is
+    /// drained while the maintenance plan says so or while any of its
+    /// components is inside a known recovery window, and re-admitted the
+    /// moment the window closes. When nothing is eligible (fleet of one,
+    /// fleet-wide maintenance) it degrades to plain round-robin rather
+    /// than stalling.
+    RecoveryAware,
+}
+
+impl Policy {
+    /// Display name used in reports and tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Policy::RoundRobin => "round-robin",
+            Policy::LeastOutstanding => "least-outstanding",
+            Policy::RecoveryAware => "recovery-aware",
+        }
+    }
+}
+
+/// The fleet front-end: applies a [`Policy`] deterministically.
+#[derive(Debug)]
+pub struct Balancer {
+    policy: Policy,
+    cursor: usize,
+}
+
+impl Balancer {
+    /// A fresh balancer for `policy`.
+    pub fn new(policy: Policy) -> Self {
+        Balancer { policy, cursor: 0 }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    fn eligible(inst: &Instance, at: Nanos) -> bool {
+        !inst.is_draining() && at >= inst.recovery_until()
+    }
+
+    /// Picks the instance for a connection opened at `at`.
+    pub fn route(&mut self, instances: &mut [Instance], at: Nanos) -> usize {
+        let n = instances.len();
+        match self.policy {
+            Policy::RoundRobin => {
+                let i = self.cursor % n;
+                self.cursor += 1;
+                i
+            }
+            Policy::LeastOutstanding => {
+                let mut best = (usize::MAX, 0);
+                for (i, inst) in instances.iter_mut().enumerate() {
+                    let load = inst.outstanding(at);
+                    if load < best.0 {
+                        best = (load, i);
+                    }
+                }
+                best.1
+            }
+            Policy::RecoveryAware => {
+                for k in 0..n {
+                    let i = (self.cursor + k) % n;
+                    if Self::eligible(&instances[i], at) {
+                        self.cursor = i + 1;
+                        return i;
+                    }
+                }
+                let i = self.cursor % n;
+                self.cursor += 1;
+                i
+            }
+        }
+    }
+
+    /// Whether a client currently connected to `current` should move
+    /// before issuing a request at `at`.
+    pub fn should_migrate(&self, instances: &mut [Instance], current: usize, at: Nanos) -> bool {
+        match self.policy {
+            Policy::RoundRobin => false,
+            Policy::LeastOutstanding => {
+                let here = instances[current].outstanding(at);
+                let best = instances
+                    .iter_mut()
+                    .map(|inst| inst.outstanding(at))
+                    .min()
+                    .unwrap_or(0);
+                best < here
+            }
+            Policy::RecoveryAware => {
+                !Self::eligible(&instances[current], at)
+                    && instances
+                        .iter()
+                        .enumerate()
+                        .any(|(i, inst)| i != current && Self::eligible(inst, at))
+            }
+        }
+    }
+}

@@ -1,0 +1,421 @@
+//! The fleet itself: N instances on one shared clock, an open-loop client
+//! population, and the run loop that interleaves requests with the
+//! maintenance plan.
+
+use vampos_apps::App;
+use vampos_core::{ComponentSet, Mode};
+use vampos_host::ClientConnId;
+use vampos_sim::{Nanos, SimClock};
+use vampos_telemetry::perfetto::{chrome_trace_processes, TraceProcess};
+use vampos_ukernel::OsError;
+use vampos_workloads::{LoadReport, RequestRecord};
+
+use crate::balancer::{Balancer, Policy};
+use crate::instance::Instance;
+use crate::plan::{FleetOp, FleetOpKind, FleetPlan};
+use crate::report::FleetRunReport;
+
+/// Static fleet configuration.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of instances (at least 1).
+    pub instances: usize,
+    /// Fleet seed; instance `i` boots with
+    /// [`vampos_sim::derive_seed`]`(seed, i)`.
+    pub seed: u64,
+    /// OS configuration every instance runs.
+    pub mode: Mode,
+    /// Component set every instance runs.
+    pub set: ComponentSet,
+    /// Attach a telemetry sink to every instance (fleet traces).
+    pub telemetry: bool,
+    /// Files staged into every instance's host 9P server.
+    pub files: Vec<(String, Vec<u8>)>,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            instances: 4,
+            seed: 0x1234_5678,
+            mode: Mode::vampos_das(),
+            set: ComponentSet::nginx(),
+            telemetry: false,
+            files: vec![("/www/index.html".to_owned(), vec![b'x'; 180])],
+        }
+    }
+}
+
+/// An open-loop HTTP load: every client issues `requests_per_client` GETs
+/// on a fixed arrival grid (one request every `think_time`, clients
+/// staggered across one think interval), so every policy and plan faces
+/// the *identical* request stream — the property the policy comparison
+/// and the determinism checks rest on.
+#[derive(Debug, Clone)]
+pub struct FleetLoad {
+    /// Concurrent keep-alive clients.
+    pub clients: usize,
+    /// Requests each client issues.
+    pub requests_per_client: usize,
+    /// Per-client pause between request due times.
+    pub think_time: Nanos,
+    /// Client-side deadline: a response slower than this counts as a
+    /// failed transaction even though the server eventually served it.
+    pub timeout: Nanos,
+    /// Path requested.
+    pub path: String,
+    /// Clients on a separate machine (higher network RTT).
+    pub remote: bool,
+}
+
+impl Default for FleetLoad {
+    fn default() -> Self {
+        FleetLoad {
+            clients: 16,
+            requests_per_client: 30,
+            think_time: Nanos::from_millis(4),
+            timeout: Nanos::from_millis(2),
+            path: "/index.html".to_owned(),
+            remote: false,
+        }
+    }
+}
+
+struct FleetClient {
+    conn: Option<(usize, ClientConnId)>,
+    next_send: Nanos,
+    sent: usize,
+    ever_connected: bool,
+}
+
+struct Counters {
+    retried: u64,
+    redirects: u64,
+}
+
+/// A deterministic fleet of unikernel instances sharing one virtual clock.
+pub struct Fleet {
+    clock: SimClock,
+    instances: Vec<Instance>,
+}
+
+impl Fleet {
+    /// Boots the fleet: instances boot sequentially on the shared clock,
+    /// so instance `i`'s [`vampos_core::System::booted_at`] reflects its
+    /// position in the boot order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first boot failure.
+    pub fn new(cfg: FleetConfig) -> Result<Fleet, OsError> {
+        let clock = SimClock::default();
+        let mut instances = Vec::with_capacity(cfg.instances.max(1));
+        for id in 0..cfg.instances.max(1) {
+            instances.push(Instance::boot(id, &cfg, clock.clone())?);
+        }
+        Ok(Fleet { clock, instances })
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// The instances, indexed by id.
+    pub fn instances(&self) -> &[Instance] {
+        &self.instances
+    }
+
+    /// Mutable access to the instances (oracles, tests).
+    pub fn instances_mut(&mut self) -> &mut [Instance] {
+        &mut self.instances
+    }
+
+    /// Runs `load` under `policy` while firing `plan`.
+    ///
+    /// Requests and maintenance operations interleave on the shared clock
+    /// in `(time, schedule-order)` order; a request finding its connection
+    /// reset records the failed transaction and is re-issued once through
+    /// the balancer (`retried`). Remaining plan operations fire after the
+    /// last request, so a plan never outlives its run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates unrecovered system failures (fail-stop).
+    pub fn run(
+        &mut self,
+        load: &FleetLoad,
+        policy: Policy,
+        plan: FleetPlan,
+    ) -> Result<FleetRunReport, OsError> {
+        let started = self.clock.now();
+        let one_way = self.instances[0].sys.costs().net_rtt(0, load.remote) / 2;
+        let baseline: Vec<(u64, u64)> = self
+            .instances
+            .iter()
+            .map(|i| (i.sys.stats().component_reboots, i.sys.stats().full_reboots))
+            .collect();
+        for inst in &mut self.instances {
+            inst.report = LoadReport::default();
+        }
+
+        let n_clients = load.clients.max(1);
+        let mut clients: Vec<FleetClient> = (0..n_clients)
+            .map(|i| FleetClient {
+                conn: None,
+                next_send: started
+                    + Nanos::from_nanos(load.think_time.as_nanos() * i as u64 / n_clients as u64),
+                sent: 0,
+                ever_connected: false,
+            })
+            .collect();
+        let mut balancer = Balancer::new(policy);
+        let ops = plan.into_firing_order();
+        let mut op_idx = 0;
+        let mut counters = Counters {
+            retried: 0,
+            redirects: 0,
+        };
+
+        loop {
+            let next = clients
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.sent < load.requests_per_client)
+                .map(|(i, c)| (c.next_send, i))
+                .min();
+            let Some((due, idx)) = next else { break };
+            while op_idx < ops.len() && started + ops[op_idx].at <= due {
+                self.fire_op(&ops[op_idx], started)?;
+                op_idx += 1;
+            }
+            self.clock.advance_to(due);
+            self.dispatch(
+                &mut clients[idx],
+                due,
+                load,
+                &mut balancer,
+                one_way,
+                &mut counters,
+            )?;
+            clients[idx].sent += 1;
+            clients[idx].next_send = due + load.think_time;
+        }
+        // Quiesce: a plan never outlives its run.
+        while op_idx < ops.len() {
+            self.fire_op(&ops[op_idx], started)?;
+            op_idx += 1;
+        }
+
+        let duration = self.clock.now().saturating_sub(started);
+        let mut per_instance = Vec::with_capacity(self.instances.len());
+        let mut component_reboots = 0;
+        let mut full_reboots = 0;
+        for (inst, (comp0, full0)) in self.instances.iter_mut().zip(&baseline) {
+            inst.report.duration = duration;
+            per_instance.push(std::mem::take(&mut inst.report));
+            component_reboots += inst.sys.stats().component_reboots - comp0;
+            full_reboots += inst.sys.stats().full_reboots - full0;
+        }
+        Ok(FleetRunReport {
+            per_instance,
+            retried: counters.retried,
+            redirects: counters.redirects,
+            component_reboots,
+            full_reboots,
+            duration,
+        })
+    }
+
+    fn fire_op(&mut self, op: &FleetOp, started: Nanos) -> Result<(), OsError> {
+        let at = started + op.at;
+        self.clock.advance_to(at);
+        let inst = &mut self.instances[op.instance];
+        match &op.kind {
+            FleetOpKind::Drain => inst.set_draining(true),
+            FleetOpKind::Resume => inst.set_draining(false),
+            FleetOpKind::RejuvenateComponents => {
+                let t0 = inst.sys.clock().now();
+                inst.sys.rejuvenate_all()?;
+                let dur = inst.sys.clock().now().saturating_sub(t0);
+                inst.note_maintenance(at, dur);
+            }
+            FleetOpKind::FullReboot => {
+                let t0 = inst.sys.clock().now();
+                inst.sys.full_reboot()?;
+                inst.app.crash();
+                inst.app.boot(&mut inst.sys)?;
+                let dur = inst.sys.clock().now().saturating_sub(t0);
+                inst.note_maintenance(at, dur);
+            }
+            FleetOpKind::Inject(fault) => inst.sys.inject_fault(fault.clone()),
+        }
+        Ok(())
+    }
+
+    /// Issues one client request due at `due`, retrying once through the
+    /// balancer if the connection turns out to be server-reset.
+    fn dispatch(
+        &mut self,
+        c: &mut FleetClient,
+        due: Nanos,
+        load: &FleetLoad,
+        balancer: &mut Balancer,
+        one_way: Nanos,
+        counters: &mut Counters,
+    ) -> Result<(), OsError> {
+        let mut attempts = 0;
+        loop {
+            // A connection the server lost is a failed transaction, found
+            // out immediately (TCP reset): record it, then re-issue once
+            // through the balancer.
+            if let Some((i, conn)) = c.conn {
+                if self.instances[i].conn_dead(conn) {
+                    self.instances[i].report.records.push(RequestRecord {
+                        start: due,
+                        end: due,
+                        ok: false,
+                    });
+                    c.conn = None;
+                    if attempts == 0 {
+                        attempts += 1;
+                        counters.retried += 1;
+                        continue;
+                    }
+                    return Ok(());
+                }
+                if balancer.should_migrate(&mut self.instances, i, due) {
+                    self.instances[i].close(conn);
+                    c.conn = None;
+                    counters.redirects += 1;
+                }
+            }
+
+            let target = match c.conn {
+                Some((i, _)) => i,
+                None => balancer.route(&mut self.instances, due),
+            };
+            let inst = &mut self.instances[target];
+            let t0 = inst.sys.clock().now();
+            let conn = match c.conn {
+                Some((_, conn)) => conn,
+                None => {
+                    let conn = inst.connect()?;
+                    if c.ever_connected {
+                        inst.report.reconnects += 1;
+                    }
+                    c.ever_connected = true;
+                    c.conn = Some((target, conn));
+                    conn
+                }
+            };
+
+            let request = format!("GET {} HTTP/1.1\r\nHost: vampos\r\n\r\n", load.path);
+            let send_ok = inst
+                .sys
+                .host()
+                .with(|w| w.network_mut().send(conn, request.as_bytes()))
+                .is_ok();
+            let mut served = false;
+            if send_ok {
+                inst.sys.clock().advance(one_way);
+                inst.app.poll(&mut inst.sys)?;
+                inst.sys.clock().advance(one_way);
+                let response = inst
+                    .sys
+                    .host()
+                    .with(|w| w.network_mut().recv(conn))
+                    .unwrap_or_default();
+                served = response.starts_with(b"HTTP/1.1 200") && !inst.conn_dead(conn);
+            }
+            inst.observe_detector();
+
+            // Book the request against the instance's FIFO service queue:
+            // the wire time (two one-way flights) pipelines, the server
+            // occupancy (everything else the poll cost) does not.
+            let delta = inst.sys.clock().now().saturating_sub(t0);
+            let service = delta.saturating_sub(one_way + one_way);
+            let arrival = due + one_way;
+            let busy_from = arrival.max(inst.next_free());
+            let end = busy_from + service + one_way;
+            let ok = served && end.saturating_sub(due) <= load.timeout;
+            if served {
+                inst.note_service(busy_from + service, end);
+            } else {
+                c.conn = None;
+            }
+            inst.report.records.push(RequestRecord {
+                start: due,
+                end,
+                ok,
+            });
+            return Ok(());
+        }
+    }
+
+    /// Sends one probe GET to every instance over a fresh connection;
+    /// returns whether each answered `200 OK`. Liveness oracle helper.
+    ///
+    /// # Errors
+    ///
+    /// Propagates unrecovered system failures.
+    pub fn probe(&mut self, path: &str) -> Result<Vec<bool>, OsError> {
+        let one_way = self.instances[0].sys.costs().net_rtt(0, false) / 2;
+        let request = format!("GET {path} HTTP/1.1\r\nHost: vampos\r\n\r\n");
+        let mut alive = Vec::with_capacity(self.instances.len());
+        for inst in &mut self.instances {
+            let conn = inst.connect()?;
+            let send_ok = inst
+                .sys
+                .host()
+                .with(|w| w.network_mut().send(conn, request.as_bytes()))
+                .is_ok();
+            let mut ok = false;
+            if send_ok {
+                inst.sys.clock().advance(one_way);
+                inst.app.poll(&mut inst.sys)?;
+                inst.sys.clock().advance(one_way);
+                let response = inst
+                    .sys
+                    .host()
+                    .with(|w| w.network_mut().recv(conn))
+                    .unwrap_or_default();
+                ok = response.starts_with(b"HTTP/1.1 200");
+            }
+            inst.close(conn);
+            alive.push(ok);
+        }
+        Ok(alive)
+    }
+
+    /// Multi-process Chrome trace: one Perfetto process (pid `id + 1`,
+    /// named `instance-NN`) per instance. `None` unless the fleet was
+    /// built with [`FleetConfig::telemetry`].
+    pub fn chrome_trace_json(&self) -> Option<String> {
+        let processes: Option<Vec<TraceProcess>> = self
+            .instances
+            .iter()
+            .map(|inst| {
+                inst.telemetry().map(|sink| {
+                    let (spans, instants) = sink.with(|hub| hub.export_records());
+                    TraceProcess {
+                        pid: inst.id() as u64 + 1,
+                        name: inst.label().to_owned(),
+                        spans,
+                        instants,
+                    }
+                })
+            })
+            .collect();
+        processes.map(|p| chrome_trace_processes(&p))
+    }
+
+    /// Single-process Chrome trace of one instance, byte-compatible with
+    /// [`vampos_telemetry::TelemetryHub::chrome_trace_json`].
+    pub fn instance_trace(&self, id: usize) -> Option<String> {
+        self.instances
+            .get(id)?
+            .telemetry()
+            .map(|sink| sink.with(|hub| hub.chrome_trace_json()))
+    }
+}

@@ -1,0 +1,180 @@
+//! One fleet member: a booted unikernel (system + MiniHttpd) plus the
+//! balancer-visible bookkeeping the routing policies consult.
+
+use std::collections::VecDeque;
+
+use vampos_apps::{App, MiniHttpd};
+use vampos_core::System;
+use vampos_host::{ClientConnId, ClientConnState, HostHandle};
+use vampos_sim::{derive_seed, Nanos, SimClock};
+use vampos_telemetry::TelemetrySink;
+use vampos_ukernel::OsError;
+use vampos_workloads::LoadReport;
+
+use crate::fleet::FleetConfig;
+
+/// A single unikernel instance inside a [`crate::Fleet`].
+///
+/// Each instance owns its own host world, system, and HTTP server; only the
+/// virtual clock is shared with its siblings. The per-instance seed is
+/// [`derive_seed`]`(fleet_seed, id)`, so instance 0 of a fleet is
+/// byte-for-byte the system a bare single-machine run with that derived
+/// seed would build.
+pub struct Instance {
+    id: usize,
+    label: String,
+    /// The simulated unikernel.
+    pub sys: System,
+    /// The HTTP server running on it.
+    pub app: MiniHttpd,
+    /// Requests this instance served (or failed) during the current run.
+    pub report: LoadReport,
+    sink: Option<TelemetrySink>,
+    /// Earliest time the server can start the next request (FIFO service).
+    next_free: Nanos,
+    /// End of the latest known recovery window (maintenance plan and
+    /// failure-detector fed); the recovery-aware policy drains until then.
+    recovery_until: Nanos,
+    /// Administratively drained (rolling-rejuvenation lead window).
+    draining: bool,
+    /// Completion times of in-flight requests, nondecreasing.
+    completions: VecDeque<Nanos>,
+}
+
+impl Instance {
+    /// Boots instance `id` of a fleet on the shared `clock`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates boot failures.
+    pub fn boot(id: usize, cfg: &FleetConfig, clock: SimClock) -> Result<Instance, OsError> {
+        let host = HostHandle::new();
+        host.with(|w| {
+            for (path, bytes) in &cfg.files {
+                w.ninep_mut().put_file(path, bytes);
+            }
+        });
+        let sink = cfg.telemetry.then(TelemetrySink::new);
+        let mut builder = System::builder()
+            .mode(cfg.mode.clone())
+            .components(cfg.set.clone())
+            .host(host)
+            .seed(derive_seed(cfg.seed, id as u64))
+            .clock(clock);
+        if let Some(sink) = &sink {
+            builder = builder.telemetry(sink.clone());
+        }
+        let mut sys = builder.build()?;
+        let mut app = MiniHttpd::default();
+        app.boot(&mut sys)?;
+        Ok(Instance {
+            id,
+            label: format!("instance-{id:02}"),
+            sys,
+            app,
+            report: LoadReport::default(),
+            sink,
+            next_free: Nanos::ZERO,
+            recovery_until: Nanos::ZERO,
+            draining: false,
+            completions: VecDeque::new(),
+        })
+    }
+
+    /// Fleet-local instance id.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Display label (`instance-NN`), also the Perfetto process name.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The telemetry sink attached at boot, when the fleet enabled tracing.
+    pub fn telemetry(&self) -> Option<&TelemetrySink> {
+        self.sink.as_ref()
+    }
+
+    /// Whether the maintenance plan currently drains this instance.
+    pub fn is_draining(&self) -> bool {
+        self.draining
+    }
+
+    /// End of the latest known recovery window.
+    pub fn recovery_until(&self) -> Nanos {
+        self.recovery_until
+    }
+
+    /// Earliest time the server can start another request.
+    pub fn next_free(&self) -> Nanos {
+        self.next_free
+    }
+
+    /// Requests dispatched to this instance that complete after `at`.
+    pub fn outstanding(&mut self, at: Nanos) -> usize {
+        while self.completions.front().is_some_and(|&end| end <= at) {
+            self.completions.pop_front();
+        }
+        self.completions.len()
+    }
+
+    pub(crate) fn set_draining(&mut self, draining: bool) {
+        self.draining = draining;
+    }
+
+    /// Books `dur` of maintenance scheduled at `at`: the server is busy
+    /// (and inside a recovery window) from `max(at, next_free)` for `dur`.
+    /// Using the *scheduled* start means simultaneous plans on different
+    /// instances produce overlapping windows even though the shared clock
+    /// serializes the actual reboot work.
+    pub(crate) fn note_maintenance(&mut self, at: Nanos, dur: Nanos) {
+        let busy_from = self.next_free.max(at);
+        self.next_free = busy_from + dur;
+        self.recovery_until = self.recovery_until.max(self.next_free);
+    }
+
+    /// Refreshes the recovery window from the failure detector: any
+    /// downtime the system recorded extends `recovery_until`, so the
+    /// recovery-aware policy also drains around fault-triggered reboots it
+    /// never scheduled.
+    pub(crate) fn observe_detector(&mut self) {
+        if let Some(window) = self.sys.stats().downtime.last() {
+            self.recovery_until = self.recovery_until.max(window.end);
+        }
+    }
+
+    /// Books a served request: the server was occupied until `busy_until`
+    /// and the client sees completion at `end`.
+    pub(crate) fn note_service(&mut self, busy_until: Nanos, end: Nanos) {
+        self.next_free = busy_until;
+        self.completions.push_back(end);
+    }
+
+    /// Opens a client connection and completes the handshake.
+    ///
+    /// # Errors
+    ///
+    /// Propagates unrecovered system failures.
+    pub(crate) fn connect(&mut self) -> Result<ClientConnId, OsError> {
+        let conn = self
+            .sys
+            .host()
+            .with(|w| w.network_mut().connect(vampos_apps::httpd::HTTP_PORT));
+        self.app.poll(&mut self.sys)?;
+        Ok(conn)
+    }
+
+    /// Whether the server side dropped `conn` (e.g. across a full reboot).
+    pub(crate) fn conn_dead(&self, conn: ClientConnId) -> bool {
+        !matches!(
+            self.sys.host().with(|w| w.network().state(conn)),
+            Ok(ClientConnState::Established)
+        )
+    }
+
+    /// Closes a client connection (proactive migration).
+    pub(crate) fn close(&self, conn: ClientConnId) {
+        let _ = self.sys.host().with(|w| w.network_mut().close(conn));
+    }
+}

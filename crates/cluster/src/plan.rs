@@ -1,0 +1,156 @@
+//! Scheduled fleet maintenance: rolling rejuvenation, reboot baselines,
+//! and instance-scoped fault injection.
+
+use vampos_core::InjectedFault;
+use vampos_sim::Nanos;
+
+/// What a fleet operation does to its target instance.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetOpKind {
+    /// Stop routing new work to the instance (recovery-aware policy only).
+    Drain,
+    /// Re-admit the instance.
+    Resume,
+    /// Rejuvenate every rebootable component, one by one
+    /// ([`vampos_core::System::rejuvenate_all`]).
+    RejuvenateComponents,
+    /// Conventional full reboot; the app re-boots afterwards and every
+    /// client connection is reset.
+    FullReboot,
+    /// Arm a fault on the instance (chaos campaigns).
+    Inject(InjectedFault),
+}
+
+/// One scheduled operation against one instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetOp {
+    /// Firing time, relative to the start of the run carrying the plan.
+    pub at: Nanos,
+    /// Target instance index.
+    pub instance: usize,
+    /// The action.
+    pub kind: FleetOpKind,
+}
+
+/// A maintenance plan: operations fired in `(at, insertion-order)` order.
+///
+/// The sort is *stable*, so operations scheduled at the same instant fire
+/// in the order the constructor pushed them — rejuvenation before the
+/// matching resume, for example.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FleetPlan {
+    ops: Vec<FleetOp>,
+}
+
+impl FleetPlan {
+    /// The empty plan.
+    pub fn none() -> Self {
+        FleetPlan::default()
+    }
+
+    /// Appends an operation.
+    pub fn push(&mut self, at: Nanos, instance: usize, kind: FleetOpKind) {
+        self.ops.push(FleetOp { at, instance, kind });
+    }
+
+    /// Builder-style [`FleetPlan::push`].
+    #[must_use]
+    pub fn with(mut self, at: Nanos, instance: usize, kind: FleetOpKind) -> Self {
+        self.push(at, instance, kind);
+        self
+    }
+
+    /// Rolling component-level rejuvenation: instance `i` is drained at
+    /// `start + i*spacing`, rejuvenated `drain_lead` later (once its
+    /// in-flight work quiesced), and re-admitted immediately after the
+    /// rejuvenation sweep — the recovery window itself keeps the
+    /// recovery-aware policy away until it closes.
+    pub fn rolling_rejuvenation(
+        instances: usize,
+        start: Nanos,
+        spacing: Nanos,
+        drain_lead: Nanos,
+    ) -> Self {
+        let mut plan = FleetPlan::none();
+        for i in 0..instances {
+            let t = start + spacing * i as u64;
+            plan.push(t, i, FleetOpKind::Drain);
+            plan.push(t + drain_lead, i, FleetOpKind::RejuvenateComponents);
+            plan.push(t + drain_lead, i, FleetOpKind::Resume);
+        }
+        plan
+    }
+
+    /// Baseline 1 — fleet-wide full-reboot failover: each instance takes a
+    /// conventional full reboot in turn, with no drains; clients discover
+    /// the reset connections the hard way.
+    pub fn rolling_full_reboot(instances: usize, start: Nanos, spacing: Nanos) -> Self {
+        let mut plan = FleetPlan::none();
+        for i in 0..instances {
+            plan.push(start + spacing * i as u64, i, FleetOpKind::FullReboot);
+        }
+        plan
+    }
+
+    /// Baseline 2 — undrained simultaneous rejuvenation: every instance
+    /// rejuvenates at the same scheduled instant, so every reboot window
+    /// overlaps and no healthy instance is left to absorb traffic.
+    pub fn simultaneous_rejuvenation(instances: usize, at: Nanos) -> Self {
+        let mut plan = FleetPlan::none();
+        for i in 0..instances {
+            plan.push(at, i, FleetOpKind::RejuvenateComponents);
+        }
+        plan
+    }
+
+    /// The scheduled operations, in insertion order.
+    pub fn ops(&self) -> &[FleetOp] {
+        &self.ops
+    }
+
+    /// Number of scheduled operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Consumes the plan into firing order.
+    pub(crate) fn into_firing_order(mut self) -> Vec<FleetOp> {
+        self.ops.sort_by_key(|op| op.at);
+        self.ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rolling_plan_drains_before_rejuvenating() {
+        let plan = FleetPlan::rolling_rejuvenation(
+            2,
+            Nanos::from_millis(10),
+            Nanos::from_millis(20),
+            Nanos::from_millis(5),
+        );
+        let ops = plan.into_firing_order();
+        assert_eq!(ops.len(), 6);
+        assert_eq!(ops[0].kind, FleetOpKind::Drain);
+        assert_eq!(ops[0].instance, 0);
+        assert_eq!(ops[1].kind, FleetOpKind::RejuvenateComponents);
+        assert_eq!(ops[2].kind, FleetOpKind::Resume);
+        assert_eq!(ops[3].instance, 1);
+        assert!(ops[3].at > ops[2].at);
+    }
+
+    #[test]
+    fn simultaneous_plan_schedules_every_instance_at_once() {
+        let plan = FleetPlan::simultaneous_rejuvenation(3, Nanos::from_millis(7));
+        assert_eq!(plan.len(), 3);
+        assert!(plan.ops().iter().all(|op| op.at == Nanos::from_millis(7)));
+    }
+}

@@ -1,0 +1,68 @@
+//! A fleet of one instance must be *transparent*: byte-for-byte the same
+//! request records and telemetry as a bare `System` driven by the same
+//! open-loop client population. This pins the fleet machinery (balancer,
+//! plan engine, per-instance bookkeeping) to zero simulation perturbation.
+
+use vampos_cluster::{run_single, Fleet, FleetConfig, FleetLoad, FleetPlan, Policy};
+
+fn cfg() -> FleetConfig {
+    FleetConfig {
+        instances: 1,
+        telemetry: true,
+        ..FleetConfig::default()
+    }
+}
+
+fn load() -> FleetLoad {
+    FleetLoad {
+        clients: 6,
+        requests_per_client: 12,
+        ..FleetLoad::default()
+    }
+}
+
+#[test]
+fn fleet_of_one_matches_bare_system_byte_for_byte() {
+    let (bare_report, bare_trace) = run_single(&cfg(), &load()).expect("bare run");
+
+    let mut fleet = Fleet::new(cfg()).expect("fleet boot");
+    let report = fleet
+        .run(&load(), Policy::RoundRobin, FleetPlan::none())
+        .expect("fleet run");
+
+    assert_eq!(report.per_instance.len(), 1);
+    let fleet_report = &report.per_instance[0];
+    assert_eq!(fleet_report.records, bare_report.records);
+    assert_eq!(fleet_report.reconnects, bare_report.reconnects);
+    assert_eq!(fleet_report.duration, bare_report.duration);
+    assert_eq!(report.retried, 0);
+    assert_eq!(report.redirects, 0);
+    assert_eq!(report.failures(), 0);
+
+    // Telemetry: the instance's trace equals the bare system's, byte for
+    // byte — same spans, same timestamps, same serialization.
+    let fleet_trace = fleet.instance_trace(0).expect("telemetry enabled");
+    assert_eq!(fleet_trace, bare_trace.expect("telemetry enabled"));
+}
+
+#[test]
+fn recovery_aware_policy_degrades_gracefully_on_a_fleet_of_one() {
+    // With one instance nothing is ever eligible during its own reboot
+    // window; the policy must fall back to serving rather than stalling.
+    let mut fleet = Fleet::new(cfg()).expect("fleet boot");
+    let plan = FleetPlan::rolling_rejuvenation(
+        1,
+        vampos_sim::Nanos::from_millis(10),
+        vampos_sim::Nanos::from_millis(60),
+        vampos_sim::Nanos::from_millis(4),
+    );
+    let report = fleet
+        .run(&load(), Policy::RecoveryAware, plan)
+        .expect("fleet run");
+    assert_eq!(report.requests(), 6 * 12);
+    assert_eq!(report.component_reboots, 8);
+    // The reboot window is unavoidable with nowhere to route around it:
+    // some requests queue behind it and miss the client deadline.
+    assert!(report.failures() > 0);
+    assert!(report.successes() > 0);
+}

@@ -1,0 +1,201 @@
+//! End-to-end policy comparison: recovery-aware routing plus rolling
+//! component-level rejuvenation must strictly beat both baselines
+//! (rolling full-reboot failover, undrained simultaneous rejuvenation),
+//! deterministically.
+
+use vampos_cluster::{
+    check_equivalence, check_liveness, Fleet, FleetConfig, FleetLoad, FleetOpKind, FleetPlan,
+    Policy,
+};
+use vampos_core::InjectedFault;
+use vampos_sim::Nanos;
+
+const N: usize = 4;
+
+fn cfg(instances: usize) -> FleetConfig {
+    FleetConfig {
+        instances,
+        ..FleetConfig::default()
+    }
+}
+
+/// Rolling schedule: one instance at a time, spaced wider than the
+/// ~48 ms rejuvenation window so windows never overlap.
+const START: Nanos = Nanos::from_millis(20);
+const SPACING: Nanos = Nanos::from_millis(60);
+const DRAIN_LEAD: Nanos = Nanos::from_millis(8);
+
+fn load(instances: usize) -> FleetLoad {
+    let think = Nanos::from_millis(4);
+    // Enough requests to span the whole rolling schedule plus slack.
+    let span = START + SPACING * instances as u64 + Nanos::from_millis(110);
+    FleetLoad {
+        clients: 4 * instances,
+        requests_per_client: (span.as_nanos() / think.as_nanos()) as usize,
+        think_time: think,
+        ..FleetLoad::default()
+    }
+}
+
+fn rolling(instances: usize) -> FleetPlan {
+    FleetPlan::rolling_rejuvenation(instances, START, SPACING, DRAIN_LEAD)
+}
+
+fn run(policy: Policy, plan: FleetPlan) -> vampos_cluster::FleetRunReport {
+    let mut fleet = Fleet::new(cfg(N)).expect("fleet boot");
+    fleet.run(&load(N), policy, plan).expect("fleet run")
+}
+
+#[test]
+fn recovery_aware_rolling_loses_nothing() {
+    let report = run(Policy::RecoveryAware, rolling(N));
+    assert_eq!(
+        report.failures(),
+        0,
+        "recovery-aware + rolling must be lossless; lost {}",
+        report.failures()
+    );
+    assert_eq!(report.component_reboots, 8 * N as u64);
+    assert!(report.redirects > 0, "draining must have moved clients");
+}
+
+#[test]
+fn recovery_aware_strictly_beats_both_baselines() {
+    let aware = run(Policy::RecoveryAware, rolling(N));
+    let full = run(
+        Policy::RoundRobin,
+        FleetPlan::rolling_full_reboot(N, START, SPACING),
+    );
+    let simultaneous = run(
+        Policy::RoundRobin,
+        FleetPlan::simultaneous_rejuvenation(N, START + SPACING),
+    );
+    assert!(
+        aware.success_pct() > full.success_pct(),
+        "aware {} vs full-reboot {}",
+        aware.success_pct(),
+        full.success_pct()
+    );
+    assert!(
+        aware.success_pct() > simultaneous.success_pct(),
+        "aware {} vs simultaneous {}",
+        aware.success_pct(),
+        simultaneous.success_pct()
+    );
+    assert!(
+        full.failures() > 0,
+        "full-reboot baseline must lose requests"
+    );
+    assert!(
+        simultaneous.failures() > 0,
+        "undrained simultaneous rejuvenation must lose requests"
+    );
+    assert_eq!(full.full_reboots, N as u64);
+}
+
+#[test]
+fn least_outstanding_reacts_but_late() {
+    // Least-outstanding only notices a reboot window after a request has
+    // already queued behind it: better than blind round-robin, worse than
+    // recovery-aware.
+    let aware = run(Policy::RecoveryAware, rolling(N));
+    let least = run(Policy::LeastOutstanding, rolling(N));
+    let round = run(Policy::RoundRobin, rolling(N));
+    assert!(aware.failures() < least.failures() || least.failures() == 0);
+    assert!(
+        least.failures() < round.failures(),
+        "least-outstanding {} vs round-robin {}",
+        least.failures(),
+        round.failures()
+    );
+}
+
+#[test]
+fn same_seed_same_report() {
+    let a = run(Policy::RecoveryAware, rolling(N));
+    let b = run(Policy::RecoveryAware, rolling(N));
+    assert_eq!(a.per_instance.len(), b.per_instance.len());
+    for (x, y) in a.per_instance.iter().zip(&b.per_instance) {
+        assert_eq!(x.records, y.records);
+        assert_eq!(x.reconnects, y.reconnects);
+    }
+    assert_eq!(a.retried, b.retried);
+    assert_eq!(a.redirects, b.redirects);
+    assert_eq!(a.duration, b.duration);
+}
+
+#[test]
+fn fleet_telemetry_exports_one_process_per_instance() {
+    let mut fleet = Fleet::new(FleetConfig {
+        instances: 2,
+        telemetry: true,
+        ..FleetConfig::default()
+    })
+    .expect("fleet boot");
+    let small = FleetLoad {
+        clients: 4,
+        requests_per_client: 4,
+        ..FleetLoad::default()
+    };
+    fleet
+        .run(&small, Policy::RoundRobin, FleetPlan::none())
+        .expect("fleet run");
+    let trace = fleet.chrome_trace_json().expect("telemetry enabled");
+    assert!(trace.contains(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"instance-00\"}}"
+    ));
+    assert!(trace.contains(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\"tid\":0,\"args\":{\"name\":\"instance-01\"}}"
+    ));
+    let again = fleet.chrome_trace_json().expect("telemetry enabled");
+    assert_eq!(trace, again, "export must be deterministic");
+}
+
+#[test]
+fn instance_scoped_faults_pass_the_oracles() {
+    // A fleet absorbing component-level faults must stay live and end in
+    // the same state as its fault-free twin under the identical stream.
+    let faults = FleetPlan::none()
+        .with(
+            Nanos::from_millis(30),
+            1,
+            FleetOpKind::Inject(InjectedFault::panic_next("vfs")),
+        )
+        .with(
+            Nanos::from_millis(70),
+            3,
+            FleetOpKind::Inject(InjectedFault::panic_next("9pfs")),
+        );
+    let small = FleetLoad {
+        clients: 8,
+        requests_per_client: 30,
+        ..FleetLoad::default()
+    };
+
+    let mut faulted = Fleet::new(cfg(N)).expect("fleet boot");
+    let report = faulted
+        .run(&small, Policy::RoundRobin, faults)
+        .expect("faulted run");
+    let mut twin = Fleet::new(cfg(N)).expect("twin boot");
+    twin.run(&small, Policy::RoundRobin, FleetPlan::none())
+        .expect("twin run");
+
+    // Equivalence first: the liveness probe issues real requests and
+    // perturbs the very counters equivalence compares.
+    let equivalence = check_equivalence(&faulted, &twin);
+    assert!(
+        equivalence.is_empty(),
+        "equivalence violations: {equivalence:?}"
+    );
+    let liveness = check_liveness(&mut faulted, &small, &report).expect("probe");
+    assert!(liveness.is_empty(), "liveness violations: {liveness:?}");
+    assert!(
+        faulted
+            .instances()
+            .iter()
+            .map(|i| i.sys.stats().component_reboots)
+            .sum::<u64>()
+            >= 2,
+        "both faults must have triggered recovery"
+    );
+}

@@ -127,6 +127,7 @@ pub struct SystemBuilder {
     alternates: Vec<ComponentBox>,
     allow_analysis_errors: bool,
     telemetry: Option<TelemetrySink>,
+    clock: Option<SimClock>,
 }
 
 impl std::fmt::Debug for SystemBuilder {
@@ -154,6 +155,7 @@ impl Default for SystemBuilder {
             alternates: Vec::new(),
             allow_analysis_errors: false,
             telemetry: None,
+            clock: None,
         }
     }
 }
@@ -208,6 +210,16 @@ impl SystemBuilder {
     /// The legacy event trace keeps recording either way.
     pub fn telemetry(mut self, sink: TelemetrySink) -> Self {
         self.telemetry = Some(sink);
+        self
+    }
+
+    /// Attaches an existing virtual clock instead of starting a fresh one
+    /// at zero. `SimClock` clones share a single timeline, so several
+    /// systems built with clones of the same clock advance each other —
+    /// the multiplexing a multi-instance fleet needs. The system boots at
+    /// the clock's *current* time (`booted_at` records it).
+    pub fn clock(mut self, clock: SimClock) -> Self {
+        self.clock = Some(clock);
         self
     }
 
@@ -346,7 +358,7 @@ impl SystemBuilder {
             .map_err(|e| OsError::Io(e.to_string()))?;
 
         let mut sys = System {
-            clock: SimClock::new(),
+            clock: self.clock.unwrap_or_default(),
             costs: self.costs,
             rng: SimRng::seed_from(self.seed),
             trace: EventTrace::with_capacity(self.trace_capacity),
@@ -445,6 +457,12 @@ impl System {
     /// The virtual clock.
     pub fn clock(&self) -> &SimClock {
         &self.clock
+    }
+
+    /// When this system finished booting. Zero unless the builder attached
+    /// a shared, already-advanced clock ([`SystemBuilder::clock`]).
+    pub fn booted_at(&self) -> Nanos {
+        self.booted_at
     }
 
     /// The active cost model.

@@ -807,3 +807,40 @@ fn merged_components_may_write_each_other() {
         .expect("intra-merge write is permitted by the shared tag");
     assert_eq!(sys.stats().failures, 0);
 }
+
+#[test]
+fn shared_clock_multiplexes_two_systems() {
+    // Two systems built over clones of one SimClock live on a single
+    // timeline: booting the second starts at the first's current time, and
+    // advances made by either are visible to both.
+    let clock = vampos_sim::SimClock::new();
+    let mut a = System::builder()
+        .mode(Mode::vampos_das())
+        .components(ComponentSet::echo())
+        .clock(clock.clone())
+        .build()
+        .unwrap();
+    let boot_a = clock.now();
+    assert!(
+        boot_a > vampos_sim::Nanos::ZERO,
+        "boot charges virtual time"
+    );
+    let b = System::builder()
+        .mode(Mode::vampos_das())
+        .components(ComponentSet::echo())
+        .clock(clock.clone())
+        .build()
+        .unwrap();
+    assert!(
+        b.booted_at() > boot_a,
+        "second instance boots where the first left off"
+    );
+    assert_eq!(b.booted_at(), clock.now());
+    let before = clock.now();
+    a.os().getpid().unwrap();
+    assert!(
+        b.clock().now() > before,
+        "time spent in one system elapses for the other"
+    );
+    assert_eq!(a.clock().now(), b.clock().now());
+}

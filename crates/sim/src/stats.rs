@@ -204,6 +204,28 @@ impl QuantileSketch {
         self.sum += x;
     }
 
+    /// Merges another sketch into this one. Both sketches bucket by the
+    /// same fixed IEEE-754 key function, so the merge is *exact*: the
+    /// result's buckets are identical to those of a sketch fed both sample
+    /// streams directly.
+    fn merge(&mut self, other: &QuantileSketch) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        for (&key, &n) in &other.buckets {
+            *self.buckets.entry(key).or_insert(0) += n;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
     fn percentile(&self, p: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
@@ -352,6 +374,49 @@ impl Histogram {
     /// histogram has spilled to the sketch — check [`Histogram::is_exact`].
     pub fn samples(&self) -> &[f64] {
         &self.samples
+    }
+
+    /// Merges another histogram into this one without re-feeding raw
+    /// samples through [`Histogram::record`].
+    ///
+    /// The merged histogram is *bucket-identical* to a single histogram fed
+    /// both sample streams: two exact histograms stay exact (samples are
+    /// concatenated) while the combined count is below the spill threshold,
+    /// and any merge involving a sketch — or crossing the threshold —
+    /// produces exactly the sketch the pooled stream would have built,
+    /// because bucket keys are a fixed function of the value. Percentile
+    /// estimates therefore keep the documented ≤0.4% relative error bound.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.is_empty() {
+            return;
+        }
+        let pooled = self.len() + other.len();
+        if self.is_exact() && other.is_exact() && pooled < SKETCH_SPILL_AT {
+            self.samples.extend_from_slice(&other.samples);
+            self.sorted = false;
+            return;
+        }
+        let mut sketch = match self.sketch.take() {
+            Some(sketch) => sketch,
+            None => {
+                let mut sketch = QuantileSketch::default();
+                for &x in &self.samples {
+                    sketch.record(x);
+                }
+                self.samples = Vec::new();
+                self.sorted = false;
+                sketch
+            }
+        };
+        match &other.sketch {
+            Some(theirs) => sketch.merge(theirs),
+            None => {
+                for &x in &other.samples {
+                    sketch.record(x);
+                }
+            }
+        }
+        self.sketch = Some(sketch);
     }
 }
 
@@ -518,6 +583,84 @@ mod tests {
         let mid = h.percentile(50.0);
         assert!(mid.abs() <= 2.0, "median {mid} should be near zero");
         assert!(h.percentile(25.0) < h.percentile(75.0));
+    }
+
+    /// Feeds `data` split at `cut` into two histograms, merges them, and
+    /// checks the result against the pooled single-stream histogram.
+    fn merge_matches_pooled(data: &[f64], cut: usize) {
+        let mut pooled = Histogram::new();
+        for &x in data {
+            pooled.record(x);
+        }
+        let mut left = Histogram::new();
+        let mut right = Histogram::new();
+        for &x in &data[..cut] {
+            left.record(x);
+        }
+        for &x in &data[cut..] {
+            right.record(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.len(), pooled.len());
+        assert_eq!(left.is_exact(), pooled.is_exact());
+        for p in [0.0, 25.0, 50.0, 75.0, 99.0, 100.0] {
+            assert_eq!(
+                left.percentile(p),
+                pooled.percentile(p),
+                "p{p} diverges from the pooled stream (cut {cut})"
+            );
+        }
+        assert!((left.mean() - pooled.mean()).abs() <= 1e-9 * pooled.mean().abs().max(1.0));
+    }
+
+    #[test]
+    fn merge_exact_exact_stays_exact_below_threshold() {
+        let data: Vec<f64> = (0..200).map(|i| (i as f64) * 1.7 + 0.3).collect();
+        merge_matches_pooled(&data, 63);
+    }
+
+    #[test]
+    fn merge_exact_exact_spills_when_pooled_crosses_threshold() {
+        let data: Vec<f64> = (0..SKETCH_SPILL_AT + 10)
+            .map(|i| (i % 977) as f64 + 0.5)
+            .collect();
+        // Both halves are individually below the spill threshold.
+        merge_matches_pooled(&data, SKETCH_SPILL_AT / 2);
+    }
+
+    #[test]
+    fn merge_exact_into_sketch_and_sketch_into_exact() {
+        let data: Vec<f64> = (0..SKETCH_SPILL_AT * 2)
+            .map(|i| ((i * 37) % 4999) as f64 * 0.11)
+            .collect();
+        // Left spills, right stays exact...
+        merge_matches_pooled(&data, SKETCH_SPILL_AT + 100);
+        // ...and the mirror image: left exact, right spilled.
+        merge_matches_pooled(&data, 100);
+    }
+
+    #[test]
+    fn merge_sketch_sketch_is_bucket_identical() {
+        let data: Vec<f64> = (0..SKETCH_SPILL_AT * 3)
+            .map(|i| ((i * 13) % 8191) as f64 + 0.25)
+            .collect();
+        merge_matches_pooled(&data, SKETCH_SPILL_AT + SKETCH_SPILL_AT / 2);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity_both_ways() {
+        let mut a = Histogram::new();
+        for x in [3.0, 1.0, 2.0] {
+            a.record(x);
+        }
+        let before = a.clone();
+        a.merge(&Histogram::new());
+        assert_eq!(a.samples(), before.samples());
+
+        let mut empty = Histogram::new();
+        empty.merge(&before);
+        assert_eq!(empty.len(), 3);
+        assert_eq!(empty.percentile(100.0), 3.0);
     }
 
     #[test]

@@ -1,0 +1,94 @@
+//! Property tests for `Histogram::merge`: merging two independently
+//! collected histograms must agree with the single histogram that saw the
+//! pooled sample stream, in every mode combination (exact+exact,
+//! exact+sketch, sketch+exact, sketch+sketch).
+
+use proptest::prelude::*;
+
+use vampos_sim::Histogram;
+
+/// A latency-shaped sample stream: positive microsecond values spanning
+/// several binades, as the experiment harness produces.
+fn samples(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(1u64..40_000_000, 0..max_len)
+        .prop_map(|v| v.into_iter().map(|n| n as f64 / 1000.0).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Merged percentiles match the pooled single-stream histogram within
+    /// the documented 0.4% sketch error — and exactly while both sides
+    /// stay in exact mode.
+    #[test]
+    fn merge_matches_pooled_stream(
+        left in samples(5_000),
+        right in samples(5_000),
+    ) {
+        let mut pooled = Histogram::new();
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for &x in &left {
+            pooled.record(x);
+            a.record(x);
+        }
+        for &x in &right {
+            pooled.record(x);
+            b.record(x);
+        }
+        a.merge(&b);
+
+        prop_assert_eq!(a.len(), pooled.len());
+        prop_assert_eq!(a.is_exact(), pooled.is_exact());
+        for p in [0.0, 10.0, 50.0, 90.0, 99.0, 100.0] {
+            let merged = a.percentile(p);
+            let single = pooled.percentile(p);
+            if pooled.is_exact() {
+                prop_assert_eq!(merged, single, "exact p{} diverged", p);
+            } else {
+                // Both are ≤0.4%-relative-error estimates of the same true
+                // quantile; bucket-exact merging makes them agree far
+                // tighter, but the documented bound is what we promise.
+                let scale = single.abs().max(f64::MIN_POSITIVE);
+                let rel = (merged - single).abs() / scale;
+                prop_assert!(
+                    rel <= 0.004,
+                    "p{}: merged {} vs pooled {} (rel {})",
+                    p, merged, single, rel
+                );
+            }
+        }
+        if !a.is_empty() {
+            let rel_mean = (a.mean() - pooled.mean()).abs() / pooled.mean().abs();
+            prop_assert!(rel_mean < 1e-9, "mean drifted: {}", rel_mean);
+        }
+    }
+
+    /// Merge is associative enough for fleet aggregation: folding many
+    /// shards in order equals the pooled stream.
+    #[test]
+    fn folding_shards_matches_pooled(
+        shards in proptest::collection::vec(samples(1_500), 1..6),
+    ) {
+        let mut pooled = Histogram::new();
+        let mut folded = Histogram::new();
+        for shard in &shards {
+            let mut h = Histogram::new();
+            for &x in shard {
+                pooled.record(x);
+                h.record(x);
+            }
+            folded.merge(&h);
+        }
+        prop_assert_eq!(folded.len(), pooled.len());
+        for p in [25.0, 50.0, 75.0, 99.0] {
+            let merged = folded.percentile(p);
+            let single = pooled.percentile(p);
+            let scale = single.abs().max(f64::MIN_POSITIVE);
+            prop_assert!(
+                (merged - single).abs() / scale <= 0.004,
+                "p{}: {} vs {}", p, merged, single
+            );
+        }
+    }
+}

@@ -254,6 +254,18 @@ impl TelemetryHub {
         perfetto::chrome_trace(&spans, &instants)
     }
 
+    /// Clones the retained spans and instants in export order — spans by
+    /// `(start, id)`, instants by timestamp. Fleet exports snapshot every
+    /// instance's hub this way and render them with
+    /// [`perfetto::chrome_trace_processes`] as one pid-track per instance.
+    pub fn export_records(&self) -> (Vec<SpanRecord>, Vec<InstantRecord>) {
+        let mut spans: Vec<SpanRecord> = self.finished.iter().cloned().collect();
+        spans.sort_by_key(|s| (s.start, s.id));
+        let mut instants: Vec<InstantRecord> = self.instants.iter().cloned().collect();
+        instants.sort_by_key(|i| i.at);
+        (spans, instants)
+    }
+
     /// Renders the metrics as Prometheus text exposition.
     pub fn prometheus_text(&mut self) -> String {
         crate::prometheus::render(&mut self.metrics)

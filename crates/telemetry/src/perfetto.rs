@@ -50,60 +50,137 @@ fn args_json(pairs: &[(&str, String)]) -> String {
     out
 }
 
+/// One process track group in a multi-process export: a `pid`, an optional
+/// `process_name` metadata label, and the process's (sorted) spans and
+/// instants. Fleet exports use one process per unikernel instance.
+#[derive(Debug, Clone)]
+pub struct TraceProcess {
+    /// Trace-event `pid` for every event of this process.
+    pub pid: u64,
+    /// Rendered as `process_name` metadata when non-empty.
+    pub name: String,
+    /// Finished spans, sorted by `(start, id)`.
+    pub spans: Vec<SpanRecord>,
+    /// Instants, sorted by timestamp.
+    pub instants: Vec<InstantRecord>,
+}
+
 /// Renders spans and instants (already sorted by the caller) as a Chrome
 /// trace-event JSON document: `{"traceEvents": [...]}`.
 pub fn chrome_trace(spans: &[&SpanRecord], instants: &[&InstantRecord]) -> String {
-    // Assign tids in sorted track-name order: pid is always 1.
-    let mut tids: BTreeMap<&str, u64> = BTreeMap::new();
-    for s in spans {
-        tids.entry(&s.track).or_insert(0);
-    }
-    for i in instants {
-        tids.entry(&i.track).or_insert(0);
-    }
-    for (n, (_, tid)) in tids.iter_mut().enumerate() {
-        *tid = n as u64 + 1;
-    }
+    let process = ProcessRefs {
+        pid: 1,
+        name: None,
+        spans,
+        instants,
+    };
+    render_processes(&[process])
+}
 
-    let mut events: Vec<String> = Vec::with_capacity(tids.len() + spans.len() + instants.len());
-    for (track, tid) in &tids {
-        events.push(format!(
-            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\"args\":{{\"name\":\"{}\"}}}}",
-            tid,
-            escape(track)
-        ));
-    }
-    for s in spans {
-        let tid = tids[s.track.as_str()];
-        let mut args: Vec<(&str, String)> = vec![("id", s.id.to_string())];
-        if let Some(parent) = s.parent {
-            args.push(("parent", parent.to_string()));
+/// Renders several processes — one per fleet instance — in a single Chrome
+/// trace-event JSON document. Track `tid`s restart per process, and each
+/// process with a non-empty name gets `process_name` metadata, so Perfetto
+/// groups every instance's component tracks under its own process row.
+/// A single unnamed process renders byte-identically to [`chrome_trace`].
+pub fn chrome_trace_processes(processes: &[TraceProcess]) -> String {
+    let span_refs: Vec<Vec<&SpanRecord>> =
+        processes.iter().map(|p| p.spans.iter().collect()).collect();
+    let instant_refs: Vec<Vec<&InstantRecord>> = processes
+        .iter()
+        .map(|p| p.instants.iter().collect())
+        .collect();
+    let refs: Vec<ProcessRefs<'_>> = processes
+        .iter()
+        .zip(span_refs.iter().zip(&instant_refs))
+        .map(|(p, (spans, instants))| ProcessRefs {
+            pid: p.pid,
+            name: (!p.name.is_empty()).then_some(p.name.as_str()),
+            spans,
+            instants,
+        })
+        .collect();
+    render_processes(&refs)
+}
+
+struct ProcessRefs<'a> {
+    pid: u64,
+    name: Option<&'a str>,
+    spans: &'a [&'a SpanRecord],
+    instants: &'a [&'a InstantRecord],
+}
+
+fn render_processes(processes: &[ProcessRefs<'_>]) -> String {
+    let mut events: Vec<String> = Vec::new();
+    let mut all_tids: Vec<BTreeMap<&str, u64>> = Vec::with_capacity(processes.len());
+
+    // Metadata first (process names, then per-process thread names), so
+    // the single-process layout stays unchanged: thread_name block, spans,
+    // instants.
+    for p in processes {
+        let mut tids: BTreeMap<&str, u64> = BTreeMap::new();
+        for s in p.spans {
+            tids.entry(&s.track).or_insert(0);
         }
-        args.extend(s.attrs.iter().map(|(k, v)| (*k, v.clone())));
-        events.push(format!(
-            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\"args\":{}}}",
-            escape(&s.name),
-            s.kind.name(),
-            micros(s.start.as_nanos()),
-            micros(s.duration().as_nanos()),
-            tid,
-            args_json(&args)
-        ));
-    }
-    for i in instants {
-        let tid = tids[i.track.as_str()];
-        let mut args: Vec<(&str, String)> = Vec::new();
-        if let Some(parent) = i.parent {
-            args.push(("parent", parent.to_string()));
+        for i in p.instants {
+            tids.entry(&i.track).or_insert(0);
         }
-        args.extend(i.attrs.iter().map(|(k, v)| (*k, v.clone())));
-        events.push(format!(
-            "{{\"name\":\"{}\",\"cat\":\"instant\",\"ph\":\"i\",\"ts\":{},\"pid\":1,\"tid\":{},\"s\":\"t\",\"args\":{}}}",
-            escape(&i.name),
-            micros(i.at.as_nanos()),
-            tid,
-            args_json(&args)
-        ));
+        for (n, (_, tid)) in tids.iter_mut().enumerate() {
+            *tid = n as u64 + 1;
+        }
+        if let Some(name) = p.name {
+            events.push(format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"tid\":0,\"args\":{{\"name\":\"{}\"}}}}",
+                p.pid,
+                escape(name)
+            ));
+        }
+        for (track, tid) in &tids {
+            events.push(format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{},\"tid\":{},\"args\":{{\"name\":\"{}\"}}}}",
+                p.pid,
+                tid,
+                escape(track)
+            ));
+        }
+        all_tids.push(tids);
+    }
+    for (p, tids) in processes.iter().zip(&all_tids) {
+        for s in p.spans {
+            let tid = tids[s.track.as_str()];
+            let mut args: Vec<(&str, String)> = vec![("id", s.id.to_string())];
+            if let Some(parent) = s.parent {
+                args.push(("parent", parent.to_string()));
+            }
+            args.extend(s.attrs.iter().map(|(k, v)| (*k, v.clone())));
+            events.push(format!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{},\"args\":{}}}",
+                escape(&s.name),
+                s.kind.name(),
+                micros(s.start.as_nanos()),
+                micros(s.duration().as_nanos()),
+                p.pid,
+                tid,
+                args_json(&args)
+            ));
+        }
+    }
+    for (p, tids) in processes.iter().zip(&all_tids) {
+        for i in p.instants {
+            let tid = tids[i.track.as_str()];
+            let mut args: Vec<(&str, String)> = Vec::new();
+            if let Some(parent) = i.parent {
+                args.push(("parent", parent.to_string()));
+            }
+            args.extend(i.attrs.iter().map(|(k, v)| (*k, v.clone())));
+            events.push(format!(
+                "{{\"name\":\"{}\",\"cat\":\"instant\",\"ph\":\"i\",\"ts\":{},\"pid\":{},\"tid\":{},\"s\":\"t\",\"args\":{}}}",
+                escape(&i.name),
+                micros(i.at.as_nanos()),
+                p.pid,
+                tid,
+                args_json(&args)
+            ));
+        }
     }
 
     let mut out = String::from("{\"traceEvents\":[\n");
@@ -198,6 +275,57 @@ mod tests {
         let a = chrome_trace(&[&s], &[]);
         let b = chrome_trace(&[&s], &[]);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_unnamed_process_matches_chrome_trace_bytes() {
+        let s1 = span(0, None, "vfs", "call", 10, 20);
+        let s2 = span(1, Some(0), "9pfs", "recovery", 12, 18);
+        let i = InstantRecord {
+            track: "vfs".to_owned(),
+            name: "failure_detected".to_owned(),
+            at: Nanos::from_nanos(15),
+            parent: Some(0),
+            attrs: Vec::new(),
+        };
+        let single = chrome_trace(&[&s1, &s2], &[&i]);
+        let multi = chrome_trace_processes(&[TraceProcess {
+            pid: 1,
+            name: String::new(),
+            spans: vec![s1, s2],
+            instants: vec![i],
+        }]);
+        assert_eq!(single, multi);
+    }
+
+    #[test]
+    fn fleet_export_gives_each_instance_its_own_pid() {
+        let processes = vec![
+            TraceProcess {
+                pid: 1,
+                name: "instance-00".to_owned(),
+                spans: vec![span(0, None, "vfs", "call", 0, 5)],
+                instants: Vec::new(),
+            },
+            TraceProcess {
+                pid: 2,
+                name: "instance-01".to_owned(),
+                spans: vec![span(0, None, "vfs", "call", 3, 9)],
+                instants: Vec::new(),
+            },
+        ];
+        let json = chrome_trace_processes(&processes);
+        assert!(json.contains(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"instance-00\"}}"
+        ));
+        assert!(json.contains(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\"tid\":0,\"args\":{\"name\":\"instance-01\"}}"
+        ));
+        // Same track name on both instances, but distinct pids.
+        assert!(json.contains("\"pid\":1,\"tid\":1,\"args\":{\"name\":\"vfs\"}"));
+        assert!(json.contains("\"pid\":2,\"tid\":1,\"args\":{\"name\":\"vfs\"}"));
+        let a = chrome_trace_processes(&processes);
+        assert_eq!(json, a, "fleet export is deterministic");
     }
 
     #[test]

@@ -22,7 +22,10 @@
 //! * [`telemetry`] — recovery-span tracing, per-component metrics, and
 //!   deterministic Perfetto / Prometheus exporters;
 //! * [`apps`] — Echo, MiniHttpd, MiniKv and MiniSql sample applications;
-//! * [`workloads`] — client-side load generators used by the experiments.
+//! * [`workloads`] — client-side load generators used by the experiments;
+//! * [`cluster`] — the fleet layer: N instances behind a recovery-aware
+//!   balancer on one shared clock, with rolling rejuvenation plans and
+//!   fleet-level oracles.
 //!
 //! # Quickstart
 //!
@@ -51,6 +54,7 @@
 pub use vampos_analyze as analyze;
 pub use vampos_apps as apps;
 pub use vampos_chaos as chaos;
+pub use vampos_cluster as cluster;
 pub use vampos_core as core;
 pub use vampos_host as host;
 pub use vampos_mem as mem;
@@ -64,6 +68,7 @@ pub use vampos_workloads as workloads;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use vampos_analyze::{analyze, AnalysisInput, AnalysisReport, Diagnostic, Severity};
+    pub use vampos_cluster::{Fleet, FleetConfig, FleetLoad, FleetPlan, FleetRunReport, Policy};
     pub use vampos_core::{
         analyze_configuration, ComponentSet, FullRebootOutcome, Mode, RebootOutcome, System,
         SystemBuilder, Whence,
