@@ -13,7 +13,7 @@
 //! `SET <key> <value>\n` → `+OK\n`; `GET <key>\n` → `$<value>\n` or `$-1\n`;
 //! `DEL <key>\n` → `:1\n`/`:0\n`; `PING\n` → `+PONG\n`.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use vampos_core::System;
 use vampos_oslib::OpenFlags;
@@ -36,10 +36,10 @@ struct ConnState {
 #[derive(Debug)]
 pub struct MiniKv {
     aof_enabled: bool,
-    store: HashMap<String, Vec<u8>>,
+    store: BTreeMap<String, Vec<u8>>,
     listen_fd: Option<u64>,
     aof_fd: Option<u64>,
-    conns: HashMap<u64, ConnState>,
+    conns: BTreeMap<u64, ConnState>,
     commands: u64,
     aof_records_replayed: u64,
 }
@@ -49,10 +49,10 @@ impl MiniKv {
     pub fn new(aof_enabled: bool) -> Self {
         MiniKv {
             aof_enabled,
-            store: HashMap::new(),
+            store: BTreeMap::new(),
             listen_fd: None,
             aof_fd: None,
-            conns: HashMap::new(),
+            conns: BTreeMap::new(),
             commands: 0,
             aof_records_replayed: 0,
         }

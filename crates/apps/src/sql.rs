@@ -14,7 +14,7 @@
 //! DELETE FROM items WHERE id = 1
 //! ```
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use vampos_core::System;
 use vampos_oslib::OpenFlags;
@@ -47,7 +47,7 @@ struct Table {
 /// The embedded SQL store.
 #[derive(Debug, Default)]
 pub struct MiniSql {
-    tables: HashMap<String, Table>,
+    tables: BTreeMap<String, Table>,
     db_fd: Option<u64>,
     journal_fd: Option<u64>,
     statements: u64,

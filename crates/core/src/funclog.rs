@@ -33,7 +33,7 @@
 //! live log keeps shrinking (copy-on-write of the one mutable field, an
 //! `Open` entry's live-session set).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use vampos_ukernel::{OsError, SessionEvent, TouchSynthesis, Value};
@@ -142,10 +142,10 @@ pub struct FunctionLog {
     bytes: usize,
     /// Incrementally maintained total of [`LogEntry::record_count`].
     records: usize,
-    touch_index: HashMap<u64, Vec<usize>>,
-    open_index: HashMap<u64, Vec<usize>>,
-    created_index: HashMap<u64, Vec<usize>>,
-    close_index: HashMap<u64, Vec<usize>>,
+    touch_index: BTreeMap<u64, Vec<usize>>,
+    open_index: BTreeMap<u64, Vec<usize>>,
+    created_index: BTreeMap<u64, Vec<usize>>,
+    close_index: BTreeMap<u64, Vec<usize>>,
     next_seq: u64,
     appended_total: u64,
     removed_total: u64,
@@ -247,7 +247,7 @@ impl FunctionLog {
         }
     }
 
-    fn unlink_one(index: &mut HashMap<u64, Vec<usize>>, session: u64, slot: usize) {
+    fn unlink_one(index: &mut BTreeMap<u64, Vec<usize>>, session: u64, slot: usize) {
         if let Some(v) = index.get_mut(&session) {
             v.retain(|&x| x != slot);
             if v.is_empty() {
@@ -399,7 +399,7 @@ impl FunctionLog {
         // 2. Retire the sessions from their creating entries; entries with
         //    no live sessions left are removed, and everything they
         //    originally created is now dead.
-        let mut fully_dead: HashSet<u64> = HashSet::new();
+        let mut fully_dead: BTreeSet<u64> = BTreeSet::new();
         for &s in &closing {
             // Take the whole bucket: every one of these entries loses `s`
             // from its live set right here.
@@ -500,7 +500,7 @@ impl FunctionLog {
 
 /// Deduplicated copy of a small session list (order-preserving).
 fn dedup(sessions: &[u64]) -> Vec<u64> {
-    let mut seen = HashSet::with_capacity(sessions.len());
+    let mut seen = BTreeSet::new();
     sessions
         .iter()
         .copied()

@@ -1,7 +1,7 @@
 //! The VampOS runtime: [`System`], its builder, boot sequence, and the
 //! message-passing invoke path (§V-A, §V-C, §V-D).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use vampos_host::HostHandle;
 use vampos_mem::Snapshot;
@@ -79,11 +79,11 @@ pub struct System {
     pub(crate) set: ComponentSet,
     pub(crate) host: HostHandle,
     pub(crate) slots: Vec<Slot>,
-    pub(crate) by_name: HashMap<String, usize>,
+    pub(crate) by_name: BTreeMap<String, usize>,
     pub(crate) mpk: KeyRegistry,
     pub(crate) auto_recover: bool,
     pub(crate) graceful: bool,
-    pub(crate) alternates: HashMap<String, ComponentBox>,
+    pub(crate) alternates: BTreeMap<String, ComponentBox>,
     pub(crate) faults: FaultPlan,
     pub(crate) stats: SystemStats,
     pub(crate) failed: bool,
@@ -287,7 +287,7 @@ impl SystemBuilder {
             .unwrap_or_default();
 
         let mut slots: Vec<Slot> = Vec::new();
-        let mut by_name = HashMap::new();
+        let mut by_name = BTreeMap::new();
         let mut boot_components: Vec<(String, ComponentBox)> = Vec::new();
         for &name in self.set.components() {
             let comp = crate::analysis::instantiate(name, &host)?;

@@ -1,0 +1,159 @@
+//! The in-source suppression grammar.
+//!
+//! ```text
+//! // detlint: allow(D001, reason = "membership-only set; order never observed")
+//! ```
+//!
+//! An annotation on a code-bearing line covers that line; an annotation on
+//! a comment-only line covers the next code-bearing line. A reason is
+//! mandatory — an annotation without one is rejected (the finding it would
+//! have covered still fires, plus a D005 for the malformed annotation).
+
+use crate::rules::RuleCode;
+
+/// A parsed `detlint: allow(...)` annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// Rule being suppressed.
+    pub rule: RuleCode,
+    /// Mandatory justification.
+    pub reason: String,
+    /// 1-based line the annotation appears on.
+    pub line: usize,
+}
+
+/// A `detlint:` marker that failed to parse as a valid annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MalformedAllow {
+    /// 1-based line of the marker.
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+/// The marker that introduces an annotation inside a comment.
+pub const MARKER: &str = "detlint:";
+
+/// Extracts every annotation from one line's comment text.
+pub fn parse_comment(comment: &str, line: usize) -> (Vec<Allow>, Vec<MalformedAllow>) {
+    let mut allows = Vec::new();
+    let mut malformed = Vec::new();
+    let mut rest = comment;
+    while let Some(pos) = rest.find(MARKER) {
+        rest = &rest[pos + MARKER.len()..];
+        match parse_one(rest) {
+            Ok((allow_part, tail)) => {
+                allows.push(Allow {
+                    rule: allow_part.0,
+                    reason: allow_part.1,
+                    line,
+                });
+                rest = tail;
+            }
+            Err(message) => {
+                malformed.push(MalformedAllow { line, message });
+                // Skip past this marker and keep scanning.
+            }
+        }
+    }
+    (allows, malformed)
+}
+
+/// Parses ` allow(<RULE>, reason = "<text>")` from the head of `s`,
+/// returning the parsed parts and the unconsumed tail.
+fn parse_one(s: &str) -> Result<((RuleCode, String), &str), String> {
+    let s = s.trim_start();
+    let body = s
+        .strip_prefix("allow")
+        .ok_or_else(|| "expected `allow(...)` after `detlint:`".to_owned())?;
+    let body = body.trim_start();
+    let body = body
+        .strip_prefix('(')
+        .ok_or_else(|| "expected `(` after `allow`".to_owned())?;
+    let close = body
+        .find(')')
+        .ok_or_else(|| "unterminated `allow(` annotation".to_owned())?;
+    let inner = &body[..close];
+    let tail = &body[close + 1..];
+
+    let (rule_part, reason_part) = match inner.find(',') {
+        Some(comma) => (inner[..comma].trim(), inner[comma + 1..].trim()),
+        None => (inner.trim(), ""),
+    };
+    let rule = RuleCode::parse(rule_part)
+        .ok_or_else(|| format!("unknown rule `{rule_part}` in allow annotation"))?;
+    let reason_part = reason_part
+        .strip_prefix("reason")
+        .map(str::trim_start)
+        .and_then(|r| r.strip_prefix('='))
+        .map(str::trim)
+        .ok_or_else(|| format!("allow({rule}) rejected: missing mandatory `reason = \"...\"`"))?;
+    let reason = reason_part
+        .strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .ok_or_else(|| format!("allow({rule}) rejected: reason must be a \"quoted\" string"))?;
+    if reason.trim().is_empty() {
+        return Err(format!("allow({rule}) rejected: reason must not be empty"));
+    }
+    Ok(((rule, reason.to_owned()), tail))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn well_formed_annotation_parses() {
+        let (allows, bad) = parse_comment(" detlint: allow(D001, reason = \"lookup-only map\")", 7);
+        assert!(bad.is_empty());
+        assert_eq!(
+            allows,
+            vec![Allow {
+                rule: RuleCode::D001,
+                reason: "lookup-only map".to_owned(),
+                line: 7,
+            }]
+        );
+    }
+
+    #[test]
+    fn missing_reason_is_rejected() {
+        let (allows, bad) = parse_comment("detlint: allow(D002)", 3);
+        assert!(allows.is_empty());
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].message.contains("missing mandatory `reason"));
+    }
+
+    #[test]
+    fn unknown_rule_is_rejected() {
+        let (allows, bad) = parse_comment("detlint: allow(D9, reason = \"x\")", 1);
+        assert!(allows.is_empty());
+        assert!(bad[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn empty_or_unquoted_reason_is_rejected() {
+        let (_, bad) = parse_comment("detlint: allow(D003, reason = \"  \")", 1);
+        assert!(bad[0].message.contains("must not be empty"));
+        let (_, bad) = parse_comment("detlint: allow(D003, reason = why)", 1);
+        assert!(bad[0].message.contains("quoted"));
+    }
+
+    #[test]
+    fn multiple_annotations_on_one_line() {
+        let (allows, bad) = parse_comment(
+            "detlint: allow(D001, reason = \"a\") detlint: allow(D004, reason = \"b\")",
+            9,
+        );
+        assert!(bad.is_empty());
+        assert_eq!(allows.len(), 2);
+        assert_eq!(allows[1].rule, RuleCode::D004);
+    }
+
+    #[test]
+    fn plain_comments_are_ignored() {
+        let (allows, bad) = parse_comment("ordinary comment about hash maps", 1);
+        assert!(allows.is_empty());
+        assert!(bad.is_empty());
+    }
+}

@@ -1,0 +1,126 @@
+//! `vampos-detlint`: the workspace determinism linter CLI.
+//!
+//! Scans the deterministic crates for same-seed-divergence hazards
+//! (hash-ordered containers, wall-clock reads, ambient nondeterminism,
+//! thread primitives, stale suppressions) and reports `file:line`
+//! diagnostics.
+//!
+//! ```text
+//! cargo run -p vampos-detlint --bin vampos-detlint [-- --json] [--root DIR] [--list-rules]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` unsuppressed findings, `2` usage or I/O
+//! error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use vampos_detlint::{find_workspace_root, lint_workspace, RuleCode};
+
+struct Options {
+    json: bool,
+    list_rules: bool,
+    root: Option<PathBuf>,
+}
+
+fn usage() -> &'static str {
+    "vampos-detlint — workspace determinism linter\n\
+     \n\
+     USAGE: vampos-detlint [--json] [--root DIR] [--list-rules]\n\
+     \n\
+     OPTIONS:\n\
+       --json        machine-readable report on stdout\n\
+       --root DIR    workspace root (default: discovered from the current directory)\n\
+       --list-rules  print the rule catalogue and exit\n\
+       -h, --help    this help\n\
+     \n\
+     EXIT CODES: 0 clean · 1 unsuppressed findings · 2 usage/I-O error\n"
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        json: false,
+        list_rules: false,
+        root: None,
+    };
+    let mut i = 0usize;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => opts.json = true,
+            "--list-rules" => opts.list_rules = true,
+            "--root" => {
+                i += 1;
+                let dir = args.get(i).ok_or("--root requires a directory argument")?;
+                opts.root = Some(PathBuf::from(dir));
+            }
+            "-h" | "--help" => return Err(String::new()),
+            other => return Err(format!("unknown argument: {other}")),
+        }
+        i += 1;
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}\n\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list_rules {
+        for rule in RuleCode::ALL {
+            println!("{rule}  {:<24}  {}", rule.name(), rule.summary());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match opts.root {
+        Some(root) => root,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(cwd) => cwd,
+                Err(e) => {
+                    eprintln!("error: cannot determine current directory: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match find_workspace_root(&cwd) {
+                Some(root) => root,
+                None => {
+                    eprintln!(
+                        "error: no workspace root found above {} (pass --root)",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    match lint_workspace(&root) {
+        Ok(report) => {
+            if opts.json {
+                print!("{}", report.render_json());
+            } else {
+                print!("{}", report.render_human());
+            }
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! Line-level lexical classification of Rust source.
+//!
+//! The linter never needs a real parse tree — every rule matches on paths,
+//! identifiers, or string-literal contents — but it must not fire inside
+//! comments or strings, and it must find `detlint:` annotations *only*
+//! inside comments. This module splits each source line into three channels:
+//!
+//! * `code` — the line with comments removed and string/char-literal
+//!   contents blanked out (column positions preserved);
+//! * `comment` — the text of any comments on the line (markers stripped);
+//! * `strings` — the concatenated contents of string literals on the line.
+//!
+//! The classifier handles line and (nested) block comments, plain and raw
+//! strings (`r"…"`, `r#"…"#`, byte variants), char literals, and
+//! distinguishes lifetimes (`'a`) from char literals (`'a'`).
+
+/// One source line split into code / comment / string channels.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClassifiedLine {
+    /// Code text; comment and literal contents replaced by spaces so byte
+    /// columns still line up with the original source.
+    pub code: String,
+    /// Comment text (both `//` and `/* */` bodies), markers stripped.
+    pub comment: String,
+    /// Contents of string literals, concatenated.
+    pub strings: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment { depth: u32 },
+    Str,
+    RawStr { hashes: u32 },
+    CharLit,
+}
+
+/// Splits `source` into per-line channels. Always returns one entry per
+/// input line (including a trailing line without a newline).
+pub fn classify(source: &str) -> Vec<ClassifiedLine> {
+    let bytes: Vec<char> = source.chars().collect();
+    let mut lines = Vec::new();
+    let mut cur = ClassifiedLine::default();
+    let mut state = State::Code;
+    let mut i = 0usize;
+
+    // True when the previous char can end an identifier — used to tell a
+    // raw-string prefix (`r"`) from an identifier that happens to end in
+    // `r`, and a lifetime from a char literal.
+    let mut prev_ident = false;
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            lines.push(std::mem::take(&mut cur));
+            prev_ident = false;
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = bytes.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    cur.code.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment { depth: 1 };
+                    cur.code.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                if c == '"' {
+                    state = State::Str;
+                    cur.code.push('"');
+                    i += 1;
+                    continue;
+                }
+                // Raw (and raw-byte) string prefixes: r"…", r#"…"#, br"…".
+                if (c == 'r' || c == 'b') && !prev_ident {
+                    let mut j = i;
+                    if bytes.get(j) == Some(&'b') && bytes.get(j + 1) == Some(&'r') {
+                        j += 2;
+                    } else if bytes.get(j) == Some(&'r') {
+                        j += 1;
+                    } else {
+                        j = usize::MAX;
+                    }
+                    if j != usize::MAX {
+                        let mut hashes = 0u32;
+                        while bytes.get(j) == Some(&'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        if bytes.get(j) == Some(&'"') {
+                            for _ in i..=j {
+                                cur.code.push(' ');
+                            }
+                            state = State::RawStr { hashes };
+                            i = j + 1;
+                            prev_ident = false;
+                            continue;
+                        }
+                    }
+                }
+                // Plain byte string b"…".
+                if c == 'b' && next == Some('"') && !prev_ident {
+                    state = State::Str;
+                    cur.code.push_str(" \"");
+                    i += 2;
+                    prev_ident = false;
+                    continue;
+                }
+                if c == '\'' {
+                    // Lifetime ('a) vs char literal ('a', '\n', 'x').
+                    let is_char_lit = match next {
+                        Some('\\') => true,
+                        Some(_) => bytes.get(i + 2) == Some(&'\''),
+                        None => false,
+                    };
+                    if is_char_lit {
+                        state = State::CharLit;
+                        cur.code.push(' ');
+                        i += 1;
+                        prev_ident = false;
+                        continue;
+                    }
+                }
+                cur.code.push(c);
+                prev_ident = c.is_alphanumeric() || c == '_';
+                i += 1;
+            }
+            State::LineComment => {
+                cur.comment.push(c);
+                cur.code.push(' ');
+                i += 1;
+            }
+            State::BlockComment { depth } => {
+                let next = bytes.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment { depth: depth + 1 };
+                    cur.code.push_str("  ");
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment { depth: depth - 1 }
+                    };
+                    cur.code.push_str("  ");
+                    i += 2;
+                } else {
+                    cur.comment.push(c);
+                    cur.code.push(' ');
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    cur.code.push_str("  ");
+                    if let Some(esc) = bytes.get(i + 1) {
+                        cur.strings.push('\\');
+                        cur.strings.push(*esc);
+                    }
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Code;
+                    cur.code.push('"');
+                    prev_ident = false;
+                    i += 1;
+                } else {
+                    cur.strings.push(c);
+                    cur.code.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr { hashes } => {
+                if c == '"' {
+                    let mut ok = true;
+                    for k in 0..hashes {
+                        if bytes.get(i + 1 + k as usize) != Some(&'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        for _ in 0..=hashes {
+                            cur.code.push(' ');
+                        }
+                        state = State::Code;
+                        prev_ident = false;
+                        i += 1 + hashes as usize;
+                        continue;
+                    }
+                }
+                cur.strings.push(c);
+                cur.code.push(' ');
+                i += 1;
+            }
+            State::CharLit => {
+                if c == '\\' {
+                    cur.code.push_str("  ");
+                    i += 2;
+                } else if c == '\'' {
+                    state = State::Code;
+                    cur.code.push(' ');
+                    prev_ident = false;
+                    i += 1;
+                } else {
+                    cur.code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    lines.push(cur);
+    lines
+}
+
+/// True when `text[pos..pos + pat_len]` is a whole-token match: neither
+/// bounded by identifier characters nor by `::`-glued path context on the
+/// left (callers that want path context use [`super::scan`]'s path
+/// extraction instead).
+pub fn is_token_boundary(text: &str, pos: usize, pat_len: usize) -> bool {
+    let before = text[..pos].chars().next_back();
+    let after = text[pos + pat_len..].chars().next();
+    let ident = |c: char| c.is_alphanumeric() || c == '_';
+    !before.is_some_and(ident) && !after.is_some_and(ident)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_are_stripped_from_code() {
+        let lines = classify("let x = 1; // HashMap here\n/* HashSet */ let y = 2;");
+        assert!(!lines[0].code.contains("HashMap"));
+        assert!(lines[0].comment.contains("HashMap here"));
+        assert!(!lines[1].code.contains("HashSet"));
+        assert!(lines[1].code.contains("let y = 2;"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lines = classify("/* a /* b */ still comment */ code()");
+        assert!(!lines[0].code.contains('a'));
+        assert!(lines[0].code.contains("code()"));
+        assert!(lines[0].comment.contains("still comment"));
+    }
+
+    #[test]
+    fn string_contents_move_to_the_strings_channel() {
+        let lines = classify(r#"let p = "/dev/urandom"; open(p)"#);
+        assert!(!lines[0].code.contains("urandom"));
+        assert_eq!(lines[0].strings, "/dev/urandom");
+        assert!(lines[0].code.contains("open(p)"));
+    }
+
+    #[test]
+    fn raw_strings_and_escapes() {
+        let lines = classify("let a = r#\"quote \" inside\"#; let b = \"esc \\\" q\";");
+        assert!(lines[0].code.contains("let a"));
+        assert!(lines[0].code.contains("let b"));
+        assert!(lines[0].strings.contains("quote "));
+        assert!(!lines[0].code.contains("inside"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lines = classify("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(lines[0].code.contains("fn f<'a>"));
+        let lines = classify("let c = 'x'; let n = '\\n'; type T<'b> = &'b u8;");
+        assert!(!lines[0].code.contains('x'));
+        assert!(lines[0].code.contains("T<'b>"));
+    }
+
+    #[test]
+    fn code_columns_are_preserved() {
+        let src = "abc /* c */ def";
+        let lines = classify(src);
+        assert_eq!(lines[0].code.len(), src.len());
+        assert_eq!(lines[0].code.find("def"), src.find("def"));
+    }
+
+    #[test]
+    fn multi_line_strings_and_comments_span_lines() {
+        let lines = classify("let s = \"line1\nline2 HashMap\";\nuse x;");
+        assert!(lines[1].strings.contains("line2 HashMap"));
+        assert!(!lines[1].code.contains("HashMap"));
+        assert!(lines[2].code.contains("use x;"));
+    }
+}

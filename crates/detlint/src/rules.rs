@@ -1,0 +1,288 @@
+//! The determinism rule catalogue (D001–D005).
+//!
+//! Rules D001–D004 are *matchers* over resolved paths, bare identifiers,
+//! and string-literal contents; D005 is computed by the scanner from the
+//! allow-annotation bookkeeping (an annotation that suppresses nothing is
+//! itself a finding, which keeps the suppression set honest).
+
+use std::fmt;
+
+/// Stable rule identifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleCode {
+    /// Hash-ordered containers (`HashMap`/`HashSet`/`RandomState`).
+    D001,
+    /// Wall-clock reads (`std::time::{Instant, SystemTime}`).
+    D002,
+    /// Ambient nondeterminism (`thread_rng`, `rand::`, `std::env`,
+    /// `/dev/urandom` paths).
+    D003,
+    /// Thread/channel primitives (`std::thread`, `mpsc`, `Mutex`, …).
+    D004,
+    /// Declared-but-unused (or malformed) allow annotations.
+    D005,
+}
+
+impl RuleCode {
+    /// All rules, in code order.
+    pub const ALL: [RuleCode; 5] = [
+        RuleCode::D001,
+        RuleCode::D002,
+        RuleCode::D003,
+        RuleCode::D004,
+        RuleCode::D005,
+    ];
+
+    /// Parses `"D001"`-style codes (case-sensitive, as written in
+    /// annotations).
+    pub fn parse(s: &str) -> Option<RuleCode> {
+        match s {
+            "D001" => Some(RuleCode::D001),
+            "D002" => Some(RuleCode::D002),
+            "D003" => Some(RuleCode::D003),
+            "D004" => Some(RuleCode::D004),
+            "D005" => Some(RuleCode::D005),
+            _ => None,
+        }
+    }
+
+    /// Short kebab-case rule name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleCode::D001 => "hash-ordered-container",
+            RuleCode::D002 => "wall-clock",
+            RuleCode::D003 => "ambient-nondeterminism",
+            RuleCode::D004 => "thread-primitive",
+            RuleCode::D005 => "unused-allow",
+        }
+    }
+
+    /// One-line description, shown by `--list-rules` and in reports.
+    pub fn summary(self) -> &'static str {
+        match self {
+            RuleCode::D001 => {
+                "std::collections::{HashMap, HashSet} and RandomState iterate in a \
+                 seed-randomized order; use BTreeMap/BTreeSet on deterministic paths"
+            }
+            RuleCode::D002 => {
+                "std::time::{Instant, SystemTime} read the host clock; deterministic \
+                 code must use the virtual SimClock (wall-clock timing belongs in \
+                 crates/bench and CLI timing code only)"
+            }
+            RuleCode::D003 => {
+                "thread_rng/rand::/std::env//dev/urandom pull entropy or configuration \
+                 from the environment; all randomness must come from the seeded SimRng"
+            }
+            RuleCode::D004 => {
+                "std::thread, mpsc channels, Mutex/RwLock/Condvar and atomics introduce \
+                 scheduling-dependent interleavings; only crates/bench/src/parallel.rs \
+                 (outside the deterministic set) may fan out"
+            }
+            RuleCode::D005 => {
+                "a `detlint: allow(...)` annotation that suppresses no finding (or lacks \
+                 a reason) is stale or dishonest and must be removed or justified"
+            }
+        }
+    }
+}
+
+impl fmt::Display for RuleCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RuleCode::D001 => "D001",
+            RuleCode::D002 => "D002",
+            RuleCode::D003 => "D003",
+            RuleCode::D004 => "D004",
+            RuleCode::D005 => "D005",
+        })
+    }
+}
+
+/// How a banned path pattern matches a resolved path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Match {
+    /// The path equals the pattern, or extends it at a `::` boundary
+    /// (`std::thread` matches `std::thread::spawn`).
+    Prefix,
+    /// The path equals the pattern exactly, or extends it by exactly the
+    /// associated-item level (`std::sync::Mutex` matches
+    /// `std::sync::Mutex::new` but `Prefix` semantics suffice; kept for
+    /// clarity at call sites).
+    Exact,
+}
+
+/// A banned fully-qualified path.
+pub struct BannedPath {
+    /// Rule the path belongs to.
+    pub rule: RuleCode,
+    /// The `::`-separated pattern.
+    pub pattern: &'static str,
+    /// Matching mode.
+    pub mode: Match,
+}
+
+/// Banned absolute paths. Resolution happens before matching, so aliased
+/// imports (`use std::collections::HashMap as Map`) and module imports
+/// (`use std::collections::hash_map; … hash_map::RandomState`) are caught.
+pub const BANNED_PATHS: &[BannedPath] = &[
+    // D001 — hash-ordered containers.
+    BannedPath {
+        rule: RuleCode::D001,
+        pattern: "std::collections::HashMap",
+        mode: Match::Prefix,
+    },
+    BannedPath {
+        rule: RuleCode::D001,
+        pattern: "std::collections::HashSet",
+        mode: Match::Prefix,
+    },
+    BannedPath {
+        rule: RuleCode::D001,
+        pattern: "std::collections::hash_map",
+        mode: Match::Prefix,
+    },
+    BannedPath {
+        rule: RuleCode::D001,
+        pattern: "std::collections::hash_set",
+        mode: Match::Prefix,
+    },
+    BannedPath {
+        rule: RuleCode::D001,
+        pattern: "std::hash::RandomState",
+        mode: Match::Prefix,
+    },
+    BannedPath {
+        rule: RuleCode::D001,
+        pattern: "std::hash::DefaultHasher",
+        mode: Match::Prefix,
+    },
+    // D002 — wall clock.
+    BannedPath {
+        rule: RuleCode::D002,
+        pattern: "std::time::Instant",
+        mode: Match::Prefix,
+    },
+    BannedPath {
+        rule: RuleCode::D002,
+        pattern: "std::time::SystemTime",
+        mode: Match::Prefix,
+    },
+    // D003 — ambient nondeterminism.
+    BannedPath {
+        rule: RuleCode::D003,
+        pattern: "rand",
+        mode: Match::Prefix,
+    },
+    BannedPath {
+        rule: RuleCode::D003,
+        pattern: "getrandom",
+        mode: Match::Prefix,
+    },
+    BannedPath {
+        rule: RuleCode::D003,
+        pattern: "std::env",
+        mode: Match::Prefix,
+    },
+    // D004 — threads, channels, shared-state primitives.
+    BannedPath {
+        rule: RuleCode::D004,
+        pattern: "std::thread",
+        mode: Match::Prefix,
+    },
+    BannedPath {
+        rule: RuleCode::D004,
+        pattern: "std::sync::mpsc",
+        mode: Match::Prefix,
+    },
+    BannedPath {
+        rule: RuleCode::D004,
+        pattern: "std::sync::Mutex",
+        mode: Match::Exact,
+    },
+    BannedPath {
+        rule: RuleCode::D004,
+        pattern: "std::sync::RwLock",
+        mode: Match::Exact,
+    },
+    BannedPath {
+        rule: RuleCode::D004,
+        pattern: "std::sync::Condvar",
+        mode: Match::Exact,
+    },
+    BannedPath {
+        rule: RuleCode::D004,
+        pattern: "std::sync::Barrier",
+        mode: Match::Exact,
+    },
+    BannedPath {
+        rule: RuleCode::D004,
+        pattern: "std::sync::atomic",
+        mode: Match::Prefix,
+    },
+];
+
+/// Bare identifiers banned even without a resolvable import (distinctive
+/// enough that a false positive is implausible).
+pub const BANNED_IDENTS: &[(&str, RuleCode)] = &[("thread_rng", RuleCode::D003)];
+
+/// Substrings banned inside string literals.
+pub const BANNED_STRINGS: &[(&str, RuleCode)] = &[("/dev/urandom", RuleCode::D003)];
+
+/// Checks a resolved absolute path against [`BANNED_PATHS`].
+pub fn banned_path(path: &str) -> Option<(RuleCode, &'static str)> {
+    for b in BANNED_PATHS {
+        let hit = match b.mode {
+            Match::Prefix | Match::Exact => {
+                path == b.pattern
+                    || (path.len() > b.pattern.len()
+                        && path.starts_with(b.pattern)
+                        && path[b.pattern.len()..].starts_with("::"))
+            }
+        };
+        if hit {
+            return Some((b.rule, b.pattern));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_matching_respects_segment_boundaries() {
+        assert_eq!(
+            banned_path("std::collections::HashMap").map(|(r, _)| r),
+            Some(RuleCode::D001)
+        );
+        assert_eq!(
+            banned_path("std::collections::HashMap::new").map(|(r, _)| r),
+            Some(RuleCode::D001)
+        );
+        // `HashMapLike` must not match at a non-boundary.
+        assert_eq!(banned_path("std::collections::HashMapLike"), None);
+        // Arc lives in std::sync but is deterministic.
+        assert_eq!(banned_path("std::sync::Arc"), None);
+        // The seeded simulation RNG is fine; only the `rand` crate is banned.
+        assert_eq!(banned_path("vampos_sim::rng::SimRng"), None);
+        assert_eq!(
+            banned_path("rand::thread_rng").map(|(r, _)| r),
+            Some(RuleCode::D003)
+        );
+        assert_eq!(banned_path("std::time::Duration"), None);
+        assert_eq!(
+            banned_path("std::time::Instant::now").map(|(r, _)| r),
+            Some(RuleCode::D002)
+        );
+    }
+
+    #[test]
+    fn rule_codes_round_trip() {
+        for rule in RuleCode::ALL {
+            assert_eq!(RuleCode::parse(&rule.to_string()), Some(rule));
+        }
+        assert_eq!(RuleCode::parse("D999"), None);
+        assert_eq!(RuleCode::parse("d001"), None);
+    }
+}

@@ -1,0 +1,630 @@
+//! Per-file scanning: import resolution, rule matching, allow matching.
+//!
+//! The scan works on the [`crate::lexer`]'s code channel, so comments and
+//! string contents can never produce false positives. `use` declarations
+//! (including multi-line brace trees and `as` renames) are expanded to
+//! absolute paths and checked against the banned-path catalogue; findings
+//! for an import are reported at the `use` statement's first line, and bare
+//! usages of an imported name are considered covered by that one finding —
+//! an allow annotation on the import therefore covers the whole file's uses
+//! of it. Fully-qualified paths written inline are flagged where they occur.
+
+use crate::allow::{parse_comment, Allow, MalformedAllow};
+use crate::lexer::{classify, is_token_boundary, ClassifiedLine};
+use crate::report::{Finding, Suppressed};
+use crate::rules::{banned_path, RuleCode, BANNED_IDENTS, BANNED_PATHS, BANNED_STRINGS};
+use std::collections::BTreeMap;
+
+/// The result of scanning one file.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    /// Unsuppressed findings.
+    pub findings: Vec<Finding>,
+    /// Findings covered by a reasoned allow annotation.
+    pub suppressed: Vec<Suppressed>,
+}
+
+/// One name bound by a `use` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Import {
+    /// The name the file sees (`Map` for `use …::HashMap as Map`), or
+    /// `"*"` for a glob.
+    pub ident: String,
+    /// Absolute path the name resolves to (glob: the module prefix).
+    pub path: String,
+    /// 1-based line of the `use` statement's first line.
+    pub line: usize,
+}
+
+/// Scans one file's source. `file` is the label used in diagnostics
+/// (workspace-relative path).
+pub fn lint_source(file: &str, source: &str) -> FileReport {
+    let lines = classify(source);
+
+    // -- Annotations ------------------------------------------------------
+    let mut allows: Vec<Allow> = Vec::new();
+    let mut malformed: Vec<MalformedAllow> = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        let (mut a, mut m) = parse_comment(&line.comment, idx + 1);
+        allows.append(&mut a);
+        malformed.append(&mut m);
+    }
+    // Annotation → the line it covers: its own line when that line has
+    // code, otherwise the next code-bearing line.
+    let target_of = |ann_line: usize| -> Option<usize> {
+        let has_code = |l: &ClassifiedLine| !l.code.trim().is_empty();
+        if has_code(&lines[ann_line - 1]) {
+            return Some(ann_line);
+        }
+        (ann_line..lines.len())
+            .find(|&idx| has_code(&lines[idx]))
+            .map(|idx| idx + 1)
+    };
+    let mut allow_used = vec![false; allows.len()];
+    // (rule, covered line) → allow indices, in annotation order.
+    let mut allow_at: BTreeMap<(RuleCode, usize), Vec<usize>> = BTreeMap::new();
+    for (i, a) in allows.iter().enumerate() {
+        if let Some(target) = target_of(a.line) {
+            allow_at.entry((a.rule, target)).or_default().push(i);
+        }
+    }
+
+    // -- Imports and use-statement spans ----------------------------------
+    let (imports, use_lines) = collect_imports(&lines);
+    let import_idents: BTreeMap<&str, &Import> = imports
+        .iter()
+        .filter(|imp| imp.ident != "*")
+        .map(|imp| (imp.ident.as_str(), imp))
+        .collect();
+    let globs: Vec<&Import> = imports.iter().filter(|imp| imp.ident == "*").collect();
+
+    // -- Raw findings (D001–D004) -----------------------------------------
+    let mut raw: Vec<Finding> = Vec::new();
+    for imp in &imports {
+        // A glob of a banned module (`use std::collections::hash_map::*`)
+        // is banned through its module path; globs of clean modules are
+        // resolved at the usage sites below.
+        if let Some((rule, _)) = banned_path(&imp.path) {
+            raw.push(Finding {
+                rule,
+                file: file.to_owned(),
+                line: imp.line,
+                message: format!("`{}` imported here: {}", imp.path, short_reason(rule)),
+                snippet: snippet(&lines, imp.line),
+            });
+        }
+    }
+    for (idx, line) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+        if use_lines.contains(&lineno) {
+            continue; // already handled through import resolution
+        }
+        for path in extract_paths(&line.code) {
+            let segments: Vec<&str> = path.split("::").collect();
+            let first = segments[0];
+            if path.contains("::") {
+                if matches!(first, "crate" | "self" | "super") {
+                    continue;
+                }
+                if import_idents.contains_key(first) {
+                    // Covered by the finding (or allow) on the import line.
+                    continue;
+                }
+                if let Some((rule, _)) = banned_path(&path) {
+                    raw.push(Finding {
+                        rule,
+                        file: file.to_owned(),
+                        line: lineno,
+                        message: format!("`{path}`: {}", short_reason(rule)),
+                        snippet: snippet(&lines, lineno),
+                    });
+                }
+            } else {
+                // Bare identifier.
+                for (ident, rule) in BANNED_IDENTS {
+                    if first == *ident {
+                        raw.push(Finding {
+                            rule: *rule,
+                            file: file.to_owned(),
+                            line: lineno,
+                            message: format!("`{ident}`: {}", short_reason(*rule)),
+                            snippet: snippet(&lines, lineno),
+                        });
+                    }
+                }
+                // A banned leaf pulled in by a glob import.
+                if !import_idents.contains_key(first) {
+                    for glob in &globs {
+                        let resolved = format!("{}::{first}", glob.path);
+                        if let Some((rule, _)) = banned_path(&resolved) {
+                            if is_banned_leaf(first) {
+                                raw.push(Finding {
+                                    rule,
+                                    file: file.to_owned(),
+                                    line: lineno,
+                                    message: format!(
+                                        "`{first}` (via `use {}::*`): {}",
+                                        glob.path,
+                                        short_reason(rule)
+                                    ),
+                                    snippet: snippet(&lines, lineno),
+                                });
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for (needle, rule) in BANNED_STRINGS {
+            if line.strings.contains(needle) {
+                raw.push(Finding {
+                    rule: *rule,
+                    file: file.to_owned(),
+                    line: lineno,
+                    message: format!(
+                        "string literal mentions `{needle}`: {}",
+                        short_reason(*rule)
+                    ),
+                    snippet: snippet(&lines, lineno),
+                });
+            }
+        }
+    }
+
+    // -- Apply allows ------------------------------------------------------
+    let mut report = FileReport::default();
+    for finding in raw {
+        match allow_at.get(&(finding.rule, finding.line)) {
+            Some(indices) => {
+                let i = indices[0];
+                allow_used[i] = true;
+                report.suppressed.push(Suppressed {
+                    rule: finding.rule,
+                    file: finding.file,
+                    line: finding.line,
+                    reason: allows[i].reason.clone(),
+                });
+            }
+            None => report.findings.push(finding),
+        }
+    }
+
+    // -- D005: stale and malformed annotations ----------------------------
+    let mut d005: Vec<Finding> = Vec::new();
+    for m in &malformed {
+        d005.push(Finding {
+            rule: RuleCode::D005,
+            file: file.to_owned(),
+            line: m.line,
+            message: m.message.clone(),
+            snippet: snippet(&lines, m.line),
+        });
+    }
+    for (i, a) in allows.iter().enumerate() {
+        if !allow_used[i] && a.rule != RuleCode::D005 {
+            d005.push(Finding {
+                rule: RuleCode::D005,
+                file: file.to_owned(),
+                line: a.line,
+                message: format!(
+                    "allow({}) suppresses nothing — remove the stale annotation",
+                    a.rule
+                ),
+                snippet: snippet(&lines, a.line),
+            });
+        }
+    }
+    // allow(D005) can cover a stale annotation one level deep (it cannot
+    // itself be recursively excused). D005 findings sit on annotation
+    // lines, which are often comment-only, so a D005 allow matches either
+    // through its covered line or directly on the finding's own line.
+    let d005_allow_for = |line: usize, allow_used: &[bool]| -> Option<usize> {
+        if let Some(indices) = allow_at.get(&(RuleCode::D005, line)) {
+            return Some(indices[0]);
+        }
+        allows
+            .iter()
+            .enumerate()
+            .find(|(i, a)| a.rule == RuleCode::D005 && a.line == line && !allow_used[*i])
+            .map(|(i, _)| i)
+    };
+    for finding in d005 {
+        match d005_allow_for(finding.line, &allow_used) {
+            Some(i) => {
+                allow_used[i] = true;
+                report.suppressed.push(Suppressed {
+                    rule: RuleCode::D005,
+                    file: finding.file,
+                    line: finding.line,
+                    reason: allows[i].reason.clone(),
+                });
+            }
+            None => report.findings.push(finding),
+        }
+    }
+    for (i, a) in allows.iter().enumerate() {
+        if !allow_used[i] && a.rule == RuleCode::D005 {
+            report.findings.push(Finding {
+                rule: RuleCode::D005,
+                file: file.to_owned(),
+                line: a.line,
+                message: "allow(D005) suppresses nothing — remove the stale annotation".to_owned(),
+                snippet: snippet(&lines, a.line),
+            });
+        }
+    }
+
+    report.findings.sort_by_key(|f| (f.line, f.rule));
+    report
+}
+
+fn is_banned_leaf(ident: &str) -> bool {
+    BANNED_PATHS
+        .iter()
+        .any(|b| b.pattern.rsplit("::").next() == Some(ident))
+}
+
+fn short_reason(rule: RuleCode) -> String {
+    format!("{} ({})", rule.name(), rule)
+}
+
+fn snippet(lines: &[ClassifiedLine], lineno: usize) -> String {
+    lines
+        .get(lineno - 1)
+        .map(|l| l.code.trim().to_owned())
+        .unwrap_or_default()
+}
+
+/// Collects the file's `use` declarations (expanded to absolute paths) and
+/// the set of lines occupied by `use` statements.
+fn collect_imports(lines: &[ClassifiedLine]) -> (Vec<Import>, std::collections::BTreeSet<usize>) {
+    let mut imports = Vec::new();
+    let mut use_lines = std::collections::BTreeSet::new();
+
+    let mut idx = 0usize;
+    while idx < lines.len() {
+        let code = &lines[idx].code;
+        let Some(pos) = find_use_keyword(code) else {
+            idx += 1;
+            continue;
+        };
+        // Capture from after `use` to the terminating `;` (may span lines).
+        let start_line = idx + 1;
+        let mut stmt = String::new();
+        let mut rest = &code[pos + 3..];
+        let mut cur = idx;
+        loop {
+            if let Some(semi) = rest.find(';') {
+                stmt.push_str(&rest[..semi]);
+                use_lines.extend(start_line..=cur + 1);
+                break;
+            }
+            stmt.push_str(rest);
+            stmt.push(' ');
+            cur += 1;
+            if cur >= lines.len() {
+                use_lines.extend(start_line..=lines.len());
+                break;
+            }
+            rest = &lines[cur].code;
+        }
+        for (path, alias) in expand_use_tree(stmt.trim()) {
+            let ident = alias
+                .unwrap_or_else(|| path.rsplit("::").next().unwrap_or(path.as_str()).to_owned());
+            imports.push(Import {
+                ident,
+                path,
+                line: start_line,
+            });
+        }
+        idx = cur + 1;
+    }
+    (imports, use_lines)
+}
+
+/// Position just before the `use` keyword in `code`, if present as a whole
+/// token (`use …` or `pub use …`; `because` does not count).
+fn find_use_keyword(code: &str) -> Option<usize> {
+    let mut from = 0usize;
+    while let Some(rel) = code[from..].find("use") {
+        let pos = from + rel;
+        if is_token_boundary(code, pos, 3) {
+            // Require statement position: only whitespace or visibility
+            // before it on the line.
+            let before = code[..pos].trim();
+            if before.is_empty()
+                || before == "pub"
+                || (before.starts_with("pub(") && before.ends_with(')'))
+            {
+                return Some(pos);
+            }
+        }
+        from = pos + 3;
+    }
+    None
+}
+
+/// Expands a use tree (the text between `use` and `;`) into
+/// `(absolute path, alias)` pairs. Globs yield a `(module, Some("*"))`…
+/// actually globs yield `(module, None)` with ident `"*"` handled by the
+/// caller via the returned alias: a glob is returned as the module path
+/// with alias `Some("*".into())`.
+fn expand_use_tree(tree: &str) -> Vec<(String, Option<String>)> {
+    let mut out = Vec::new();
+    expand_into("", tree, &mut out);
+    out
+}
+
+fn expand_into(prefix: &str, tree: &str, out: &mut Vec<(String, Option<String>)>) {
+    let tree = tree.trim();
+    if tree.is_empty() {
+        return;
+    }
+    if let Some(inner) = tree.strip_prefix('{') {
+        let inner = inner.strip_suffix('}').unwrap_or(inner);
+        for part in split_top_level(inner) {
+            expand_into(prefix, &part, out);
+        }
+        return;
+    }
+    // A brace group at the end: `std::collections::{A, B}`.
+    if let Some(brace) = tree.find('{') {
+        let head = tree[..brace].trim().trim_end_matches("::").trim();
+        let joined = join_path(prefix, head);
+        let inner = tree[brace..].trim();
+        expand_into(&joined, inner, out);
+        return;
+    }
+    if let Some(head) = tree.strip_suffix("::*").or_else(|| tree.strip_suffix('*')) {
+        let head = head.trim().trim_end_matches("::").trim();
+        out.push((join_path(prefix, head), Some("*".to_owned())));
+        return;
+    }
+    if let Some(as_pos) = find_as_keyword(tree) {
+        let path = tree[..as_pos].trim();
+        let alias = tree[as_pos + 2..].trim();
+        out.push((join_path(prefix, path), Some(alias.to_owned())));
+        return;
+    }
+    out.push((join_path(prefix, tree), None));
+}
+
+fn join_path(prefix: &str, rest: &str) -> String {
+    let rest: String = rest.split_whitespace().collect();
+    if prefix.is_empty() {
+        rest
+    } else if rest.is_empty() || rest == "self" {
+        prefix.to_owned()
+    } else {
+        format!("{prefix}::{rest}")
+    }
+}
+
+fn find_as_keyword(s: &str) -> Option<usize> {
+    let mut from = 0usize;
+    while let Some(rel) = s[from..].find("as") {
+        let pos = from + rel;
+        let before = s[..pos].chars().next_back();
+        let after = s[pos + 2..].chars().next();
+        if before.is_some_and(char::is_whitespace) && after.is_some_and(char::is_whitespace) {
+            return Some(pos);
+        }
+        from = pos + 2;
+    }
+    None
+}
+
+/// Splits a brace-group body on top-level commas.
+fn split_top_level(s: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut depth = 0i32;
+    let mut cur = String::new();
+    for c in s.chars() {
+        match c {
+            '{' => {
+                depth += 1;
+                cur.push(c);
+            }
+            '}' => {
+                depth -= 1;
+                cur.push(c);
+            }
+            ',' if depth == 0 => {
+                parts.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        parts.push(cur);
+    }
+    parts
+}
+
+/// Extracts path expressions (`a::b::c`) and bare identifiers from one
+/// line of code. Generic arguments terminate a path (`Vec::<u8>::new`
+/// yields `Vec`), which is fine: every banned pattern is a prefix.
+fn extract_paths(code: &str) -> Vec<String> {
+    let chars: Vec<char> = code.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let ident_start = |c: char| c.is_alphabetic() || c == '_';
+    let ident_char = |c: char| c.is_alphanumeric() || c == '_';
+    while i < chars.len() {
+        if !ident_start(chars[i]) {
+            i += 1;
+            continue;
+        }
+        let mut path = String::new();
+        loop {
+            let seg_start = i;
+            while i < chars.len() && ident_char(chars[i]) {
+                i += 1;
+            }
+            path.extend(&chars[seg_start..i]);
+            if i + 1 < chars.len()
+                && chars[i] == ':'
+                && chars[i + 1] == ':'
+                && i + 2 < chars.len()
+                && ident_start(chars[i + 2])
+            {
+                path.push_str("::");
+                i += 2;
+            } else {
+                break;
+            }
+        }
+        out.push(path);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(src: &str) -> Vec<(RuleCode, usize)> {
+        lint_source("test.rs", src)
+            .findings
+            .iter()
+            .map(|f| (f.rule, f.line))
+            .collect()
+    }
+
+    #[test]
+    fn import_is_flagged_once_and_covers_usages() {
+        let src = "use std::collections::HashMap;\n\
+                   fn f() -> HashMap<u32, u32> { HashMap::new() }\n";
+        assert_eq!(findings(src), vec![(RuleCode::D001, 1)]);
+    }
+
+    #[test]
+    fn brace_tree_and_alias_resolution() {
+        let src = "use std::collections::{BTreeMap, HashMap as Map};\nfn f(m: Map<u8, u8>) {}\n";
+        assert_eq!(findings(src), vec![(RuleCode::D001, 1)]);
+        let src = "use std::collections::BTreeMap;\n";
+        assert_eq!(findings(src), vec![]);
+    }
+
+    #[test]
+    fn multi_line_use_statement() {
+        let src = "use std::collections::{\n    BTreeMap,\n    HashSet,\n};\n";
+        assert_eq!(findings(src), vec![(RuleCode::D001, 1)]);
+    }
+
+    #[test]
+    fn fully_qualified_inline_path() {
+        let src = "fn f() { let m = std::collections::HashMap::<u8, u8>::new(); }\n";
+        assert_eq!(findings(src), vec![(RuleCode::D001, 1)]);
+    }
+
+    #[test]
+    fn module_import_then_qualified_use() {
+        let src =
+            "use std::collections::hash_map;\nfn f() { let s = hash_map::RandomState::new(); }\n";
+        // Flagged once, at the import.
+        assert_eq!(findings(src), vec![(RuleCode::D001, 1)]);
+    }
+
+    #[test]
+    fn glob_import_flags_banned_leaf_usage() {
+        let src = "use std::collections::*;\nfn f() { let m: HashMap<u8, u8> = HashMap::new(); }\n";
+        assert_eq!(findings(src), vec![(RuleCode::D001, 2)]);
+    }
+
+    #[test]
+    fn trailing_allow_suppresses_and_records_reason() {
+        let src = "use std::collections::HashMap; // detlint: allow(D001, reason = \"x\")\n";
+        let rep = lint_source("t.rs", src);
+        assert!(rep.findings.is_empty());
+        assert_eq!(rep.suppressed.len(), 1);
+        assert_eq!(rep.suppressed[0].reason, "x");
+    }
+
+    #[test]
+    fn standalone_allow_covers_next_code_line() {
+        let src = "// detlint: allow(D002, reason = \"boot banner only\")\n\
+                   use std::time::Instant;\n";
+        let rep = lint_source("t.rs", src);
+        assert!(rep.findings.is_empty(), "{:?}", rep.findings);
+        assert_eq!(rep.suppressed.len(), 1);
+    }
+
+    #[test]
+    fn wrong_rule_allow_does_not_suppress_and_is_stale() {
+        let src = "use std::time::Instant; // detlint: allow(D001, reason = \"wrong rule\")\n";
+        let f = findings(src);
+        assert!(f.contains(&(RuleCode::D002, 1)));
+        assert!(f.contains(&(RuleCode::D005, 1)));
+    }
+
+    #[test]
+    fn d003_catches_env_rand_and_urandom() {
+        assert_eq!(findings("use std::env;\n"), vec![(RuleCode::D003, 1)]);
+        assert_eq!(
+            findings("fn f() { let x = rand::thread_rng(); }\n"),
+            vec![(RuleCode::D003, 1)]
+        );
+        assert_eq!(
+            findings("const P: &str = \"/dev/urandom\";\n"),
+            vec![(RuleCode::D003, 1)]
+        );
+    }
+
+    #[test]
+    fn d004_catches_threads_but_not_arc() {
+        assert_eq!(findings("use std::sync::Arc;\n"), vec![]);
+        assert_eq!(
+            findings("use std::sync::Mutex;\n"),
+            vec![(RuleCode::D004, 1)]
+        );
+        assert_eq!(
+            findings("fn f() { std::thread::spawn(|| ()); }\n"),
+            vec![(RuleCode::D004, 1)]
+        );
+        assert_eq!(
+            findings("use std::sync::mpsc::channel;\n"),
+            vec![(RuleCode::D004, 1)]
+        );
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_trip_rules() {
+        assert_eq!(
+            findings("// a HashMap story about std::time::Instant\n"),
+            vec![]
+        );
+        assert_eq!(findings("const S: &str = \"HashMap\";\n"), vec![]);
+    }
+
+    #[test]
+    fn own_rng_module_is_not_the_rand_crate() {
+        assert_eq!(
+            findings("use crate::rng::SimRng;\nfn f(r: &mut SimRng) { r.next_u64(); }\n"),
+            vec![]
+        );
+        assert_eq!(
+            findings("let x = vampos_sim::rng::derive_seed(1, 2);\n"),
+            vec![]
+        );
+    }
+
+    #[test]
+    fn unused_allow_is_a_d005_finding() {
+        let src = "// detlint: allow(D001, reason = \"nothing here\")\nfn clean() {}\n";
+        assert_eq!(findings(src), vec![(RuleCode::D005, 1)]);
+    }
+
+    #[test]
+    fn allow_d005_covers_a_stale_allow_one_level_deep() {
+        let src = "\
+// detlint: allow(D005, reason = \"kept while migrating\") detlint: allow(D001, reason = \"stale\")
+fn clean() {}
+";
+        let rep = lint_source("t.rs", src);
+        assert!(rep.findings.is_empty(), "{:?}", rep.findings);
+        assert_eq!(rep.suppressed.len(), 1);
+        assert_eq!(rep.suppressed[0].rule, RuleCode::D005);
+    }
+}

@@ -1,0 +1,131 @@
+//! Allow-annotation round trip: the full grammar path from source comment
+//! through suppression bookkeeping to the JSON report, plus every rejection
+//! mode (missing reason, empty reason, unquoted reason, unknown rule).
+
+use vampos_detlint::{lint_source, RuleCode};
+
+const HAZARD: &str = "use std::collections::HashMap;";
+
+fn with_annotation(annotation: &str) -> String {
+    format!("{HAZARD} // {annotation}\n")
+}
+
+#[test]
+fn reasoned_allow_round_trips_into_the_json_report() {
+    let src = with_annotation(
+        "detlint: allow(D001, reason = \"store is digest-sorted before iteration\")",
+    );
+    let report = lint_source("t.rs", &src);
+    assert!(report.findings.is_empty());
+    assert_eq!(report.suppressed.len(), 1);
+    let s = &report.suppressed[0];
+    assert_eq!((s.rule, s.line), (RuleCode::D001, 1));
+    assert_eq!(s.reason, "store is digest-sorted before iteration");
+
+    // The reason survives verbatim into the machine-readable report.
+    let mut full = vampos_detlint::Report {
+        suppressed: report.suppressed,
+        files_scanned: 1,
+        ..Default::default()
+    };
+    full.sort();
+    let json = full.render_json();
+    assert!(json.contains("\"reason\": \"store is digest-sorted before iteration\""));
+    assert!(json.contains("\"clean\": true"));
+}
+
+#[test]
+fn annotation_without_reason_is_rejected_and_suppresses_nothing() {
+    let src = with_annotation("detlint: allow(D001)");
+    let report = lint_source("t.rs", &src);
+    // The hazard still fires…
+    assert!(report.findings.iter().any(|f| f.rule == RuleCode::D001));
+    // …and the malformed annotation is its own D005 finding.
+    let d005: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == RuleCode::D005)
+        .collect();
+    assert_eq!(d005.len(), 1);
+    assert!(d005[0].message.contains("missing mandatory `reason"));
+    assert!(report.suppressed.is_empty());
+}
+
+#[test]
+fn empty_and_unquoted_reasons_are_rejected() {
+    for annotation in [
+        "detlint: allow(D001, reason = \"\")",
+        "detlint: allow(D001, reason = \"   \")",
+        "detlint: allow(D001, reason = unquoted words)",
+    ] {
+        let report = lint_source("t.rs", &with_annotation(annotation));
+        assert!(
+            report.findings.iter().any(|f| f.rule == RuleCode::D001),
+            "{annotation}: hazard must still fire"
+        );
+        assert!(
+            report.findings.iter().any(|f| f.rule == RuleCode::D005),
+            "{annotation}: rejection must surface as D005"
+        );
+        assert!(report.suppressed.is_empty());
+    }
+}
+
+#[test]
+fn unknown_rule_code_is_rejected() {
+    let report = lint_source(
+        "t.rs",
+        &with_annotation("detlint: allow(D042, reason = \"?\")"),
+    );
+    assert!(report.findings.iter().any(|f| f.rule == RuleCode::D001));
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.rule == RuleCode::D005 && f.message.contains("unknown rule")));
+}
+
+#[test]
+fn allow_for_the_wrong_rule_does_not_suppress() {
+    let report = lint_source(
+        "t.rs",
+        &with_annotation("detlint: allow(D004, reason = \"wrong rule entirely\")"),
+    );
+    assert!(report.findings.iter().any(|f| f.rule == RuleCode::D001));
+    // The misdirected annotation suppresses nothing → stale.
+    assert!(report.findings.iter().any(|f| f.rule == RuleCode::D005));
+}
+
+#[test]
+fn standalone_annotation_covers_only_the_next_code_line() {
+    let src = "\
+// detlint: allow(D001, reason = \"covers the next line only\")
+use std::collections::HashMap;
+use std::collections::HashSet;
+";
+    let report = lint_source("t.rs", src);
+    assert_eq!(report.suppressed.len(), 1);
+    assert_eq!(report.suppressed[0].line, 2);
+    assert_eq!(report.findings.len(), 1);
+    assert_eq!(
+        (report.findings[0].rule, report.findings[0].line),
+        (RuleCode::D001, 3)
+    );
+}
+
+#[test]
+fn one_annotation_covers_all_same_rule_findings_on_its_line() {
+    let src = "use std::collections::{HashMap, HashSet}; // detlint: allow(D001, reason = \"both lookup-only\")\n";
+    let report = lint_source("t.rs", src);
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+    assert_eq!(report.suppressed.len(), 2);
+}
+
+#[test]
+fn annotations_inside_strings_are_inert() {
+    let src = "const DOC: &str = \"detlint: allow(D001, reason = \\\"nope\\\")\";\nuse std::collections::HashMap;\n";
+    let report = lint_source("t.rs", src);
+    // The string-literal "annotation" neither suppresses nor goes stale.
+    assert_eq!(report.findings.len(), 1);
+    assert_eq!(report.findings[0].rule, RuleCode::D001);
+    assert!(report.suppressed.is_empty());
+}

@@ -1,0 +1,145 @@
+//! One positive + one negative fixture per rule (D001–D005): the positive
+//! fixture must produce exactly the expected findings, and the negative
+//! fixture — the same hazard with a reasoned `detlint: allow` — must lint
+//! clean while recording the suppressions.
+
+use vampos_detlint::{lint_source, RuleCode};
+
+fn rules_of(file: &str, src: &str) -> Vec<RuleCode> {
+    lint_source(file, src)
+        .findings
+        .iter()
+        .map(|f| f.rule)
+        .collect()
+}
+
+#[test]
+fn d001_positive_flags_hash_containers() {
+    let src = include_str!("fixtures/d001_hash_container.rs");
+    let rules = rules_of("d001_hash_container.rs", src);
+    // The HashMap import, plus the two fully-qualified HashSet paths.
+    assert_eq!(rules, vec![RuleCode::D001; 3], "{rules:?}");
+}
+
+#[test]
+fn d001_negative_allow_suppresses_with_reason() {
+    let src = include_str!("fixtures/d001_allowed.rs");
+    let report = lint_source("d001_allowed.rs", src);
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+    assert_eq!(report.suppressed.len(), 1);
+    assert_eq!(report.suppressed[0].rule, RuleCode::D001);
+    assert!(report.suppressed[0].reason.contains("membership-only"));
+}
+
+#[test]
+fn d002_positive_flags_wall_clock() {
+    let src = include_str!("fixtures/d002_wall_clock.rs");
+    let rules = rules_of("d002_wall_clock.rs", src);
+    // The Instant import (Duration in the same brace tree is fine) and the
+    // fully-qualified SystemTime::now.
+    assert_eq!(rules, vec![RuleCode::D002; 2], "{rules:?}");
+}
+
+#[test]
+fn d002_negative_allow_suppresses() {
+    let report = lint_source("d002_allowed.rs", include_str!("fixtures/d002_allowed.rs"));
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+    assert_eq!(report.suppressed.len(), 1);
+    assert_eq!(report.suppressed[0].rule, RuleCode::D002);
+}
+
+#[test]
+fn d003_positive_flags_ambient_nondeterminism() {
+    let src = include_str!("fixtures/d003_ambient.rs");
+    let report = lint_source("d003_ambient.rs", src);
+    let rules: Vec<RuleCode> = report.findings.iter().map(|f| f.rule).collect();
+    // rand::thread_rng, std::env::var, and the /dev/urandom literal.
+    assert_eq!(rules, vec![RuleCode::D003; 3], "{:?}", report.findings);
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.message.contains("/dev/urandom")));
+}
+
+#[test]
+fn d003_negative_allow_suppresses() {
+    let report = lint_source("d003_allowed.rs", include_str!("fixtures/d003_allowed.rs"));
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+    assert_eq!(report.suppressed.len(), 2);
+    assert!(report.suppressed.iter().all(|s| s.rule == RuleCode::D003));
+}
+
+#[test]
+fn d004_positive_flags_thread_primitives() {
+    let src = include_str!("fixtures/d004_threads.rs");
+    let rules = rules_of("d004_threads.rs", src);
+    // The mpsc and Mutex imports, plus std::thread::spawn inline.
+    assert_eq!(rules, vec![RuleCode::D004; 3], "{rules:?}");
+}
+
+#[test]
+fn d004_negative_allow_suppresses() {
+    let report = lint_source("d004_allowed.rs", include_str!("fixtures/d004_allowed.rs"));
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+    assert_eq!(report.suppressed.len(), 1);
+    assert_eq!(report.suppressed[0].rule, RuleCode::D004);
+}
+
+#[test]
+fn d005_positive_flags_stale_allow() {
+    let src = include_str!("fixtures/d005_stale_allow.rs");
+    let report = lint_source("d005_stale_allow.rs", src);
+    let rules: Vec<RuleCode> = report.findings.iter().map(|f| f.rule).collect();
+    assert_eq!(rules, vec![RuleCode::D005], "{:?}", report.findings);
+    assert!(report.findings[0].message.contains("suppresses nothing"));
+}
+
+#[test]
+fn d005_negative_meta_allow_excuses_a_stale_allow() {
+    let report = lint_source("d005_allowed.rs", include_str!("fixtures/d005_allowed.rs"));
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+    assert_eq!(report.suppressed.len(), 1);
+    assert_eq!(report.suppressed[0].rule, RuleCode::D005);
+}
+
+#[test]
+fn clean_fixture_has_no_findings_and_no_suppressions() {
+    let report = lint_source("clean.rs", include_str!("fixtures/clean.rs"));
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+    assert!(report.suppressed.is_empty());
+}
+
+#[test]
+fn every_rule_has_a_failing_and_a_passing_fixture() {
+    // The regression meta-check: removing a rule from the catalogue must
+    // break at least one of these pairs.
+    let positives = [
+        (
+            RuleCode::D001,
+            include_str!("fixtures/d001_hash_container.rs"),
+        ),
+        (RuleCode::D002, include_str!("fixtures/d002_wall_clock.rs")),
+        (RuleCode::D003, include_str!("fixtures/d003_ambient.rs")),
+        (RuleCode::D004, include_str!("fixtures/d004_threads.rs")),
+        (RuleCode::D005, include_str!("fixtures/d005_stale_allow.rs")),
+    ];
+    for (rule, src) in positives {
+        let report = lint_source("fixture.rs", src);
+        assert!(
+            report.findings.iter().any(|f| f.rule == rule),
+            "positive fixture for {rule} no longer fires"
+        );
+    }
+    let negatives = [
+        include_str!("fixtures/d001_allowed.rs"),
+        include_str!("fixtures/d002_allowed.rs"),
+        include_str!("fixtures/d003_allowed.rs"),
+        include_str!("fixtures/d004_allowed.rs"),
+        include_str!("fixtures/d005_allowed.rs"),
+    ];
+    for src in negatives {
+        let report = lint_source("fixture.rs", src);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+        assert!(!report.suppressed.is_empty());
+    }
+}

@@ -1,0 +1,20 @@
+//! A fully deterministic file: nothing for any rule to flag. Mentions of
+//! HashMap, std::time::Instant, thread_rng, or Mutex in comments — like
+//! this one — and "std::env" in strings must not fire.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+pub struct State {
+    store: BTreeMap<String, Vec<u8>>,
+    members: BTreeSet<u64>,
+    shared: Arc<str>,
+}
+
+pub fn digest(state: &State) -> u64 {
+    let banner = "no std::env here, only a string";
+    (state.store.len() as u64)
+        .wrapping_add(state.members.len() as u64)
+        .wrapping_add(state.shared.len() as u64)
+        .wrapping_add(banner.len() as u64)
+}

@@ -1,0 +1,9 @@
+//! D001 negative fixture: the same import, justified.
+
+// detlint: allow(D001, reason = "membership-only set; iteration order is never observed")
+use std::collections::HashSet;
+
+pub fn dedup(xs: &[u64]) -> usize {
+    let mut seen = HashSet::new();
+    xs.iter().filter(|x| seen.insert(**x)).count()
+}

@@ -1,0 +1,12 @@
+//! D001 positive fixture: hash-ordered containers on a deterministic path.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub struct Registry {
+    by_name: HashMap<String, u32>,
+    ordered: BTreeMap<String, u32>,
+}
+
+pub fn seen() -> std::collections::HashSet<u64> {
+    std::collections::HashSet::new()
+}

@@ -1,0 +1,9 @@
+//! D002 negative fixture: wall-clock confined to CLI timing, justified.
+
+use std::time::Instant; // detlint: allow(D002, reason = "CLI wall-clock timing only; never feeds simulated state")
+
+pub fn time<F: FnOnce()>(f: F) -> std::time::Duration {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed()
+}

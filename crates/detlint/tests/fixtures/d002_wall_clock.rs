@@ -1,0 +1,15 @@
+//! D002 positive fixture: wall-clock reads on a deterministic path.
+
+use std::time::{Duration, Instant};
+
+pub fn elapsed() -> Duration {
+    let t0 = Instant::now();
+    t0.elapsed()
+}
+
+pub fn epoch() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap()
+        .as_secs()
+}

@@ -1,0 +1,9 @@
+//! D003 negative fixture: the hazards, each with a justification.
+
+pub fn config() -> Option<String> {
+    // detlint: allow(D003, reason = "read once at CLI startup, before the simulation is seeded")
+    std::env::var("VAMPOS_SEED").ok()
+}
+
+// detlint: allow(D003, reason = "documentation string naming the device we deliberately avoid")
+pub const POOL: &str = "/dev/urandom";

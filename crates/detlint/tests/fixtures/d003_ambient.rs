@@ -1,0 +1,12 @@
+//! D003 positive fixture: ambient nondeterminism.
+
+pub fn entropy() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+pub fn config() -> Option<String> {
+    std::env::var("VAMPOS_SEED").ok()
+}
+
+pub const POOL: &str = "/dev/urandom";

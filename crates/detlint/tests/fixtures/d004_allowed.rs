@@ -1,0 +1,13 @@
+//! D004 negative fixture: a justified scoped-thread fan-out (the pattern
+//! `crates/bench/src/parallel.rs` uses, with order-preserving joins).
+
+// detlint: allow(D004, reason = "order-preserving scoped fan-out; results are joined in input order")
+use std::sync::Mutex;
+
+pub fn fan_out(items: Vec<u64>) -> Vec<u64> {
+    let slots: Vec<Mutex<Option<u64>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    for (i, item) in items.iter().enumerate() {
+        *slots[i].lock().unwrap() = Some(*item);
+    }
+    slots.into_iter().map(|s| s.into_inner().unwrap().unwrap()).collect()
+}

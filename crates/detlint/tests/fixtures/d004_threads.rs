@@ -1,0 +1,12 @@
+//! D004 positive fixture: thread/channel primitives off the one blessed
+//! fan-out path.
+
+use std::sync::mpsc;
+use std::sync::Mutex;
+
+pub fn race() -> u64 {
+    let shared = Mutex::new(0u64);
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || tx.send(1u64).unwrap());
+    *shared.lock().unwrap() + rx.recv().unwrap()
+}

@@ -1,0 +1,9 @@
+//! D005 negative fixture: a stale allow excused one level deep while a
+//! migration is in flight.
+
+// detlint: allow(D005, reason = "kept while the BTreeMap migration PR is split") detlint: allow(D001, reason = "stale on purpose")
+use std::collections::BTreeMap;
+
+pub fn ordered() -> BTreeMap<String, u32> {
+    BTreeMap::new()
+}

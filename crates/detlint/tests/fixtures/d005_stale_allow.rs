@@ -1,0 +1,8 @@
+//! D005 positive fixture: an allow annotation with nothing to suppress.
+
+// detlint: allow(D001, reason = "this map was migrated to BTreeMap long ago")
+use std::collections::BTreeMap;
+
+pub fn ordered() -> BTreeMap<String, u32> {
+    BTreeMap::new()
+}

@@ -1,0 +1,84 @@
+//! The regression gate: the real workspace must lint clean.
+//!
+//! PR 5 shipped a same-seed-divergence bug (MiniHttpd's `HashMap` iteration
+//! order under multi-connection polling) that this linter would have
+//! caught. This test pins the property structurally: every deterministic
+//! crate scans, and no unsuppressed finding exists anywhere in the set.
+
+use std::path::Path;
+use vampos_detlint::{collect_files, lint_workspace, DETERMINISTIC_CRATES};
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/detlint sits two levels below the workspace root")
+}
+
+#[test]
+fn the_workspace_lints_clean() {
+    let report = lint_workspace(workspace_root()).expect("workspace scan");
+    assert!(
+        report.findings.is_empty(),
+        "unsuppressed determinism findings:\n{}",
+        report.render_human()
+    );
+}
+
+#[test]
+fn the_scan_actually_covers_the_deterministic_set() {
+    let files = collect_files(workspace_root()).expect("file walk");
+    // A silently empty walk must never masquerade as a clean lint.
+    assert!(
+        files.len() >= 50,
+        "suspiciously few files scanned: {}",
+        files.len()
+    );
+    for name in DETERMINISTIC_CRATES {
+        let prefix = format!("crates/{name}/");
+        assert!(
+            files.iter().any(|(label, _)| label.starts_with(&prefix)),
+            "crate `{name}` contributed no files to the scan"
+        );
+    }
+    // Known-hot files from the PR-6 migration are definitely in scope.
+    for must_scan in [
+        "crates/apps/src/kv.rs",
+        "crates/apps/src/sql.rs",
+        "crates/core/src/funclog.rs",
+        "crates/core/src/runtime.rs",
+        "crates/host/src/netpeer.rs",
+        "crates/host/src/ninep.rs",
+        "crates/mpk/src/registry.rs",
+    ] {
+        assert!(
+            files.iter().any(|(label, _)| label == must_scan),
+            "{must_scan} missing from the scan"
+        );
+    }
+}
+
+#[test]
+fn every_suppression_in_the_workspace_carries_a_reason() {
+    let report = lint_workspace(workspace_root()).expect("workspace scan");
+    for s in &report.suppressed {
+        assert!(
+            !s.reason.trim().is_empty(),
+            "{}:{} suppressed without a reason",
+            s.file,
+            s.line
+        );
+    }
+}
+
+#[test]
+fn json_report_of_the_workspace_is_deterministic() {
+    let a = lint_workspace(workspace_root())
+        .expect("scan a")
+        .render_json();
+    let b = lint_workspace(workspace_root())
+        .expect("scan b")
+        .render_json();
+    assert_eq!(a, b, "same tree must render byte-identical reports");
+    assert!(a.contains("\"clean\": true"));
+}

@@ -13,7 +13,7 @@
 //! violations; no loss, no retransmission, unbounded window) plus a client
 //! API the workload generators use.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
 /// TCP header flags (the subset the simulation uses).
@@ -114,7 +114,7 @@ impl Frame {
 }
 
 /// Identifies one client connection on the host side.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ClientConnId(pub u64);
 
 /// Lifecycle of a client connection.
@@ -184,8 +184,8 @@ impl std::error::Error for NetPeerError {}
 #[derive(Debug, Clone, Default)]
 pub struct HostNetwork {
     to_guest: VecDeque<Frame>,
-    conns: HashMap<ClientConnId, ClientConn>,
-    by_local_port: HashMap<u16, ClientConnId>,
+    conns: BTreeMap<ClientConnId, ClientConn>,
+    by_local_port: BTreeMap<u16, ClientConnId>,
     next_conn: u64,
     next_port: u16,
     seq_errors: u64,

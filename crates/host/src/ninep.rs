@@ -7,7 +7,7 @@
 //! through the virtio queue instead — but the *protocol state* (fid tables,
 //! qids, directory hierarchy, offsets handled per request) is real.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
@@ -228,9 +228,9 @@ struct FidState {
 /// ```
 #[derive(Debug, Clone)]
 pub struct NinePServer {
-    nodes: HashMap<u64, Node>,
+    nodes: BTreeMap<u64, Node>,
     next_node: u64,
-    fids: HashMap<Fid, FidState>,
+    fids: BTreeMap<Fid, FidState>,
     fsyncs: u64,
     requests: u64,
 }
@@ -246,7 +246,7 @@ impl Default for NinePServer {
 impl NinePServer {
     /// Creates a server with an empty root directory.
     pub fn new() -> Self {
-        let mut nodes = HashMap::new();
+        let mut nodes = BTreeMap::new();
         nodes.insert(
             ROOT,
             Node {
@@ -258,7 +258,7 @@ impl NinePServer {
         NinePServer {
             nodes,
             next_node: ROOT + 1,
-            fids: HashMap::new(),
+            fids: BTreeMap::new(),
             fsyncs: 0,
             requests: 0,
         }

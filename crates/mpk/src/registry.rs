@@ -1,7 +1,7 @@
 //! Protection-domain registry: keys for named domains, with optional key
 //! virtualisation when domains outnumber hardware keys.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
@@ -105,7 +105,7 @@ impl fmt::Display for MpkViolation {
 pub struct KeyRegistry {
     virtualize: bool,
     domains: Vec<String>,
-    by_name: HashMap<String, DomainId>,
+    by_name: BTreeMap<String, DomainId>,
     /// domain index → physical key currently backing it (None = evicted).
     mapping: Vec<Option<ProtKey>>,
     /// physical key → domain index currently using it.
@@ -129,7 +129,7 @@ impl KeyRegistry {
         KeyRegistry {
             virtualize,
             domains: Vec::new(),
-            by_name: HashMap::new(),
+            by_name: BTreeMap::new(),
             mapping: Vec::new(),
             key_owner: [None; HW_KEYS as usize],
             next_victim: 0,

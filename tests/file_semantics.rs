@@ -4,7 +4,7 @@
 //! operation sequences — including interleaved component reboots, which
 //! must not perturb the semantics.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use proptest::prelude::*;
 
@@ -82,8 +82,8 @@ fn file_op() -> impl Strategy<Value = FileOp> {
 /// The trivial reference: files are byte vectors, fds carry offsets.
 #[derive(Debug, Default)]
 struct RefModel {
-    files: HashMap<String, Vec<u8>>,
-    fds: HashMap<u64, (String, u64, bool)>, // path, offset, append
+    files: BTreeMap<String, Vec<u8>>,
+    fds: BTreeMap<u64, (String, u64, bool)>, // path, offset, append
 }
 
 impl RefModel {
