@@ -78,7 +78,7 @@ const SECTIONS: [Section; 9] = [
     },
     Section {
         key: "fleet",
-        desc: "Table V at cluster scale: routing policies over rolling rejuvenation, N = 1/4/16",
+        desc: "Table V at cluster scale: routing policies over rolling rejuvenation, N = 16/64/256",
         render: render_fleet,
     },
     Section {
@@ -170,8 +170,16 @@ fn render_all(selected: &[&Section], quick: bool, sequential: bool) -> Vec<Strin
 
 /// Runs the selected sections both sequentially and in parallel, checks
 /// the outputs are byte-identical, and writes per-experiment wall-clock
-/// timings to `path`. Returns false (after an error message) on mismatch.
+/// timings — plus the fleet drive-engine comparison — to `path`. Returns
+/// false (after an error message) on mismatch.
 fn write_bench_json(path: &str, selected: &[&Section], quick: bool) -> bool {
+    // Warm-up at quick scale: touches every section's code paths so the
+    // first timed pass doesn't pay cold-start costs (page faults, lazy
+    // allocator arenas) that the second pass then doesn't — the timings
+    // below should compare scheduling, not cache temperature.
+    for s in selected {
+        let _ = (s.render)(true);
+    }
     let timed = |sequential: bool| -> (Vec<String>, Vec<f64>, f64) {
         let t0 = Instant::now();
         let each: Vec<(String, f64)> = if sequential {
@@ -204,11 +212,14 @@ fn write_bench_json(path: &str, selected: &[&Section], quick: bool) -> bool {
         }
     }
 
+    let engine = fleet_engine_block(quick);
+
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"quick\": {quick},");
     let _ = writeln!(json, "  \"host_cores\": {},", worker_count(usize::MAX));
     let _ = writeln!(json, "  \"outputs_identical\": {identical},");
+    let _ = writeln!(json, "{engine}");
     let _ = writeln!(json, "  \"sequential_total_ms\": {seq_total:.1},");
     let _ = writeln!(json, "  \"parallel_total_ms\": {par_total:.1},");
     let _ = writeln!(
@@ -245,6 +256,77 @@ fn write_bench_json(path: &str, selected: &[&Section], quick: bool) -> bool {
 
 fn heading(out: &mut String, title: &str) {
     let _ = writeln!(out, "\n=== {title} ===");
+}
+
+/// Times the fleet drive engines for BENCH.json and returns the
+/// `"fleet_engine"` JSON fragment (no trailing newline).
+///
+/// Two measurements:
+///
+/// * **probe** — one identical plan-free load driven by the event-heap
+///   engine and by the retired tick-polling reference, at N = 16 with a
+///   large client population. The tick loop re-scans every client per
+///   dispatch (cost ∝ clients × requests); the heap engine pays O(log
+///   clients) per event, which is the asymptotic gap this records. The
+///   two reports must agree — byte-identity is checked right here.
+/// * **sweep_heap_ms** — wall-clock of the full five-configuration fleet
+///   sweep (heap engine) per fleet size, the `repro fleet` workload
+///   itself.
+fn fleet_engine_block(quick: bool) -> String {
+    let (clients, rpc) = if quick { (8_192, 1) } else { (65_536, 1) };
+    let time_engine = |tick: bool| {
+        let t = Instant::now();
+        let out = fleet::run_engine(tick, 16, clients, rpc);
+        (t.elapsed().as_secs_f64() * 1e3, out)
+    };
+    let (heap_ms, heap_out) = time_engine(false);
+    let (tick_ms, tick_out) = time_engine(true);
+    let identical = heap_out == tick_out;
+    if !identical {
+        eprintln!("engine probe mismatch: heap {heap_out:?} vs tick {tick_out:?}");
+    }
+
+    let (sizes, cpi, sweep_rpc): (&[usize], usize, usize) = if quick {
+        (&[4, 16], 2, 200)
+    } else {
+        (&[16, 64, 256], 4, 1024)
+    };
+    let sweeps: Vec<(usize, f64)> = sizes
+        .iter()
+        .map(|&n| {
+            let t = Instant::now();
+            let _ = fleet::run_sized(&[n], cpi, sweep_rpc);
+            (n, t.elapsed().as_secs_f64() * 1e3)
+        })
+        .collect();
+
+    let mut json = String::new();
+    let _ = writeln!(json, "  \"fleet_engine\": {{");
+    let _ = writeln!(
+        json,
+        "    \"probe\": {{\"instances\": 16, \"clients\": {clients}, \
+         \"requests_per_client\": {rpc}, \"tick_ms\": {tick_ms:.1}, \
+         \"heap_ms\": {heap_ms:.1}, \"heap_speedup\": {:.2}, \
+         \"outputs_identical\": {identical}}},",
+        if heap_ms > 0.0 {
+            tick_ms / heap_ms
+        } else {
+            1.0
+        }
+    );
+    let _ = writeln!(
+        json,
+        "    \"sweep\": {{\"clients_per_instance\": {cpi}, \
+         \"requests_per_client\": {sweep_rpc}, \"configs\": 5}},"
+    );
+    let _ = writeln!(json, "    \"sweep_heap_ms\": {{");
+    for (i, (n, ms)) in sweeps.iter().enumerate() {
+        let comma = if i + 1 < sweeps.len() { "," } else { "" };
+        let _ = writeln!(json, "      \"n{n}\": {ms:.1}{comma}");
+    }
+    let _ = writeln!(json, "    }}");
+    let _ = write!(json, "  }},");
+    json
 }
 
 /// Runs the canonical instrumented scenario and writes the requested
@@ -518,16 +600,24 @@ fn render_table5(quick: bool) -> String {
 }
 
 fn render_fleet(quick: bool) -> String {
-    let clients_per_instance = if quick { 2 } else { 4 };
+    // Full scale: 4 clients/instance × 1024 requests each is 1 048 576
+    // virtual requests per configuration at N = 256; the rolling plan
+    // compresses into a fixed virtual span (spacing ∝ 1/N), which is the
+    // regime the event-heap engine exists for.
+    let (sizes, cpi, rpc): (&[usize], usize, usize) = if quick {
+        (&[4, 16], 2, 200)
+    } else {
+        (&[16, 64, 256], 4, 1024)
+    };
     let mut out = String::new();
     heading(
         &mut out,
         &format!(
-            "Fleet — Table V at cluster scale ({clients_per_instance} clients/instance, \
-             rolling rejuvenation every 60ms)"
+            "Fleet — Table V at cluster scale ({cpi} clients/instance x {rpc} requests, \
+             rolling plan in a fixed virtual span)"
         ),
     );
-    let result = fleet::run(clients_per_instance);
+    let result = fleet::run_sized(sizes, cpi, rpc);
     let rows: Vec<Vec<String>> = result
         .rows
         .iter()
@@ -535,6 +625,7 @@ fn render_fleet(quick: bool) -> String {
             vec![
                 r.instances.to_string(),
                 r.config.to_owned(),
+                r.issued.to_string(),
                 r.successes.to_string(),
                 r.failures.to_string(),
                 format!("{:.1}%", r.success_pct),
@@ -549,8 +640,41 @@ fn render_fleet(quick: bool) -> String {
         out,
         "{}",
         render_table(
-            &["N", "config", "success", "fails", "ratio", "p50", "p99", "retried", "reboots"],
+            &[
+                "N", "config", "requests", "success", "fails", "ratio", "p50", "p99", "retried",
+                "reboots"
+            ],
             &rows
+        )
+    );
+
+    // Arrival shapes: the same recovery-aware + rolling fleet under
+    // closed-loop clients and the diurnal/bursty drifts.
+    let (shape_n, shape_rpc) = if quick { (4, 120) } else { (16, 1024) };
+    heading(
+        &mut out,
+        &format!("Fleet — arrival shapes (aware+rolling, N = {shape_n}, {cpi} clients/instance)"),
+    );
+    let shape_rows: Vec<Vec<String>> = fleet::run_shapes(shape_n, cpi, shape_rpc)
+        .iter()
+        .map(|r| {
+            vec![
+                r.shape.to_owned(),
+                r.issued.to_string(),
+                r.successes.to_string(),
+                r.failures.to_string(),
+                format!("{:.1}%", r.success_pct),
+                us(r.p50_us),
+                us(r.p99_us),
+            ]
+        })
+        .collect();
+    let _ = write!(
+        out,
+        "{}",
+        render_table(
+            &["shape", "requests", "success", "fails", "ratio", "p50", "p99"],
+            &shape_rows
         )
     );
     out

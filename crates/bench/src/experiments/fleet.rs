@@ -5,7 +5,8 @@
 //! recovery-awareness pays: a balancer that treats "component mid-reboot"
 //! as *drained* rather than *down* can roll rejuvenation across the fleet
 //! without losing a request. This experiment sweeps fleet sizes
-//! N ∈ {1, 4, 16} over five configurations:
+//! N ∈ {16, 64, 256} — over a million virtual requests per configuration
+//! at N = 256 — over five configurations:
 //!
 //! * recovery-aware routing + rolling component rejuvenation (the system),
 //! * least-outstanding and round-robin routing over the same rolling plan
@@ -13,11 +14,19 @@
 //! * rolling full-reboot failover (the Unikraft-style baseline), and
 //! * undrained simultaneous rejuvenation (the naive cron-job baseline).
 //!
+//! The maintenance plan rolls across the fleet inside a *fixed* virtual
+//! span regardless of N (spacing ∝ 1/N), so the sweep isolates what the
+//! event-heap engine buys: simulation cost scales with requests dispatched,
+//! not with elapsed virtual time × N. At N = 256 the ~48 ms rejuvenation
+//! windows overlap a few instances deep — exactly the regime where
+//! recovery-aware routing has to work, and the tick-polling loop this
+//! engine replaced became unusable.
+//!
 //! Every (size, configuration) pair is an independent deterministic fleet
 //! seeded from [`super::EXP_SEED`], so the sweep fans out over workers and
 //! stays byte-identical to a sequential run.
 
-use vampos_cluster::{Fleet, FleetConfig, FleetLoad, FleetPlan, Policy};
+use vampos_cluster::{ArrivalShape, Fleet, FleetConfig, FleetLoad, FleetPlan, Policy};
 use vampos_sim::Nanos;
 
 use super::EXP_SEED;
@@ -30,6 +39,8 @@ pub struct FleetRow {
     pub instances: usize,
     /// Configuration label.
     pub config: &'static str,
+    /// Arrival events the engine dispatched.
+    pub issued: u64,
     /// Successful requests.
     pub successes: usize,
     /// Failed requests (timeouts and dead connections).
@@ -53,20 +64,58 @@ pub struct FleetRow {
 pub struct FleetResult {
     /// Fleet sizes swept.
     pub sizes: Vec<usize>,
-    /// Open-loop clients per instance.
+    /// Clients per instance.
     pub clients_per_instance: usize,
+    /// Requests each client issues.
+    pub requests_per_client: usize,
     /// Rows grouped by size, configurations in a fixed order.
     pub rows: Vec<FleetRow>,
 }
 
-/// Rolling schedule: one instance at a time, spaced wider than the ~48 ms
-/// component-rejuvenation window so reboot windows never overlap.
+/// One arrival-shape outcome (recovery-aware routing + rolling plan).
+#[derive(Debug, Clone)]
+pub struct ShapeRow {
+    /// Arrival-shape name ([`ArrivalShape::name`]).
+    pub shape: &'static str,
+    /// Arrival events the engine dispatched.
+    pub issued: u64,
+    /// Successful requests.
+    pub successes: usize,
+    /// Failed requests.
+    pub failures: usize,
+    /// Success ratio in percent.
+    pub success_pct: f64,
+    /// Median latency over successful requests, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile latency over successful requests, microseconds.
+    pub p99_us: f64,
+}
+
+/// First plan operation; gives the load a ramp before maintenance starts.
 const START: Nanos = Nanos::from_millis(20);
-const SPACING: Nanos = Nanos::from_millis(60);
+/// Drain lead ahead of each rolling rejuvenation.
 const DRAIN_LEAD: Nanos = Nanos::from_millis(8);
+/// Open-loop think time: each client offers one request every 4 ms.
+const THINK: Nanos = Nanos::from_millis(4);
+/// Load left after the last plan op so every reboot window sees traffic.
+const SLACK: Nanos = Nanos::from_millis(200);
+
+/// Rolling spacing for a fixed-span schedule: the whole plan (plus
+/// [`START`] and [`SLACK`]) fits inside the client span `rpc × THINK`
+/// regardless of N, so spacing shrinks ∝ 1/N and large fleets overlap
+/// their reboot windows instead of stretching virtual time.
+fn spacing(instances: usize, requests_per_client: usize) -> Nanos {
+    let span = THINK * requests_per_client as u64;
+    let spacing = span.saturating_sub(START + SLACK) / instances.max(1) as u64;
+    debug_assert!(
+        spacing > DRAIN_LEAD,
+        "load too short for a rolling plan over {instances} instances"
+    );
+    spacing
+}
 
 /// One configuration: label, routing policy, maintenance-plan constructor.
-type Config = (&'static str, Policy, fn(usize) -> FleetPlan);
+type Config = (&'static str, Policy, fn(usize, Nanos) -> FleetPlan);
 
 /// The five configurations, in render order.
 const CONFIGS: [Config; 5] = [
@@ -77,49 +126,50 @@ const CONFIGS: [Config; 5] = [
     ("simultaneous rejuv", Policy::RoundRobin, simultaneous),
 ];
 
-fn rolling(n: usize) -> FleetPlan {
-    FleetPlan::rolling_rejuvenation(n, START, SPACING, DRAIN_LEAD)
+fn rolling(n: usize, spacing: Nanos) -> FleetPlan {
+    FleetPlan::rolling_rejuvenation(n, START, spacing, DRAIN_LEAD)
 }
 
-fn rolling_full(n: usize) -> FleetPlan {
-    FleetPlan::rolling_full_reboot(n, START, SPACING)
+fn rolling_full(n: usize, spacing: Nanos) -> FleetPlan {
+    FleetPlan::rolling_full_reboot(n, START, spacing)
 }
 
-fn simultaneous(n: usize) -> FleetPlan {
-    FleetPlan::simultaneous_rejuvenation(n, START + SPACING)
+fn simultaneous(n: usize, spacing: Nanos) -> FleetPlan {
+    FleetPlan::simultaneous_rejuvenation(n, START + spacing)
 }
 
-fn load(instances: usize, clients_per_instance: usize) -> FleetLoad {
-    let think = Nanos::from_millis(4);
-    // Enough requests per client to span the whole rolling schedule plus
-    // slack, so every reboot window sees traffic.
-    let span = START + SPACING * instances as u64 + Nanos::from_millis(110);
+fn load(instances: usize, clients_per_instance: usize, requests_per_client: usize) -> FleetLoad {
     FleetLoad {
         clients: clients_per_instance * instances,
-        requests_per_client: (span.as_nanos() / think.as_nanos()) as usize,
-        think_time: think,
+        requests_per_client,
+        think_time: THINK,
         ..FleetLoad::default()
     }
 }
 
-fn run_one(instances: usize, config: usize, clients_per_instance: usize) -> FleetRow {
-    let (label, policy, plan) = CONFIGS[config];
-    let mut fleet = Fleet::new(FleetConfig {
+fn boot(instances: usize) -> Fleet {
+    Fleet::new(FleetConfig {
         instances,
         seed: EXP_SEED,
         ..FleetConfig::default()
     })
-    .expect("fleet boot");
+    .expect("fleet boot")
+}
+
+fn run_one(instances: usize, config: usize, cpi: usize, rpc: usize) -> FleetRow {
+    let (label, policy, plan) = CONFIGS[config];
+    let mut fleet = boot(instances);
     let report = fleet
         .run(
-            &load(instances, clients_per_instance),
+            &load(instances, cpi, rpc),
             policy,
-            plan(instances),
+            plan(instances, spacing(instances, rpc)),
         )
         .expect("fleet run");
     FleetRow {
         instances,
         config: label,
+        issued: report.issued,
         successes: report.successes(),
         failures: report.failures(),
         success_pct: report.success_pct(),
@@ -134,22 +184,91 @@ fn run_one(instances: usize, config: usize, clients_per_instance: usize) -> Flee
 /// Sweeps the given fleet sizes over all five configurations; every
 /// (size, configuration) pair is an independent fleet and runs on its own
 /// worker.
-pub fn run_sized(sizes: &[usize], clients_per_instance: usize) -> FleetResult {
+pub fn run_sized(
+    sizes: &[usize],
+    clients_per_instance: usize,
+    requests_per_client: usize,
+) -> FleetResult {
     let units: Vec<(usize, usize)> = sizes
         .iter()
         .flat_map(|&n| (0..CONFIGS.len()).map(move |c| (n, c)))
         .collect();
-    let rows = parallel_map(units, |(n, c)| run_one(n, c, clients_per_instance));
+    let rows = parallel_map(units, |(n, c)| {
+        run_one(n, c, clients_per_instance, requests_per_client)
+    });
     FleetResult {
         sizes: sizes.to_vec(),
         clients_per_instance,
+        requests_per_client,
         rows,
     }
 }
 
-/// Runs the standard sweep: N ∈ {1, 4, 16}.
+/// Runs the standard sweep: N ∈ {16, 64, 256} with 4 clients per instance
+/// and 1024 requests per client — 1 048 576 virtual requests per
+/// configuration at N = 256.
 pub fn run(clients_per_instance: usize) -> FleetResult {
-    run_sized(&[1, 4, 16], clients_per_instance)
+    run_sized(&[16, 64, 256], clients_per_instance, 1024)
+}
+
+/// Runs the recovery-aware + rolling configuration under each arrival
+/// shape at one fleet size: the open-loop reference grid, closed-loop
+/// clients (offered load reacts to service), and the diurnal/bursty
+/// drifts. One independent fleet per shape, fanned out over workers.
+pub fn run_shapes(instances: usize, cpi: usize, rpc: usize) -> Vec<ShapeRow> {
+    let shapes = [
+        ArrivalShape::OpenLoop,
+        ArrivalShape::ClosedLoop,
+        ArrivalShape::Diurnal { period: THINK * 64 },
+        ArrivalShape::Bursty { burst: 8 },
+    ];
+    parallel_map(shapes.to_vec(), move |shape| {
+        let mut fleet = boot(instances);
+        let fleet_load = FleetLoad {
+            shape,
+            ..load(instances, cpi, rpc)
+        };
+        let plan = rolling(instances, spacing(instances, rpc));
+        let report = fleet
+            .run(&fleet_load, Policy::RecoveryAware, plan)
+            .expect("fleet run");
+        ShapeRow {
+            shape: shape.name(),
+            issued: report.issued,
+            successes: report.successes(),
+            failures: report.failures(),
+            success_pct: report.success_pct(),
+            p50_us: report.p50_us(),
+            p99_us: report.p99_us(),
+        }
+    })
+}
+
+/// Drives one plan-free load through the heap engine or the retired
+/// tick-polling reference and returns `(successes, requests)`. The caller
+/// times the call: with a large client population the tick loop's
+/// every-iteration scan dominates (cost ∝ clients × requests) while the
+/// heap engine stays O(log clients) per event — this is the BENCH.json
+/// engine comparison.
+pub fn run_engine(tick: bool, instances: usize, clients: usize, rpc: usize) -> (usize, usize) {
+    let mut fleet = boot(instances);
+    let fleet_load = FleetLoad {
+        clients,
+        requests_per_client: rpc,
+        think_time: THINK,
+        // Non-keepalive (siege's default): connection tables stay bounded
+        // by in-flight requests, so per-request dispatch cost is flat and
+        // the comparison isolates the drive loops themselves.
+        keepalive: false,
+        ..FleetLoad::default()
+    };
+    let report = if tick {
+        fleet.run_tick_reference(&fleet_load, Policy::RoundRobin, FleetPlan::none())
+    } else {
+        fleet.run(&fleet_load, Policy::RoundRobin, FleetPlan::none())
+    }
+    .expect("fleet run");
+    (report.successes(), report.requests())
 }
 
 #[cfg(test)]
@@ -158,7 +277,7 @@ mod tests {
 
     #[test]
     fn recovery_aware_rolling_beats_both_baselines_at_n4() {
-        let result = run_sized(&[4], 4);
+        let result = run_sized(&[4], 4, 200);
         let row = |label: &str| {
             result
                 .rows
@@ -186,5 +305,29 @@ mod tests {
         assert!(simultaneous.failures > 0);
         assert_eq!(aware.reboots, 8 * 4);
         assert_eq!(full.reboots, 4);
+    }
+
+    #[test]
+    fn every_shape_finishes_its_offered_load() {
+        for row in run_shapes(4, 2, 120) {
+            assert_eq!(
+                row.issued,
+                8 * 120,
+                "shape {} issued {}",
+                row.shape,
+                row.issued
+            );
+            assert!(
+                row.success_pct > 95.0,
+                "shape {}: {}%",
+                row.shape,
+                row.success_pct
+            );
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_the_probe_load() {
+        assert_eq!(run_engine(false, 2, 32, 8), run_engine(true, 2, 32, 8));
     }
 }

@@ -90,6 +90,39 @@ impl Balancer {
         }
     }
 
+    /// Whether a displaced client should move back to its sticky `home`
+    /// before issuing a request at `at`. Only recovery-aware re-homes:
+    /// without it, every rolling pass permanently shifts the drained
+    /// instances' clients onto whichever instances were eligible at the
+    /// time, and at large N the accumulated clump overloads its hosts
+    /// (queueing past the client timeout) long after the windows closed.
+    pub fn should_return_home(
+        &self,
+        instances: &[Instance],
+        current: usize,
+        home: Option<usize>,
+        at: Nanos,
+    ) -> bool {
+        let Some(home) = home else { return false };
+        self.policy == Policy::RecoveryAware
+            && home != current
+            && Self::eligible(&instances[home], at)
+    }
+
+    /// The instance an unconnected client should reconnect to: its sticky
+    /// home while eligible (recovery-aware), otherwise whatever
+    /// [`Balancer::route`] picks.
+    pub fn home_target(
+        &self,
+        instances: &[Instance],
+        home: Option<usize>,
+        at: Nanos,
+    ) -> Option<usize> {
+        let home = home?;
+        (self.policy == Policy::RecoveryAware && Self::eligible(&instances[home], at))
+            .then_some(home)
+    }
+
     /// Whether a client currently connected to `current` should move
     /// before issuing a request at `at`.
     pub fn should_migrate(&self, instances: &mut [Instance], current: usize, at: Nanos) -> bool {

@@ -1,16 +1,26 @@
-//! The fleet itself: N instances on one shared clock, an open-loop client
-//! population, and the run loop that interleaves requests with the
+//! The fleet itself: N instances on one shared clock, a client population,
+//! and the event-heap run loop that interleaves requests with the
 //! maintenance plan.
+//!
+//! [`Fleet::run`] drives everything off one [`crate::engine::EventHeap`]:
+//! plan operations, client arrivals, request completions, and
+//! recovery-window closes are heap events popped in the deterministic
+//! `(time, class, actor, sequence)` order. The retired tick-polling loop
+//! survives as [`Fleet::run_tick_reference`], an executable specification
+//! the byte-identity tests (and the BENCH engine comparison) run the heap
+//! engine against.
 
 use vampos_apps::App;
 use vampos_core::{ComponentSet, Mode};
 use vampos_host::ClientConnId;
 use vampos_sim::{Nanos, SimClock};
 use vampos_telemetry::perfetto::{chrome_trace_processes, TraceProcess};
+use vampos_telemetry::{Collector, TelemetrySink};
 use vampos_ukernel::OsError;
 use vampos_workloads::{LoadReport, RequestRecord};
 
 use crate::balancer::{Balancer, Policy};
+use crate::engine::{ArrivalShape, EventClass, EventHeap};
 use crate::instance::Instance;
 use crate::plan::{FleetOp, FleetOpKind, FleetPlan};
 use crate::report::FleetRunReport;
@@ -27,7 +37,8 @@ pub struct FleetConfig {
     pub mode: Mode,
     /// Component set every instance runs.
     pub set: ComponentSet,
-    /// Attach a telemetry sink to every instance (fleet traces).
+    /// Attach a telemetry sink to every instance (fleet traces), plus a
+    /// fleet-level sink recording plan operations and recovery windows.
     pub telemetry: bool,
     /// Files staged into every instance's host 9P server.
     pub files: Vec<(String, Vec<u8>)>,
@@ -46,18 +57,21 @@ impl Default for FleetConfig {
     }
 }
 
-/// An open-loop HTTP load: every client issues `requests_per_client` GETs
-/// on a fixed arrival grid (one request every `think_time`, clients
-/// staggered across one think interval), so every policy and plan faces
-/// the *identical* request stream — the property the policy comparison
-/// and the determinism checks rest on.
+/// An HTTP load: every client issues `requests_per_client` GETs, timed by
+/// [`ArrivalShape`]. The default open-loop grid (one request every
+/// `think_time`, clients staggered across one think interval) offers every
+/// policy and plan the *identical* request stream — the property the
+/// policy comparison and the determinism checks rest on. Closed-loop and
+/// the drifting shapes trade that invariance for realism: their arrivals
+/// react to (or clump around) what the fleet actually does.
 #[derive(Debug, Clone)]
 pub struct FleetLoad {
     /// Concurrent keep-alive clients.
     pub clients: usize,
     /// Requests each client issues.
     pub requests_per_client: usize,
-    /// Per-client pause between request due times.
+    /// Per-client pause between request due times (open loop) or after
+    /// each response (closed loop).
     pub think_time: Nanos,
     /// Client-side deadline: a response slower than this counts as a
     /// failed transaction even though the server eventually served it.
@@ -66,6 +80,13 @@ pub struct FleetLoad {
     pub path: String,
     /// Clients on a separate machine (higher network RTT).
     pub remote: bool,
+    /// How clients time their requests.
+    pub shape: ArrivalShape,
+    /// Keep connections open between a client's requests (the default).
+    /// `false` is siege's non-keepalive mode: every transaction closes its
+    /// connection, so each server's connection table stays bounded by
+    /// in-flight requests instead of the whole client population.
+    pub keepalive: bool,
 }
 
 impl Default for FleetLoad {
@@ -77,26 +98,38 @@ impl Default for FleetLoad {
             timeout: Nanos::from_millis(2),
             path: "/index.html".to_owned(),
             remote: false,
+            shape: ArrivalShape::OpenLoop,
+            keepalive: true,
         }
     }
 }
 
 struct FleetClient {
     conn: Option<(usize, ClientConnId)>,
+    /// Sticky home: the instance the first route assigned. Recovery-aware
+    /// clients displaced by a maintenance window return here the moment
+    /// the window closes (see [`Balancer::should_return_home`]).
+    home: Option<usize>,
+    /// Next due time; only the tick reference reads this (the heap engine
+    /// keeps due times inside its events).
     next_send: Nanos,
     sent: usize,
     ever_connected: bool,
 }
 
+#[derive(Default)]
 struct Counters {
     retried: u64,
     redirects: u64,
+    issued: u64,
+    completed: u64,
 }
 
 /// A deterministic fleet of unikernel instances sharing one virtual clock.
 pub struct Fleet {
     clock: SimClock,
     instances: Vec<Instance>,
+    fleet_sink: Option<TelemetrySink>,
 }
 
 impl Fleet {
@@ -113,7 +146,12 @@ impl Fleet {
         for id in 0..cfg.instances.max(1) {
             instances.push(Instance::boot(id, &cfg, clock.clone())?);
         }
-        Ok(Fleet { clock, instances })
+        let fleet_sink = cfg.telemetry.then(TelemetrySink::new);
+        Ok(Fleet {
+            clock,
+            instances,
+            fleet_sink,
+        })
     }
 
     /// The shared virtual clock.
@@ -131,13 +169,78 @@ impl Fleet {
         &mut self.instances
     }
 
-    /// Runs `load` under `policy` while firing `plan`.
+    /// The fleet-level telemetry sink (plan operations and recovery
+    /// windows), when the fleet was built with [`FleetConfig::telemetry`].
+    pub fn fleet_telemetry(&self) -> Option<&TelemetrySink> {
+        self.fleet_sink.as_ref()
+    }
+
+    fn start_run(&mut self, load: &FleetLoad) -> (Nanos, Nanos, Vec<(u64, u64)>, Vec<FleetClient>) {
+        let started = self.clock.now();
+        let one_way = self.instances[0].sys.costs().net_rtt(0, load.remote) / 2;
+        let baseline: Vec<(u64, u64)> = self
+            .instances
+            .iter()
+            .map(|i| (i.sys.stats().component_reboots, i.sys.stats().full_reboots))
+            .collect();
+        let per_instance_cap =
+            load.clients.max(1) * load.requests_per_client / self.instances.len() + 16;
+        for inst in &mut self.instances {
+            inst.report = LoadReport::with_capacity(per_instance_cap);
+            // Downtime from boot or a previous run is history, not a
+            // reason to drain now.
+            inst.ack_downtime();
+        }
+        let n_clients = load.clients.max(1);
+        let clients = (0..n_clients)
+            .map(|i| FleetClient {
+                conn: None,
+                home: None,
+                next_send: started
+                    + Nanos::from_nanos(load.think_time.as_nanos() * i as u64 / n_clients as u64),
+                sent: 0,
+                ever_connected: false,
+            })
+            .collect();
+        (started, one_way, baseline, clients)
+    }
+
+    fn finish_run(
+        &mut self,
+        started: Nanos,
+        baseline: &[(u64, u64)],
+        counters: Counters,
+    ) -> FleetRunReport {
+        let duration = self.clock.now().saturating_sub(started);
+        let mut per_instance = Vec::with_capacity(self.instances.len());
+        let mut component_reboots = 0;
+        let mut full_reboots = 0;
+        for (inst, (comp0, full0)) in self.instances.iter_mut().zip(baseline) {
+            inst.report.duration = duration;
+            per_instance.push(std::mem::take(&mut inst.report));
+            component_reboots += inst.sys.stats().component_reboots - comp0;
+            full_reboots += inst.sys.stats().full_reboots - full0;
+        }
+        FleetRunReport {
+            per_instance,
+            retried: counters.retried,
+            redirects: counters.redirects,
+            issued: counters.issued,
+            completed: counters.completed,
+            component_reboots,
+            full_reboots,
+            duration,
+        }
+    }
+
+    /// Runs `load` under `policy` while firing `plan` on the event heap.
     ///
     /// Requests and maintenance operations interleave on the shared clock
-    /// in `(time, schedule-order)` order; a request finding its connection
-    /// reset records the failed transaction and is re-issued once through
-    /// the balancer (`retried`). Remaining plan operations fire after the
-    /// last request, so a plan never outlives its run.
+    /// in the heap's `(time, class, actor, sequence)` order; a request
+    /// finding its connection reset records the failed transaction and is
+    /// re-issued once through the balancer (`retried`). The heap drains
+    /// completely before the run returns, so a plan never outlives its run
+    /// and closed-loop clients always observe their last response.
     ///
     /// # Errors
     ///
@@ -148,34 +251,109 @@ impl Fleet {
         policy: Policy,
         plan: FleetPlan,
     ) -> Result<FleetRunReport, OsError> {
-        let started = self.clock.now();
-        let one_way = self.instances[0].sys.costs().net_rtt(0, load.remote) / 2;
-        let baseline: Vec<(u64, u64)> = self
-            .instances
-            .iter()
-            .map(|i| (i.sys.stats().component_reboots, i.sys.stats().full_reboots))
-            .collect();
-        for inst in &mut self.instances {
-            inst.report = LoadReport::default();
+        let (started, one_way, baseline, mut clients) = self.start_run(load);
+        let mut balancer = Balancer::new(policy);
+        let ops = plan.into_firing_order();
+        let mut counters = Counters::default();
+        let request = format!("GET {} HTTP/1.1\r\nHost: vampos\r\n\r\n", load.path);
+
+        let mut heap = EventHeap::default();
+        // Plan events are pushed in firing order, so among themselves they
+        // pop in exactly `ops` order and a plain cursor recovers the op.
+        for op in &ops {
+            heap.push(started + op.at, EventClass::Plan, op.instance as u64);
+        }
+        if load.requests_per_client > 0 {
+            for (i, c) in clients.iter().enumerate() {
+                heap.push(c.next_send, EventClass::Arrival, i as u64);
+            }
         }
 
-        let n_clients = load.clients.max(1);
-        let mut clients: Vec<FleetClient> = (0..n_clients)
-            .map(|i| FleetClient {
-                conn: None,
-                next_send: started
-                    + Nanos::from_nanos(load.think_time.as_nanos() * i as u64 / n_clients as u64),
-                sent: 0,
-                ever_connected: false,
-            })
-            .collect();
+        let mut op_idx = 0;
+        while let Some(ev) = heap.pop() {
+            match ev.class {
+                EventClass::Plan => {
+                    let op = &ops[op_idx];
+                    op_idx += 1;
+                    self.fire_op(op, started)?;
+                    self.note_op_fired(op, started, &mut heap);
+                }
+                EventClass::Arrival => {
+                    let idx = ev.actor as usize;
+                    self.clock.advance_to(ev.at);
+                    counters.issued += 1;
+                    let end = self.dispatch(
+                        &mut clients[idx],
+                        ev.at,
+                        load,
+                        &mut balancer,
+                        one_way,
+                        &mut counters,
+                        &request,
+                    )?;
+                    clients[idx].sent += 1;
+                    if load.shape == ArrivalShape::ClosedLoop {
+                        heap.push(end.max(ev.at), EventClass::Completion, ev.actor);
+                    } else {
+                        counters.completed += 1;
+                        if clients[idx].sent < load.requests_per_client {
+                            let next = load.shape.next_due(
+                                ev.at,
+                                started,
+                                clients[idx].sent,
+                                load.think_time,
+                            );
+                            heap.push(next, EventClass::Arrival, ev.actor);
+                        }
+                    }
+                }
+                EventClass::Completion => {
+                    counters.completed += 1;
+                    debug_assert!(counters.completed <= counters.issued);
+                    let idx = ev.actor as usize;
+                    if clients[idx].sent < load.requests_per_client {
+                        heap.push(ev.at + load.think_time, EventClass::Arrival, ev.actor);
+                    }
+                }
+                EventClass::Window => {
+                    if let Some(sink) = &self.fleet_sink {
+                        let label = self.instances[ev.actor as usize].label().to_owned();
+                        sink.with(|hub| {
+                            Collector::instant(hub, "fleet", "window_close", &label, ev.at);
+                        });
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(counters.issued, counters.completed);
+
+        Ok(self.finish_run(started, &baseline, counters))
+    }
+
+    /// The retired tick-polling drive loop, kept as an executable
+    /// reference model for [`Fleet::run`]: it scans the whole client
+    /// population for the earliest due request every iteration, so its
+    /// cost grows with clients × requests. It implements the open-loop
+    /// grid only (`load.shape` is ignored) and carries no fleet-level
+    /// telemetry; within that envelope its reports, records, and
+    /// per-instance traces are byte-identical to the heap engine's — the
+    /// `heap_vs_tick` proptest holds the two to that.
+    ///
+    /// # Errors
+    ///
+    /// Propagates unrecovered system failures (fail-stop).
+    pub fn run_tick_reference(
+        &mut self,
+        load: &FleetLoad,
+        policy: Policy,
+        plan: FleetPlan,
+    ) -> Result<FleetRunReport, OsError> {
+        let (started, one_way, baseline, mut clients) = self.start_run(load);
         let mut balancer = Balancer::new(policy);
         let ops = plan.into_firing_order();
         let mut op_idx = 0;
-        let mut counters = Counters {
-            retried: 0,
-            redirects: 0,
-        };
+        let mut counters = Counters::default();
+        let request = format!("GET {} HTTP/1.1\r\nHost: vampos\r\n\r\n", load.path);
 
         loop {
             let next = clients
@@ -190,6 +368,7 @@ impl Fleet {
                 op_idx += 1;
             }
             self.clock.advance_to(due);
+            counters.issued += 1;
             self.dispatch(
                 &mut clients[idx],
                 due,
@@ -197,7 +376,9 @@ impl Fleet {
                 &mut balancer,
                 one_way,
                 &mut counters,
+                &request,
             )?;
+            counters.completed += 1;
             clients[idx].sent += 1;
             clients[idx].next_send = due + load.think_time;
         }
@@ -207,24 +388,7 @@ impl Fleet {
             op_idx += 1;
         }
 
-        let duration = self.clock.now().saturating_sub(started);
-        let mut per_instance = Vec::with_capacity(self.instances.len());
-        let mut component_reboots = 0;
-        let mut full_reboots = 0;
-        for (inst, (comp0, full0)) in self.instances.iter_mut().zip(&baseline) {
-            inst.report.duration = duration;
-            per_instance.push(std::mem::take(&mut inst.report));
-            component_reboots += inst.sys.stats().component_reboots - comp0;
-            full_reboots += inst.sys.stats().full_reboots - full0;
-        }
-        Ok(FleetRunReport {
-            per_instance,
-            retried: counters.retried,
-            redirects: counters.redirects,
-            component_reboots,
-            full_reboots,
-            duration,
-        })
+        Ok(self.finish_run(started, &baseline, counters))
     }
 
     fn fire_op(&mut self, op: &FleetOp, started: Nanos) -> Result<(), OsError> {
@@ -239,6 +403,7 @@ impl Fleet {
                 inst.sys.rejuvenate_all()?;
                 let dur = inst.sys.clock().now().saturating_sub(t0);
                 inst.note_maintenance(at, dur);
+                inst.ack_downtime();
             }
             FleetOpKind::FullReboot => {
                 let t0 = inst.sys.clock().now();
@@ -247,14 +412,52 @@ impl Fleet {
                 inst.app.boot(&mut inst.sys)?;
                 let dur = inst.sys.clock().now().saturating_sub(t0);
                 inst.note_maintenance(at, dur);
+                inst.ack_downtime();
             }
             FleetOpKind::Inject(fault) => inst.sys.inject_fault(fault.clone()),
         }
         Ok(())
     }
 
+    /// Fleet-level telemetry for a fired plan op: an instant on the
+    /// `fleet` track, a recovery span covering the maintenance window, and
+    /// a [`EventClass::Window`] heap event marking its close. Bookkeeping
+    /// only — nothing here touches the clock or instance state, so the
+    /// heap engine stays byte-identical to the (telemetry-less) tick
+    /// reference on everything the comparison covers.
+    fn note_op_fired(&mut self, op: &FleetOp, started: Nanos, heap: &mut EventHeap) {
+        let Some(sink) = &self.fleet_sink else {
+            return;
+        };
+        let at = started + op.at;
+        let inst = &self.instances[op.instance];
+        let label = inst.label().to_owned();
+        let (name, window) = match &op.kind {
+            FleetOpKind::Drain => ("drain", None),
+            FleetOpKind::Resume => ("resume", None),
+            FleetOpKind::RejuvenateComponents => ("rejuvenate", Some(inst.recovery_until())),
+            FleetOpKind::FullReboot => ("full_reboot", Some(inst.recovery_until())),
+            FleetOpKind::Inject(_) => ("inject", None),
+        };
+        sink.with(|hub| {
+            Collector::instant(hub, "fleet", name, &label, at);
+            hub.metrics_mut()
+                .counter_add("vampos_fleet_ops_total", &[("kind", name)], 1);
+        });
+        if let Some(end) = window {
+            sink.with(|hub| {
+                hub.recovery_begin(&label, "plan", at);
+                hub.recovery_end(&label, end.max(at), 0, 0);
+            });
+            heap.push(end.max(at), EventClass::Window, op.instance as u64);
+        }
+    }
+
     /// Issues one client request due at `due`, retrying once through the
-    /// balancer if the connection turns out to be server-reset.
+    /// balancer if the connection turns out to be server-reset. Returns
+    /// the completion time the client observes (equal to `due` for
+    /// requests that die on a reset connection).
+    #[allow(clippy::too_many_arguments)]
     fn dispatch(
         &mut self,
         c: &mut FleetClient,
@@ -263,7 +466,8 @@ impl Fleet {
         balancer: &mut Balancer,
         one_way: Nanos,
         counters: &mut Counters,
-    ) -> Result<(), OsError> {
+        request: &str,
+    ) -> Result<Nanos, OsError> {
         let mut attempts = 0;
         loop {
             // A connection the server lost is a failed transaction, found
@@ -282,9 +486,11 @@ impl Fleet {
                         counters.retried += 1;
                         continue;
                     }
-                    return Ok(());
+                    return Ok(due);
                 }
-                if balancer.should_migrate(&mut self.instances, i, due) {
+                if balancer.should_migrate(&mut self.instances, i, due)
+                    || balancer.should_return_home(&self.instances, i, c.home, due)
+                {
                     self.instances[i].close(conn);
                     c.conn = None;
                     counters.redirects += 1;
@@ -293,8 +499,13 @@ impl Fleet {
 
             let target = match c.conn {
                 Some((i, _)) => i,
-                None => balancer.route(&mut self.instances, due),
+                None => balancer
+                    .home_target(&self.instances, c.home, due)
+                    .unwrap_or_else(|| balancer.route(&mut self.instances, due)),
             };
+            if c.home.is_none() {
+                c.home = Some(target);
+            }
             let inst = &mut self.instances[target];
             let t0 = inst.sys.clock().now();
             let conn = match c.conn {
@@ -310,7 +521,6 @@ impl Fleet {
                 }
             };
 
-            let request = format!("GET {} HTTP/1.1\r\nHost: vampos\r\n\r\n", load.path);
             let send_ok = inst
                 .sys
                 .host()
@@ -328,7 +538,7 @@ impl Fleet {
                     .unwrap_or_default();
                 served = response.starts_with(b"HTTP/1.1 200") && !inst.conn_dead(conn);
             }
-            inst.observe_detector();
+            inst.observe_detector(due);
 
             // Book the request against the instance's FIFO service queue:
             // the wire time (two one-way flights) pipelines, the server
@@ -341,6 +551,10 @@ impl Fleet {
             let ok = served && end.saturating_sub(due) <= load.timeout;
             if served {
                 inst.note_service(busy_from + service, end);
+                if !load.keepalive {
+                    inst.close(conn);
+                    c.conn = None;
+                }
             } else {
                 c.conn = None;
             }
@@ -349,7 +563,7 @@ impl Fleet {
                 end,
                 ok,
             });
-            return Ok(());
+            return Ok(end);
         }
     }
 
@@ -389,10 +603,12 @@ impl Fleet {
     }
 
     /// Multi-process Chrome trace: one Perfetto process (pid `id + 1`,
-    /// named `instance-NN`) per instance. `None` unless the fleet was
-    /// built with [`FleetConfig::telemetry`].
+    /// named `instance-NN`) per instance, plus a trailing `fleet` process
+    /// (pid `instances + 1`) carrying plan operations and recovery
+    /// windows. `None` unless the fleet was built with
+    /// [`FleetConfig::telemetry`].
     pub fn chrome_trace_json(&self) -> Option<String> {
-        let processes: Option<Vec<TraceProcess>> = self
+        let mut processes: Vec<TraceProcess> = self
             .instances
             .iter()
             .map(|inst| {
@@ -406,8 +622,17 @@ impl Fleet {
                     }
                 })
             })
-            .collect();
-        processes.map(|p| chrome_trace_processes(&p))
+            .collect::<Option<Vec<TraceProcess>>>()?;
+        if let Some(sink) = &self.fleet_sink {
+            let (spans, instants) = sink.with(|hub| hub.export_records());
+            processes.push(TraceProcess {
+                pid: self.instances.len() as u64 + 1,
+                name: "fleet".to_owned(),
+                spans,
+                instants,
+            });
+        }
+        Some(chrome_trace_processes(&processes))
     }
 
     /// Single-process Chrome trace of one instance, byte-compatible with

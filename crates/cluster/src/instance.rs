@@ -39,6 +39,10 @@ pub struct Instance {
     draining: bool,
     /// Completion times of in-flight requests, nondecreasing.
     completions: VecDeque<Nanos>,
+    /// Downtime windows already accounted for (scheduled maintenance books
+    /// its window in request time via [`Instance::note_maintenance`]; only
+    /// windows beyond this count are unscheduled fault recoveries).
+    seen_downtime: usize,
 }
 
 impl Instance {
@@ -78,6 +82,7 @@ impl Instance {
             recovery_until: Nanos::ZERO,
             draining: false,
             completions: VecDeque::new(),
+            seen_downtime: 0,
         })
     }
 
@@ -134,14 +139,30 @@ impl Instance {
         self.recovery_until = self.recovery_until.max(self.next_free);
     }
 
-    /// Refreshes the recovery window from the failure detector: any
-    /// downtime the system recorded extends `recovery_until`, so the
-    /// recovery-aware policy also drains around fault-triggered reboots it
-    /// never scheduled.
-    pub(crate) fn observe_detector(&mut self) {
-        if let Some(window) = self.sys.stats().downtime.last() {
-            self.recovery_until = self.recovery_until.max(window.end);
+    /// Refreshes the recovery window from the failure detector: downtime
+    /// the system recorded that no maintenance op accounted for is an
+    /// unscheduled fault recovery, and the recovery-aware policy drains
+    /// around it too. The detector records windows on the shared
+    /// execution clock, which runs far ahead of request (arrival-grid)
+    /// time — only each window's *duration* carries over: the instance
+    /// drains for that long past the observing request at `at`.
+    pub(crate) fn observe_detector(&mut self, at: Nanos) {
+        let windows = &self.sys.stats().downtime;
+        let mut unscheduled = Nanos::ZERO;
+        for window in windows.iter().skip(self.seen_downtime) {
+            unscheduled += window.end.saturating_sub(window.start);
         }
+        if unscheduled > Nanos::ZERO {
+            self.recovery_until = self.recovery_until.max(at + unscheduled);
+        }
+        self.seen_downtime = windows.len();
+    }
+
+    /// Marks every downtime window recorded so far as accounted for —
+    /// called after a scheduled maintenance op, whose window
+    /// [`Instance::note_maintenance`] already books in request time.
+    pub(crate) fn ack_downtime(&mut self) {
+        self.seen_downtime = self.sys.stats().downtime.len();
     }
 
     /// Books a served request: the server was occupied until `busy_until`

@@ -11,7 +11,12 @@
 //! * [`Fleet`] — N independent [`vampos_core::System`]s (each with its own
 //!   [`vampos_host::HostHandle`] and [`vampos_apps::MiniHttpd`]), multiplexed
 //!   on one [`vampos_sim::SimClock`] so every cross-instance ordering is a
-//!   deterministic function of the seed.
+//!   deterministic function of the seed. [`Fleet::run`] drives everything
+//!   off a single event heap — plan operations, arrivals, completions and
+//!   recovery windows pop in `(time, class, actor, sequence)` order — so
+//!   simulation cost scales with work performed, not virtual time × N.
+//! * [`ArrivalShape`] — how clients time requests: the open-loop reference
+//!   grid, closed-loop clients with think time, and diurnal/bursty drifts.
 //! * [`Balancer`] / [`Policy`] — pluggable routing: round-robin,
 //!   least-outstanding, and *recovery-aware* (drains an instance while any
 //!   of its components is inside a reboot window, re-admits it on resume).
@@ -53,6 +58,7 @@
 //! ```
 
 pub mod balancer;
+pub mod engine;
 pub mod fleet;
 pub mod instance;
 pub mod oracle;
@@ -61,6 +67,7 @@ pub mod report;
 pub mod single;
 
 pub use balancer::{Balancer, Policy};
+pub use engine::ArrivalShape;
 pub use fleet::{Fleet, FleetConfig, FleetLoad};
 pub use instance::Instance;
 pub use oracle::{check_equivalence, check_liveness, FleetViolation};

@@ -32,11 +32,15 @@ pub struct FleetOp {
     pub kind: FleetOpKind,
 }
 
-/// A maintenance plan: operations fired in `(at, insertion-order)` order.
+/// A maintenance plan: operations fired in `(at, instance,
+/// insertion-order)` order.
 ///
-/// The sort is *stable*, so operations scheduled at the same instant fire
-/// in the order the constructor pushed them — rejuvenation before the
-/// matching resume, for example.
+/// This is exactly the event heap's total order restricted to plan events
+/// (time, then instance id, then sequence), which is what lets the heap
+/// engine and the tick-loop reference model fire the same plan in the same
+/// order. The sort is *stable*, so operations on the same instance at the
+/// same instant fire in the order the constructor pushed them —
+/// rejuvenation before the matching resume, for example.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FleetPlan {
     ops: Vec<FleetOp>,
@@ -118,9 +122,9 @@ impl FleetPlan {
         self.ops.is_empty()
     }
 
-    /// Consumes the plan into firing order.
+    /// Consumes the plan into firing order: `(at, instance)`, stable.
     pub(crate) fn into_firing_order(mut self) -> Vec<FleetOp> {
-        self.ops.sort_by_key(|op| op.at);
+        self.ops.sort_by_key(|op| (op.at, op.instance));
         self.ops
     }
 }

@@ -7,7 +7,7 @@ use vampos_workloads::LoadReport;
 /// [`LoadReport`] plus fleet-level counters, with aggregate views built by
 /// merging the per-instance statistics ([`Summary::merge`],
 /// [`Histogram::merge`]) rather than re-walking the raw records.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FleetRunReport {
     /// One load report per instance, indexed by instance id.
     pub per_instance: Vec<LoadReport>,
@@ -15,6 +15,13 @@ pub struct FleetRunReport {
     pub retried: u64,
     /// Proactive migrations the policy ordered (drain or load triggered).
     pub redirects: u64,
+    /// Arrival events dispatched by the drive loop (excludes the in-line
+    /// retries counted by `retried`).
+    pub issued: u64,
+    /// Completion events observed; the engine drains its heap before
+    /// returning, so a finished run always has `completed == issued` —
+    /// the closed-loop conservation invariant.
+    pub completed: u64,
     /// Component reboots performed across the fleet during the run.
     pub component_reboots: u64,
     /// Full reboots performed across the fleet during the run.

@@ -1,0 +1,208 @@
+//! The event-heap engine against the tick-polling reference model.
+//!
+//! [`Fleet::run`] replaced the tick loop as the production drive loop; the
+//! loop survives as [`Fleet::run_tick_reference`], an executable
+//! specification. These tests hold the two to *byte identity* over the
+//! open-loop envelope the reference implements: identical request records,
+//! counters, durations, and per-instance telemetry traces, at N ∈ {1, 4,
+//! 16}, across policies, plans, and seeds. They also pin down the
+//! closed-loop conservation invariant the reference cannot express.
+
+use proptest::prelude::*;
+
+use vampos_cluster::{ArrivalShape, Fleet, FleetConfig, FleetLoad, FleetPlan, Policy};
+use vampos_sim::Nanos;
+
+fn config(instances: usize, seed: u64, telemetry: bool) -> FleetConfig {
+    FleetConfig {
+        instances,
+        seed,
+        telemetry,
+        ..FleetConfig::default()
+    }
+}
+
+fn plan_for(kind: u8, instances: usize) -> FleetPlan {
+    let start = Nanos::from_millis(5);
+    let spacing = Nanos::from_millis(60);
+    match kind % 4 {
+        0 => FleetPlan::none(),
+        1 => FleetPlan::rolling_rejuvenation(instances, start, spacing, Nanos::from_millis(2)),
+        2 => FleetPlan::rolling_full_reboot(instances, start, spacing),
+        _ => FleetPlan::simultaneous_rejuvenation(instances, start + spacing),
+    }
+}
+
+fn policy_for(kind: u8) -> Policy {
+    match kind % 3 {
+        0 => Policy::RoundRobin,
+        1 => Policy::LeastOutstanding,
+        _ => Policy::RecoveryAware,
+    }
+}
+
+/// Runs the same (config, load, policy, plan) through both engines on two
+/// independently booted fleets and asserts byte identity of everything the
+/// reference model can express.
+fn assert_engines_agree(
+    instances: usize,
+    seed: u64,
+    load: &FleetLoad,
+    policy: Policy,
+    plan_kind: u8,
+) {
+    let mut heap_fleet = Fleet::new(config(instances, seed, true)).expect("heap fleet boot");
+    let mut tick_fleet = Fleet::new(config(instances, seed, true)).expect("tick fleet boot");
+    let heap_report = heap_fleet
+        .run(load, policy, plan_for(plan_kind, instances))
+        .expect("heap run");
+    let tick_report = tick_fleet
+        .run_tick_reference(load, policy, plan_for(plan_kind, instances))
+        .expect("tick run");
+    assert_eq!(
+        heap_report, tick_report,
+        "reports diverge at N={instances}, seed={seed:#x}, plan={plan_kind}"
+    );
+    for id in 0..instances {
+        assert_eq!(
+            heap_fleet.instance_trace(id),
+            tick_fleet.instance_trace(id),
+            "instance {id} trace diverges at N={instances}, seed={seed:#x}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+    /// Byte identity at N ∈ {1, 4, 16} over random loads, seeds, policies
+    /// and plans (the open-loop envelope the tick reference implements).
+    #[test]
+    fn heap_engine_is_byte_identical_to_tick_reference(
+        size_pick in 0usize..3,
+        seed in any::<u64>(),
+        clients in 1usize..24,
+        requests in 0usize..40,
+        think_us in 100u64..6_000,
+        policy_kind in 0u8..3,
+        plan_kind in 0u8..4,
+    ) {
+        let instances = [1, 4, 16][size_pick];
+        let load = FleetLoad {
+            clients,
+            requests_per_client: requests,
+            think_time: Nanos::from_micros(think_us),
+            ..FleetLoad::default()
+        };
+        assert_engines_agree(instances, seed, &load, policy_for(policy_kind), plan_kind);
+    }
+}
+
+#[test]
+fn engines_agree_on_equal_time_arrivals_and_plan_ops() {
+    // think_time 0 collapses every client onto one instant, and the plan
+    // fires at that same instant: the (time, class, actor, seq) tiebreak
+    // carries the whole ordering.
+    let load = FleetLoad {
+        clients: 6,
+        requests_per_client: 5,
+        think_time: Nanos::ZERO,
+        ..FleetLoad::default()
+    };
+    assert_engines_agree(4, 0xFEED_BEEF, &load, Policy::RecoveryAware, 3);
+}
+
+#[test]
+fn closed_loop_conserves_requests() {
+    // issued == completed at drain (the heap empties before run returns),
+    // and every record is either an arrival or one of its in-line retries.
+    let mut fleet = Fleet::new(config(4, 0xC0FFEE, false)).expect("boot");
+    let load = FleetLoad {
+        clients: 12,
+        requests_per_client: 25,
+        think_time: Nanos::from_micros(800),
+        shape: ArrivalShape::ClosedLoop,
+        ..FleetLoad::default()
+    };
+    let plan = FleetPlan::rolling_full_reboot(4, Nanos::from_millis(5), Nanos::from_millis(20));
+    let report = fleet.run(&load, Policy::RoundRobin, plan).expect("run");
+    assert_eq!(
+        report.issued, report.completed,
+        "in-flight requests at drain"
+    );
+    assert_eq!(
+        report.issued,
+        12 * 25,
+        "closed-loop clients must finish their quota"
+    );
+    assert_eq!(
+        report.requests() as u64,
+        report.issued + report.retried,
+        "records must be arrivals plus in-line retries"
+    );
+}
+
+#[test]
+fn closed_loop_spaces_requests_by_response_plus_think() {
+    // One client, one instance, no plan: successive closed-loop arrivals
+    // must be exactly (previous completion + think) apart, so gaps are
+    // never shorter than think_time — the conservation of think time.
+    let mut fleet = Fleet::new(config(1, 7, false)).expect("boot");
+    let think = Nanos::from_micros(500);
+    let load = FleetLoad {
+        clients: 1,
+        requests_per_client: 20,
+        think_time: think,
+        shape: ArrivalShape::ClosedLoop,
+        ..FleetLoad::default()
+    };
+    let report = fleet
+        .run(&load, Policy::RoundRobin, FleetPlan::none())
+        .expect("run");
+    let records = &report.per_instance[0].records;
+    assert_eq!(records.len(), 20);
+    for pair in records.windows(2) {
+        assert_eq!(
+            pair[1].start,
+            pair[0].end + think,
+            "closed-loop arrival must follow the previous completion by exactly think_time"
+        );
+    }
+}
+
+#[test]
+fn every_arrival_shape_is_deterministic() {
+    for shape in [
+        ArrivalShape::OpenLoop,
+        ArrivalShape::ClosedLoop,
+        ArrivalShape::Diurnal {
+            period: Nanos::from_millis(30),
+        },
+        ArrivalShape::Bursty { burst: 8 },
+    ] {
+        let run = || {
+            let mut fleet = Fleet::new(config(4, 0xABCD, false)).expect("boot");
+            let load = FleetLoad {
+                clients: 8,
+                requests_per_client: 15,
+                shape,
+                ..FleetLoad::default()
+            };
+            let plan = FleetPlan::rolling_rejuvenation(
+                4,
+                Nanos::from_millis(5),
+                Nanos::from_millis(15),
+                Nanos::from_millis(2),
+            );
+            fleet.run(&load, Policy::RecoveryAware, plan).expect("run")
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "shape {} is not deterministic", shape.name());
+        assert_eq!(
+            a.issued,
+            a.completed,
+            "shape {} left work in flight",
+            shape.name()
+        );
+    }
+}

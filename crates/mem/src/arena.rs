@@ -9,6 +9,32 @@ use crate::buddy::{BuddyAllocator, BuddyError};
 use crate::region::{Region, RegionKind};
 use crate::snapshot::Snapshot;
 
+thread_local! {
+    /// Shared all-zero snapshot images, keyed by region length.
+    ///
+    /// Every component arena starts life zero-filled, and large regions
+    /// (the 8 MB VFS/LWIP heaps) are often never written before the boot
+    /// checkpoint is captured. Handing all of them the same `Arc` means the
+    /// first capture of a pristine region neither reads nor copies its
+    /// backing pages — fleet-scale boots stop faulting in ~40 MB per
+    /// instance. Thread-local (not a global lock) keeps the deterministic
+    /// simulation free of D004 synchronisation primitives.
+    static ZERO_IMAGES: std::cell::RefCell<std::collections::BTreeMap<usize, Arc<[u8]>>> =
+        const { std::cell::RefCell::new(std::collections::BTreeMap::new()) };
+}
+
+/// The process-wide zero image of `len` bytes (see [`ZERO_IMAGES`]).
+fn zero_image(len: usize) -> Arc<[u8]> {
+    ZERO_IMAGES.with(|cache| {
+        Arc::clone(
+            cache
+                .borrow_mut()
+                .entry(len)
+                .or_insert_with(|| Arc::from(vec![0u8; len])),
+        )
+    })
+}
+
 /// An address in a component's local address space.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Addr(pub u64);
@@ -382,7 +408,9 @@ impl MemoryArena {
     ///
     /// Incremental: only regions written since the last capture (or
     /// restore) are copied; clean regions share their cached `Arc` image
-    /// with the previous snapshot. [`Snapshot::byte_len`] — the cost-model
+    /// with the previous snapshot, and regions that were never written at
+    /// all (still [`Region::is_pristine`]) share one process-wide zero
+    /// image without being read. [`Snapshot::byte_len`] — the cost-model
     /// input — is unaffected by what was actually copied.
     pub fn snapshot(&mut self) -> Snapshot {
         let regions = self
@@ -393,7 +421,11 @@ impl MemoryArena {
                 let image = match (&self.images[idx], self.dirty[idx]) {
                     (Some(image), false) => Arc::clone(image),
                     _ => {
-                        let fresh: Arc<[u8]> = Arc::from(r.bytes());
+                        let fresh: Arc<[u8]> = if r.is_pristine() {
+                            zero_image(r.len())
+                        } else {
+                            Arc::from(r.bytes())
+                        };
                         self.images[idx] = Some(Arc::clone(&fresh));
                         self.dirty[idx] = false;
                         fresh
@@ -465,10 +497,14 @@ impl MemoryArena {
 
     /// Resets the arena to pristine boot state: zero fill of writable
     /// regions, a fresh allocator, and rejuvenated aging counters.
+    /// Regions that are still provably zero are left untouched (and keep
+    /// their shared zero image), so resetting a barely-used arena costs
+    /// nothing proportional to its size.
     pub fn reset(&mut self) {
         for (idx, region) in self.regions.iter_mut().enumerate() {
-            if region.kind().is_writable() {
+            if region.kind().is_writable() && !region.is_pristine() {
                 region.bytes_mut().fill(0);
+                region.mark_pristine();
                 self.dirty[idx] = true;
                 self.images[idx] = None;
             }
@@ -669,6 +705,45 @@ mod tests {
         let s2 = a.snapshot();
         assert!(!Arc::ptr_eq(&snap.regions[0].1, &s2.regions[0].1));
         assert_ne!(snap.regions[0].1, s2.regions[0].1);
+    }
+
+    #[test]
+    fn pristine_regions_share_one_zero_image_across_arenas() {
+        let mut a = MemoryArena::new("a", ArenaLayout::medium());
+        let mut b = MemoryArena::new("b", ArenaLayout::medium());
+        let sa = a.snapshot();
+        let sb = b.snapshot();
+        for ((ka, ia), (kb, ib)) in sa.regions.iter().zip(&sb.regions) {
+            assert_eq!(ka, kb);
+            assert!(Arc::ptr_eq(ia, ib), "pristine {ka} region was copied");
+        }
+        // The shared-image shortcut must stay observationally identical to
+        // a full byte copy.
+        assert_eq!(sa, a.snapshot_full());
+    }
+
+    #[test]
+    fn writes_break_pristineness_and_reset_restores_it() {
+        let mut a = arena();
+        let h = a.alloc(32).unwrap();
+        a.write(h.addr(), &[1; 32]).unwrap();
+        let dirty = a.snapshot();
+        let heap_idx = RegionKind::ALL
+            .iter()
+            .position(|&k| k == RegionKind::Heap)
+            .unwrap();
+        let heap_len = dirty.regions[heap_idx].1.len();
+        assert!(
+            !Arc::ptr_eq(&dirty.regions[heap_idx].1, &zero_image(heap_len)),
+            "written heap still mapped to the shared zero image"
+        );
+        a.reset();
+        let clean = a.snapshot();
+        assert!(
+            Arc::ptr_eq(&clean.regions[heap_idx].1, &zero_image(heap_len)),
+            "reset heap did not return to the shared zero image"
+        );
+        assert_eq!(clean, a.snapshot_full());
     }
 
     #[test]

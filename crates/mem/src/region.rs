@@ -52,11 +52,24 @@ impl fmt::Display for RegionKind {
 
 /// One contiguous memory region: a kind, a base address in the component's
 /// local address space, and backing bytes.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Eq)]
 pub struct Region {
     kind: RegionKind,
     base: u64,
     bytes: Vec<u8>,
+    /// Provably all-zero: no mutable borrow has been handed out since the
+    /// region was created (or re-zeroed). Lets snapshots substitute a
+    /// shared zero image without reading — or even faulting in — the
+    /// backing pages.
+    pristine: bool,
+}
+
+// `pristine` is a conservative optimisation hint, not observable state: a
+// region that lost the flag but still holds zeros equals a pristine one.
+impl PartialEq for Region {
+    fn eq(&self, other: &Self) -> bool {
+        self.kind == other.kind && self.base == other.base && self.bytes == other.bytes
+    }
 }
 
 impl Region {
@@ -66,6 +79,7 @@ impl Region {
             kind,
             base,
             bytes: vec![0; size],
+            pristine: true,
         }
     }
 
@@ -104,11 +118,25 @@ impl Region {
         &self.bytes
     }
 
+    /// Whether the region provably still holds its creation-time zeros (no
+    /// mutable borrow handed out since creation or the last re-zeroing).
+    pub fn is_pristine(&self) -> bool {
+        self.pristine
+    }
+
+    /// Re-asserts pristineness after the caller zero-filled the region
+    /// (e.g. [`crate::MemoryArena::reset`]).
+    pub(crate) fn mark_pristine(&mut self) {
+        debug_assert!(self.bytes.iter().all(|&b| b == 0));
+        self.pristine = true;
+    }
+
     /// Mutably borrow the backing bytes.
     ///
     /// Write-permission checks are performed by the arena, not here; this is
     /// also the hook fault injection uses to corrupt memory directly.
     pub fn bytes_mut(&mut self) -> &mut [u8] {
+        self.pristine = false;
         &mut self.bytes
     }
 
@@ -124,6 +152,7 @@ impl Region {
             "snapshot size mismatch for {} region",
             self.kind
         );
+        self.pristine = false;
         self.bytes.copy_from_slice(bytes);
     }
 }

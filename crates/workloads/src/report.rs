@@ -21,7 +21,7 @@ impl RequestRecord {
 }
 
 /// Aggregate outcome of one load run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LoadReport {
     /// Every request, in issue order.
     pub records: Vec<RequestRecord>,
@@ -32,6 +32,16 @@ pub struct LoadReport {
 }
 
 impl LoadReport {
+    /// An empty report with room for `capacity` records — fleet-scale
+    /// drive loops know their request volume up front, and reallocation
+    /// churn on million-record runs is measurable.
+    pub fn with_capacity(capacity: usize) -> LoadReport {
+        LoadReport {
+            records: Vec::with_capacity(capacity),
+            ..LoadReport::default()
+        }
+    }
+
     /// Successful requests.
     pub fn successes(&self) -> usize {
         self.records.iter().filter(|r| r.ok).count()

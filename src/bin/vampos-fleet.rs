@@ -5,19 +5,30 @@
 //! vampos-fleet [--instances N] [--clients C] [--requests R] [--seed S]
 //!              [--policy round-robin|least-outstanding|recovery-aware]
 //!              [--plan none|rolling|rolling-full|simultaneous]
-//!              [--trace-out FILE]
+//!              [--shape open|closed|diurnal|bursty] [--think-us US]
+//!              [--period-ms MS] [--burst B] [--engine heap|tick]
+//!              [--no-keepalive] [--trace-out FILE]
 //! ```
 //!
 //! Boots N MiniHttpd unikernel instances on one shared virtual clock, runs
-//! an open-loop client population through the chosen balancing policy while
-//! the chosen maintenance plan fires, and prints per-instance and aggregate
-//! results. `--trace-out` writes a Perfetto-loadable Chrome trace with one
-//! process track per instance. Output is byte-identical for a given
-//! argument list. Exit codes: 0 success, 1 run error, 2 usage error.
+//! a client population through the chosen balancing policy while the
+//! chosen maintenance plan fires, and prints per-instance and aggregate
+//! results. `--shape` picks how clients time requests: the open-loop grid
+//! (default), closed-loop clients that think for `--think-us` after each
+//! response, a diurnal triangle wave of period `--period-ms`, or bursts of
+//! `--burst` requests. `--engine tick` drives the load with the retired
+//! tick-polling reference loop instead of the event heap (open-loop only;
+//! byte-identical output, asymptotically slower — it exists for exactly
+//! this comparison). `--no-keepalive` closes every connection after its
+//! response, siege's default mode, keeping server connection tables
+//! bounded by in-flight requests. `--trace-out` writes a
+//! Perfetto-loadable Chrome trace
+//! with one process track per instance. Output is byte-identical for a
+//! given argument list. Exit codes: 0 success, 1 run error, 2 usage error.
 
 use std::process::ExitCode;
 
-use vampos::cluster::{Fleet, FleetConfig, FleetLoad, FleetPlan, Policy};
+use vampos::cluster::{ArrivalShape, Fleet, FleetConfig, FleetLoad, FleetPlan, Policy};
 use vampos::sim::Nanos;
 
 /// Rolling schedule matching the `repro fleet` experiment: one instance at
@@ -33,6 +44,12 @@ struct Args {
     seed: u64,
     policy: Policy,
     plan: &'static str,
+    shape: &'static str,
+    think: Nanos,
+    period: Nanos,
+    burst: usize,
+    tick_engine: bool,
+    keepalive: bool,
     trace_out: Option<String>,
 }
 
@@ -40,7 +57,9 @@ fn usage() -> String {
     "usage: vampos-fleet [--instances N] [--clients C] [--requests R] [--seed S]\n\
      \x20                   [--policy round-robin|least-outstanding|recovery-aware]\n\
      \x20                   [--plan none|rolling|rolling-full|simultaneous]\n\
-     \x20                   [--trace-out FILE]\n"
+     \x20                   [--shape open|closed|diurnal|bursty] [--think-us US]\n\
+     \x20                   [--period-ms MS] [--burst B] [--engine heap|tick]\n\
+     \x20                   [--no-keepalive] [--trace-out FILE]\n"
         .to_owned()
 }
 
@@ -52,6 +71,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         seed: 0x1234_5678,
         policy: Policy::RecoveryAware,
         plan: "rolling",
+        shape: "open",
+        think: Nanos::from_millis(4),
+        period: Nanos::from_millis(256),
+        burst: 8,
+        tick_engine: false,
+        keepalive: true,
         trace_out: None,
     };
     let mut it = argv.iter();
@@ -84,6 +109,31 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     other => return Err(format!("unknown plan {other:?}")),
                 }
             }
+            "--shape" => {
+                let v = value()?;
+                args.shape = match v {
+                    "open" => "open",
+                    "closed" => "closed",
+                    "diurnal" => "diurnal",
+                    "bursty" => "bursty",
+                    other => return Err(format!("unknown shape {other:?}")),
+                }
+            }
+            "--think-us" => {
+                args.think = Nanos::from_micros(value()?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--period-ms" => {
+                args.period = Nanos::from_millis(value()?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--burst" => args.burst = value()?.parse().map_err(|e| format!("{e}"))?,
+            "--engine" => {
+                args.tick_engine = match value()? {
+                    "heap" => false,
+                    "tick" => true,
+                    other => return Err(format!("unknown engine {other:?}")),
+                }
+            }
+            "--no-keepalive" => args.keepalive = false,
             "--trace-out" => args.trace_out = Some(value()?.to_owned()),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument {other:?}")),
@@ -91,6 +141,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     }
     if args.instances == 0 {
         return Err("--instances must be at least 1".to_owned());
+    }
+    if args.burst == 0 {
+        return Err("--burst must be at least 1".to_owned());
+    }
+    if args.tick_engine && args.shape != "open" {
+        return Err("--engine tick implements the open-loop grid only".to_owned());
     }
     Ok(args)
 }
@@ -124,22 +180,42 @@ fn main() -> ExitCode {
         telemetry: args.trace_out.is_some(),
         ..FleetConfig::default()
     };
+    let shape = match args.shape {
+        "closed" => ArrivalShape::ClosedLoop,
+        "diurnal" => ArrivalShape::Diurnal {
+            period: args.period,
+        },
+        "bursty" => ArrivalShape::Bursty { burst: args.burst },
+        _ => ArrivalShape::OpenLoop,
+    };
     let load = FleetLoad {
         clients: args.clients,
         requests_per_client: args.requests,
+        think_time: args.think,
+        shape,
+        keepalive: args.keepalive,
         ..FleetLoad::default()
     };
     let run = || -> Result<(), vampos::ukernel::OsError> {
         let mut fleet = Fleet::new(config)?;
-        let report = fleet.run(&load, args.policy, plan_for(args.plan, args.instances))?;
+        let plan = plan_for(args.plan, args.instances);
+        let report = if args.tick_engine {
+            fleet.run_tick_reference(&load, args.policy, plan)?
+        } else {
+            fleet.run(&load, args.policy, plan)?
+        };
 
         println!(
-            "fleet: {} instance(s), {} clients x {} requests, policy {}, plan {}, seed {:#x}",
+            "fleet: {} instance(s), {} clients x {} requests ({} arrivals, think {}), \
+             policy {}, plan {}, engine {}, seed {:#x}",
             args.instances,
             args.clients,
             args.requests,
+            shape.name(),
+            args.think,
             args.policy.name(),
             args.plan,
+            if args.tick_engine { "tick" } else { "heap" },
             args.seed
         );
         println!("inst      ok    fail  reconnects");
