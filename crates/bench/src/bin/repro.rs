@@ -1,7 +1,7 @@
 //! `repro` — regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [fig5|table3|fig6|fig7|table4|table5|fleet|fig8|ablations|all]
+//! repro [fig5|table3|fig6|fig7|table4|table5|fleet|recursive|fig8|ablations|all]
 //!       [--list] [--quick] [--sequential] [--json[=PATH]]
 //!       [--trace-out=PATH] [--metrics-out=PATH]
 //! ```
@@ -31,7 +31,9 @@ use std::env;
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use vampos_bench::experiments::{ablations, fig5, fig6, fig7, fig8, fleet, table3, table4, table5};
+use vampos_bench::experiments::{
+    ablations, fig5, fig6, fig7, fig8, fleet, recursive, table3, table4, table5,
+};
 use vampos_bench::format::{bytes, render_table, us};
 use vampos_bench::parallel::{parallel_map, worker_count};
 use vampos_sim::Nanos;
@@ -45,7 +47,7 @@ struct Section {
     render: fn(bool) -> String,
 }
 
-const SECTIONS: [Section; 9] = [
+const SECTIONS: [Section; 10] = [
     Section {
         key: "fig5",
         desc: "system call execution times across the five configurations",
@@ -80,6 +82,11 @@ const SECTIONS: [Section; 9] = [
         key: "fleet",
         desc: "Table V at cluster scale: routing policies over rolling rejuvenation, N = 16/64/256",
         render: render_fleet,
+    },
+    Section {
+        key: "recursive",
+        desc: "recovery-machinery faults: escalation-ladder success rate and rung histogram",
+        render: render_recursive,
     },
     Section {
         key: "fig8",
@@ -139,7 +146,7 @@ fn main() {
     if selected.is_empty() {
         eprintln!(
             "unknown experiment {which:?}; expected \
-             fig5|table3|fig6|fig7|table4|table5|fleet|fig8|ablations|all \
+             fig5|table3|fig6|fig7|table4|table5|fleet|recursive|fig8|ablations|all \
              (see --list)"
         );
         std::process::exit(2);
@@ -675,6 +682,57 @@ fn render_fleet(quick: bool) -> String {
         render_table(
             &["shape", "requests", "success", "fails", "ratio", "p50", "p99"],
             &shape_rows
+        )
+    );
+    out
+}
+
+fn render_recursive(quick: bool) -> String {
+    // Full scale: 16 campaigns per class per seed over seeds {42, 1337} =
+    // 320 supervised fleet runs; quick keeps CI inside a few seconds.
+    let (seeds, campaigns): (&[u64], u64) = if quick { (&[42], 2) } else { (&[42, 1337], 16) };
+    let mut out = String::new();
+    heading(
+        &mut out,
+        &format!(
+            "Recursive recovery — escalation ladder under recovery-plane faults \
+             ({campaigns} campaigns/class/seed, seeds {seeds:?})"
+        ),
+    );
+    let result = recursive::run(seeds, campaigns);
+    let rows: Vec<Vec<String>> = result
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.class.to_owned(),
+                r.runs.to_string(),
+                r.passed.to_string(),
+                format!("{:.1}%", 100.0 * r.passed as f64 / r.runs.max(1) as f64),
+                r.rung_counts[0].to_string(),
+                r.rung_counts[1].to_string(),
+                r.rung_counts[2].to_string(),
+                r.condemned.to_string(),
+                r.requests.to_string(),
+            ]
+        })
+        .collect();
+    let _ = write!(
+        out,
+        "{}",
+        render_table(
+            &[
+                "fault class",
+                "runs",
+                "pass",
+                "rate",
+                "r:comp",
+                "r:inst",
+                "r:fleet",
+                "condemned",
+                "requests"
+            ],
+            &rows
         )
     );
     out

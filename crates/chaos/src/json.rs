@@ -32,35 +32,35 @@ pub enum Json {
 }
 
 impl Json {
-    fn as_u64(&self) -> Result<u64, String> {
+    pub(crate) fn as_u64(&self) -> Result<u64, String> {
         match self {
             Json::Num(raw) => raw.parse().map_err(|_| format!("not a u64: {raw}")),
             other => Err(format!("expected number, got {other:?}")),
         }
     }
 
-    fn as_bool(&self) -> Result<bool, String> {
+    pub(crate) fn as_bool(&self) -> Result<bool, String> {
         match self {
             Json::Bool(b) => Ok(*b),
             other => Err(format!("expected bool, got {other:?}")),
         }
     }
 
-    fn as_str(&self) -> Result<&str, String> {
+    pub(crate) fn as_str(&self) -> Result<&str, String> {
         match self {
             Json::Str(s) => Ok(s),
             other => Err(format!("expected string, got {other:?}")),
         }
     }
 
-    fn as_arr(&self) -> Result<&[Json], String> {
+    pub(crate) fn as_arr(&self) -> Result<&[Json], String> {
         match self {
             Json::Arr(items) => Ok(items),
             other => Err(format!("expected array, got {other:?}")),
         }
     }
 
-    fn get<'a>(&'a self, key: &str) -> Result<&'a Json, String> {
+    pub(crate) fn get<'a>(&'a self, key: &str) -> Result<&'a Json, String> {
         match self {
             Json::Obj(map) => map.get(key).ok_or_else(|| format!("missing key {key:?}")),
             other => Err(format!("expected object, got {other:?}")),
@@ -68,7 +68,7 @@ impl Json {
     }
 }
 
-fn escape(s: &str, out: &mut String) {
+pub(crate) fn escape(s: &str, out: &mut String) {
     out.push('"');
     for c in s.chars() {
         match c {

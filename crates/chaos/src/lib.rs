@@ -40,6 +40,7 @@ pub mod fleet;
 pub mod gen;
 pub mod json;
 pub mod oracle;
+pub mod recursive;
 pub mod shrink;
 pub mod spec;
 
@@ -54,6 +55,11 @@ pub use fleet::{
 pub use gen::generate_spec;
 pub use json::{from_json, reproducer_to_json, span_tail_from_json, to_json};
 pub use oracle::{OracleKind, Violation};
+pub use recursive::{
+    recursive_from_json, recursive_reproducer_to_json, recursive_to_json, run_recursive_outcome,
+    run_recursive_plants, run_recursive_sweep, shrink_recursive, ClassSummary, PlantCheck,
+    RecursiveOutcome, RecursiveShrinkOutcome, RecursiveSweepConfig, RecursiveSweepReport,
+};
 pub use shrink::{shrink, ShrinkOutcome};
 pub use spec::{CampaignSpec, EventKind, EventSpec, FaultSpec, WorkloadKind};
 pub use vampos_telemetry::{SpanDump, TelemetrySink};

@@ -39,12 +39,21 @@ impl Policy {
 pub struct Balancer {
     policy: Policy,
     cursor: usize,
+    /// Chaos fault: a frozen snapshot of each instance's `(draining,
+    /// recovery_until)` pair plus an expiry instant. While the snapshot is
+    /// live, eligibility answers come from the stale view instead of the
+    /// instances — the balancer keeps routing to hosts it believes healthy.
+    frozen: Option<(Vec<(bool, Nanos)>, Nanos)>,
 }
 
 impl Balancer {
     /// A fresh balancer for `policy`.
     pub fn new(policy: Policy) -> Self {
-        Balancer { policy, cursor: 0 }
+        Balancer {
+            policy,
+            cursor: 0,
+            frozen: None,
+        }
     }
 
     /// The active policy.
@@ -52,7 +61,31 @@ impl Balancer {
         self.policy
     }
 
-    fn eligible(inst: &Instance, at: Nanos) -> bool {
+    /// Freezes the balancer's view of the fleet until `until`: eligibility
+    /// is answered from a snapshot taken now, so drains and recovery
+    /// windows opened later are invisible until the view expires.
+    pub fn freeze_view(&mut self, instances: &[Instance], until: Nanos) {
+        let view = instances
+            .iter()
+            .map(|inst| (inst.is_draining(), inst.recovery_until()))
+            .collect();
+        self.frozen = Some((view, until));
+    }
+
+    /// Whether a stale frozen view is currently answering eligibility.
+    pub fn view_is_stale(&self, at: Nanos) -> bool {
+        matches!(&self.frozen, Some((_, until)) if at < *until)
+    }
+
+    fn eligible(&self, instances: &[Instance], i: usize, at: Nanos) -> bool {
+        if let Some((view, until)) = &self.frozen {
+            if at < *until {
+                if let Some(&(draining, recovery_until)) = view.get(i) {
+                    return !draining && at >= recovery_until;
+                }
+            }
+        }
+        let inst = &instances[i];
         !inst.is_draining() && at >= inst.recovery_until()
     }
 
@@ -78,7 +111,7 @@ impl Balancer {
             Policy::RecoveryAware => {
                 for k in 0..n {
                     let i = (self.cursor + k) % n;
-                    if Self::eligible(&instances[i], at) {
+                    if self.eligible(instances, i, at) {
                         self.cursor = i + 1;
                         return i;
                     }
@@ -106,7 +139,7 @@ impl Balancer {
         let Some(home) = home else { return false };
         self.policy == Policy::RecoveryAware
             && home != current
-            && Self::eligible(&instances[home], at)
+            && self.eligible(instances, home, at)
     }
 
     /// The instance an unconnected client should reconnect to: its sticky
@@ -119,8 +152,7 @@ impl Balancer {
         at: Nanos,
     ) -> Option<usize> {
         let home = home?;
-        (self.policy == Policy::RecoveryAware && Self::eligible(&instances[home], at))
-            .then_some(home)
+        (self.policy == Policy::RecoveryAware && self.eligible(instances, home, at)).then_some(home)
     }
 
     /// Whether a client currently connected to `current` should move
@@ -138,11 +170,8 @@ impl Balancer {
                 best < here
             }
             Policy::RecoveryAware => {
-                !Self::eligible(&instances[current], at)
-                    && instances
-                        .iter()
-                        .enumerate()
-                        .any(|(i, inst)| i != current && Self::eligible(inst, at))
+                !self.eligible(instances, current, at)
+                    && (0..instances.len()).any(|i| i != current && self.eligible(instances, i, at))
             }
         }
     }

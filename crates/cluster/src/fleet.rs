@@ -12,7 +12,7 @@
 
 use vampos_apps::App;
 use vampos_core::{ComponentSet, Mode};
-use vampos_host::ClientConnId;
+use vampos_host::{ClientConnId, NinePGlitch, RingGlitch};
 use vampos_sim::{Nanos, SimClock};
 use vampos_telemetry::perfetto::{chrome_trace_processes, TraceProcess};
 use vampos_telemetry::{Collector, TelemetrySink};
@@ -22,7 +22,8 @@ use vampos_workloads::{LoadReport, RequestRecord};
 use crate::balancer::{Balancer, Policy};
 use crate::engine::{ArrivalShape, EventClass, EventHeap};
 use crate::instance::Instance;
-use crate::plan::{FleetOp, FleetOpKind, FleetPlan};
+use crate::ladder::{EscalationLadder, Rung};
+use crate::plan::{FleetOp, FleetOpKind, FleetPlan, RecoveryFault};
 use crate::report::FleetRunReport;
 
 /// Static fleet configuration.
@@ -330,6 +331,350 @@ impl Fleet {
         Ok(self.finish_run(started, &baseline, counters))
     }
 
+    /// [`Fleet::run`] with the escalation ladder supervising recovery:
+    /// request and maintenance failures that `run` would propagate (and
+    /// abort the run on) are caught, recorded as failed transactions, and
+    /// fed to `ladder`; when an instance's consecutive-failure streak
+    /// crosses the ladder's threshold the next rung fires — component
+    /// rejuvenation, then a full instance reboot, then permanent fleet
+    /// failover. This is the entry point the `recursive` chaos family
+    /// drives: its faults corrupt the recovery machinery itself, so the
+    /// run loop cannot assume any single recovery mechanism works.
+    ///
+    /// With a ladder that never fires (no failures) the request stream and
+    /// records match [`Fleet::run`] exactly — the supervision is purely
+    /// additive.
+    ///
+    /// # Errors
+    ///
+    /// Only instance *boot* problems propagate; everything mid-run is
+    /// absorbed by the ladder.
+    pub fn run_supervised(
+        &mut self,
+        load: &FleetLoad,
+        policy: Policy,
+        plan: FleetPlan,
+        ladder: &mut EscalationLadder,
+    ) -> Result<FleetRunReport, OsError> {
+        let (started, one_way, baseline, mut clients) = self.start_run(load);
+        let mut balancer = Balancer::new(policy);
+        let ops = plan.into_firing_order();
+        let mut counters = Counters::default();
+        let request = format!("GET {} HTTP/1.1\r\nHost: vampos\r\n\r\n", load.path);
+
+        let mut heap = EventHeap::default();
+        for op in &ops {
+            heap.push(started + op.at, EventClass::Plan, op.instance as u64);
+        }
+        if load.requests_per_client > 0 {
+            for (i, c) in clients.iter().enumerate() {
+                heap.push(c.next_send, EventClass::Arrival, i as u64);
+            }
+        }
+
+        let mut op_idx = 0;
+        while let Some(ev) = heap.pop() {
+            match ev.class {
+                EventClass::Plan => {
+                    let op = &ops[op_idx];
+                    op_idx += 1;
+                    if let Err(err) = self.fire_op(op, started) {
+                        let at = self.clock.now();
+                        let reason = format!("plan op failed: {err}");
+                        if let Some(rung) = ladder.note_failure(op.instance, at, &reason) {
+                            self.fire_rung(op.instance, rung, at, &reason);
+                        }
+                    }
+                    if let FleetOpKind::RecoveryFault(RecoveryFault::BalancerStaleView { window }) =
+                        &op.kind
+                    {
+                        let at = started + op.at;
+                        balancer.freeze_view(&self.instances, at + *window);
+                    }
+                    self.note_op_fired(op, started, &mut heap);
+                }
+                EventClass::Arrival => {
+                    let idx = ev.actor as usize;
+                    self.clock.advance_to(ev.at);
+                    counters.issued += 1;
+                    let (end, pending) = self.dispatch_supervised(
+                        &mut clients[idx],
+                        ev.at,
+                        load,
+                        &mut balancer,
+                        one_way,
+                        &mut counters,
+                        &request,
+                        ladder,
+                    );
+                    if let Some((target, rung, reason)) = pending {
+                        let at = self.clock.now();
+                        self.fire_rung(target, rung, at, &reason);
+                    }
+                    clients[idx].sent += 1;
+                    if load.shape == ArrivalShape::ClosedLoop {
+                        heap.push(end.max(ev.at), EventClass::Completion, ev.actor);
+                    } else {
+                        counters.completed += 1;
+                        if clients[idx].sent < load.requests_per_client {
+                            let next = load.shape.next_due(
+                                ev.at,
+                                started,
+                                clients[idx].sent,
+                                load.think_time,
+                            );
+                            heap.push(next, EventClass::Arrival, ev.actor);
+                        }
+                    }
+                }
+                EventClass::Completion => {
+                    counters.completed += 1;
+                    debug_assert!(counters.completed <= counters.issued);
+                    let idx = ev.actor as usize;
+                    if clients[idx].sent < load.requests_per_client {
+                        heap.push(ev.at + load.think_time, EventClass::Arrival, ev.actor);
+                    }
+                }
+                EventClass::Window => {
+                    if let Some(sink) = &self.fleet_sink {
+                        let label = self.instances[ev.actor as usize].label().to_owned();
+                        sink.with(|hub| {
+                            Collector::instant(hub, "fleet", "window_close", &label, ev.at);
+                        });
+                    }
+                }
+            }
+        }
+        debug_assert_eq!(counters.issued, counters.completed);
+
+        Ok(self.finish_run(started, &baseline, counters))
+    }
+
+    /// Performs one rung's recovery action against `instance` and records
+    /// the per-rung telemetry span (`rung:<rung>:<reason>` on the fleet
+    /// track). Rung actions never propagate errors: a recovery attempt
+    /// that itself fails is exactly what the next rung is for.
+    fn fire_rung(&mut self, instance: usize, rung: Rung, at: Nanos, reason: &str) {
+        let label = self.instances[instance].label().to_owned();
+        if let Some(sink) = &self.fleet_sink {
+            let kind = format!("rung:{}:{}", rung.name(), reason);
+            sink.with(|hub| {
+                Collector::instant(hub, "fleet", rung.name(), &label, at);
+                hub.metrics_mut().counter_add(
+                    "vampos_fleet_rungs_total",
+                    &[("rung", rung.name())],
+                    1,
+                );
+                hub.recovery_begin(&label, &kind, at);
+            });
+        }
+        let inst = &mut self.instances[instance];
+        match rung {
+            Rung::Component => {
+                // Component-level recovery: rejuvenate every rebootable
+                // component and re-establish the 9P session. Only a rung
+                // that *succeeded* opens a maintenance window — a failed
+                // attempt must leave the instance exposed, so follow-up
+                // traffic keeps failing and drives the next rung instead
+                // of draining around a recovery that never happened.
+                let t0 = inst.sys.clock().now();
+                let recovered = inst.sys.rejuvenate_all().is_ok();
+                inst.sys
+                    .host()
+                    .with(|w| w.ninep_mut().clear_session_glitch());
+                let dur = inst.sys.clock().now().saturating_sub(t0);
+                if recovered {
+                    inst.note_maintenance(at, dur);
+                    inst.ack_downtime();
+                }
+            }
+            Rung::Instance => {
+                let t0 = inst.sys.clock().now();
+                let recovered = inst.sys.full_reboot().is_ok();
+                inst.app.crash();
+                let booted = inst.app.boot(&mut inst.sys).is_ok();
+                let dur = inst.sys.clock().now().saturating_sub(t0);
+                if recovered && booted {
+                    inst.note_maintenance(at, dur);
+                    inst.ack_downtime();
+                }
+            }
+            Rung::Fleet => {
+                // Permanent failover: the drain is never resumed, so the
+                // recovery-aware balancer routes every future request to
+                // the survivors.
+                inst.set_draining(true);
+            }
+        }
+        if let Some(sink) = &self.fleet_sink {
+            let end = self.clock.now().max(at);
+            sink.with(|hub| {
+                hub.recovery_end(&label, end, 0, 0);
+            });
+        }
+    }
+
+    /// [`Fleet::dispatch`] with every failure caught instead of
+    /// propagated: connect and poll errors become failed transactions
+    /// (recorded with `end == due`), the connection is dropped, and the
+    /// outcome is reported to the ladder. Returns the completion time plus
+    /// the rung the ladder wants fired, if the failure streak crossed the
+    /// threshold — the caller fires it once the instance borrow is
+    /// released.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch_supervised(
+        &mut self,
+        c: &mut FleetClient,
+        due: Nanos,
+        load: &FleetLoad,
+        balancer: &mut Balancer,
+        one_way: Nanos,
+        counters: &mut Counters,
+        request: &str,
+        ladder: &mut EscalationLadder,
+    ) -> (Nanos, Option<(usize, Rung, String)>) {
+        let mut attempts = 0;
+        loop {
+            if let Some((i, conn)) = c.conn {
+                if self.instances[i].conn_dead(conn) {
+                    self.instances[i].report.records.push(RequestRecord {
+                        start: due,
+                        end: due,
+                        ok: false,
+                    });
+                    c.conn = None;
+                    if attempts == 0 {
+                        attempts += 1;
+                        counters.retried += 1;
+                        continue;
+                    }
+                    let reason = "connection reset twice".to_owned();
+                    let rung = ladder.note_failure(i, due, &reason);
+                    return (due, rung.map(|r| (i, r, reason)));
+                }
+                if balancer.should_migrate(&mut self.instances, i, due)
+                    || balancer.should_return_home(&self.instances, i, c.home, due)
+                {
+                    self.instances[i].close(conn);
+                    c.conn = None;
+                    counters.redirects += 1;
+                }
+            }
+
+            let target = match c.conn {
+                Some((i, _)) => i,
+                None => balancer
+                    .home_target(&self.instances, c.home, due)
+                    .unwrap_or_else(|| balancer.route(&mut self.instances, due)),
+            };
+            if c.home.is_none() {
+                c.home = Some(target);
+            }
+            let inst = &mut self.instances[target];
+            let t0 = inst.sys.clock().now();
+            let conn = match c.conn {
+                Some((_, conn)) => conn,
+                None => match inst.connect() {
+                    Ok(conn) => {
+                        if c.ever_connected {
+                            inst.report.reconnects += 1;
+                        }
+                        c.ever_connected = true;
+                        c.conn = Some((target, conn));
+                        conn
+                    }
+                    Err(err) => {
+                        inst.report.records.push(RequestRecord {
+                            start: due,
+                            end: due,
+                            ok: false,
+                        });
+                        let reason = format!("connect failed: {err}");
+                        let rung = ladder.note_failure(target, due, &reason);
+                        return (due, rung.map(|r| (target, r, reason)));
+                    }
+                },
+            };
+
+            let send_ok = inst
+                .sys
+                .host()
+                .with(|w| w.network_mut().send(conn, request.as_bytes()))
+                .is_ok();
+            let mut served = false;
+            let mut response = Vec::new();
+            if send_ok {
+                inst.sys.clock().advance(one_way);
+                if let Err(err) = inst.app.poll(&mut inst.sys) {
+                    inst.observe_detector(due);
+                    inst.report.records.push(RequestRecord {
+                        start: due,
+                        end: due,
+                        ok: false,
+                    });
+                    c.conn = None;
+                    let reason = format!("poll failed: {err}");
+                    let rung = ladder.note_failure(target, due, &reason);
+                    return (due, rung.map(|r| (target, r, reason)));
+                }
+                inst.sys.clock().advance(one_way);
+                response = inst
+                    .sys
+                    .host()
+                    .with(|w| w.network_mut().recv(conn))
+                    .unwrap_or_default();
+                served = response.starts_with(b"HTTP/1.1 200") && !inst.conn_dead(conn);
+            }
+            inst.observe_detector(due);
+
+            let delta = inst.sys.clock().now().saturating_sub(t0);
+            let service = delta.saturating_sub(one_way + one_way);
+            let arrival = due + one_way;
+            let busy_from = arrival.max(inst.next_free());
+            let end = busy_from + service + one_way;
+            let ok = served && end.saturating_sub(due) <= load.timeout;
+            let mut pending = None;
+            if served {
+                // A served response is a ladder success even when it blows
+                // the client deadline: the recovery plane worked, only the
+                // queue was long. The acked-loss oracle separately checks
+                // that what the client acknowledged was the truth.
+                ladder.note_success(target);
+                let acked_bad = match ladder.expected_body() {
+                    Some(expected) => {
+                        let body = response
+                            .windows(4)
+                            .position(|w| w == b"\r\n\r\n")
+                            .map(|p| &response[p + 4..])
+                            .unwrap_or(&[]);
+                        body != expected
+                    }
+                    None => false,
+                };
+                if acked_bad {
+                    ladder.note_acked_bad();
+                }
+                inst.note_service(busy_from + service, end);
+                if !load.keepalive {
+                    inst.close(conn);
+                    c.conn = None;
+                }
+            } else {
+                c.conn = None;
+                let reason = "request not served".to_owned();
+                pending = ladder
+                    .note_failure(target, due, &reason)
+                    .map(|r| (target, r, reason));
+            }
+            inst.report.records.push(RequestRecord {
+                start: due,
+                end,
+                ok,
+            });
+            return (end, pending);
+        }
+    }
+
     /// The retired tick-polling drive loop, kept as an executable
     /// reference model for [`Fleet::run`]: it scans the whole client
     /// population for the earliest due request every iteration, so its
@@ -415,6 +760,58 @@ impl Fleet {
                 inst.ack_downtime();
             }
             FleetOpKind::Inject(fault) => inst.sys.inject_fault(fault.clone()),
+            FleetOpKind::RecoveryFault(fault) => Fleet::apply_recovery_fault(inst, fault)?,
+        }
+        Ok(())
+    }
+
+    /// Arms one recovery-plane fault on `inst`. Everything except
+    /// [`RecoveryFault::BalancerStaleView`] acts on instance state here;
+    /// the stale view needs the balancer, which only the run loops hold,
+    /// so [`Fleet::run_supervised`] applies it after the op fires (and
+    /// plain [`Fleet::run`] ignores it).
+    fn apply_recovery_fault(inst: &mut Instance, fault: &RecoveryFault) -> Result<(), OsError> {
+        match fault {
+            RecoveryFault::NinepCorrupt { count } => inst.sys.host().with(|w| {
+                w.ninep_mut()
+                    .inject_glitch(NinePGlitch::Corrupt { count: *count })
+            }),
+            RecoveryFault::NinepCorruptSilent { count } => inst.sys.host().with(|w| {
+                w.ninep_mut()
+                    .inject_glitch(NinePGlitch::CorruptSilent { count: *count });
+            }),
+            RecoveryFault::NinepStall => inst
+                .sys
+                .host()
+                .with(|w| w.ninep_mut().inject_glitch(NinePGlitch::Stall)),
+            RecoveryFault::VirtioDrop => inst
+                .sys
+                .host()
+                .with(|w| w.inject_ninep_ring_glitch(RingGlitch::DropNext)),
+            RecoveryFault::VirtioDup => inst
+                .sys
+                .host()
+                .with(|w| w.inject_ninep_ring_glitch(RingGlitch::DupNext)),
+            RecoveryFault::DetectorFalseNegative { window } => {
+                inst.sys.suppress_detection(*window);
+            }
+            RecoveryFault::DetectorFalsePositive { component } => {
+                // The needless reboot runs right here; its downtime window
+                // is deliberately *not* acked — the recovery-aware
+                // balancer must discover it through the detector and
+                // drain around it.
+                let _ = inst.sys.spurious_detection(component)?;
+            }
+            RecoveryFault::BalancerStaleView { .. } => {}
+            RecoveryFault::CheckpointCorrupt { component } => {
+                inst.sys.corrupt_boot_checkpoint(component);
+            }
+            RecoveryFault::ReplayDivergence { component } => {
+                let _ = inst.sys.corrupt_replay_log(component);
+            }
+            RecoveryFault::RebootDuringReboot { component } => {
+                inst.sys.arm_reboot_interrupt(component);
+            }
         }
         Ok(())
     }
@@ -438,6 +835,7 @@ impl Fleet {
             FleetOpKind::RejuvenateComponents => ("rejuvenate", Some(inst.recovery_until())),
             FleetOpKind::FullReboot => ("full_reboot", Some(inst.recovery_until())),
             FleetOpKind::Inject(_) => ("inject", None),
+            FleetOpKind::RecoveryFault(fault) => (fault.name(), None),
         };
         sink.with(|hub| {
             Collector::instant(hub, "fleet", name, &label, at);

@@ -199,3 +199,88 @@ impl Instance {
         let _ = self.sys.host().with(|w| w.network_mut().close(conn));
     }
 }
+
+#[cfg(test)]
+mod tests {
+    //! Regression tests for the recovery-aware clock-domain fix: the
+    //! failure detector records downtime windows on the shared *execution*
+    //! clock, which runs far ahead of the request (arrival-grid) domain
+    //! that `recovery_until` lives in. Copying a detector absolute into
+    //! `recovery_until` once made rebooted instances look in-recovery for
+    //! the rest of the run and clumped all clients onto the unfaulted
+    //! prefix of the fleet.
+
+    use super::*;
+
+    fn booted() -> Instance {
+        Instance::boot(0, &FleetConfig::default(), SimClock::default()).expect("boot")
+    }
+
+    #[test]
+    fn unscheduled_downtime_carries_durations_not_absolutes() {
+        let mut inst = booted();
+        inst.sys.reboot_component("vfs").expect("reboot");
+        let window = inst.sys.stats().downtime.last().expect("window").clone();
+        let duration = window.end.saturating_sub(window.start);
+        assert!(duration > Nanos::ZERO);
+
+        // A request observes the fault early in grid time. The execution
+        // clock (and the window's absolutes) are far past that already:
+        // boot alone takes longer than the whole observation point.
+        let at = Nanos::from_millis(2);
+        assert!(window.end > at, "precondition: clock domains diverged");
+        inst.observe_detector(at);
+
+        assert_eq!(
+            inst.recovery_until(),
+            at + duration,
+            "an unscheduled window must drain for its duration past the \
+             observing request"
+        );
+        assert!(
+            inst.recovery_until() < window.end,
+            "execution-clock absolute leaked into grid-domain recovery_until"
+        );
+    }
+
+    #[test]
+    fn scheduled_plan_ops_ack_their_own_windows() {
+        let mut inst = booted();
+
+        // A plan op performs the reboot and books its window in request
+        // time itself (`note_maintenance`), then acks the detector record
+        // so `observe_detector` won't double-book it.
+        let at = Nanos::from_millis(3);
+        let t0 = inst.sys.clock().now();
+        inst.sys.rejuvenate_all().expect("rejuvenation");
+        let dur = inst.sys.clock().now().saturating_sub(t0);
+        inst.note_maintenance(at, dur);
+        inst.ack_downtime();
+        let booked = inst.recovery_until();
+        assert!(booked >= at + dur);
+
+        // Later requests re-consult the detector; the acked windows must
+        // not extend the recovery window a second time.
+        inst.observe_detector(Nanos::from_millis(4));
+        assert_eq!(
+            inst.recovery_until(),
+            booked,
+            "detector downtime acked by a scheduled op was carried into \
+             recovery_until again"
+        );
+    }
+
+    #[test]
+    fn observation_is_idempotent_once_windows_are_seen() {
+        let mut inst = booted();
+        inst.sys.reboot_component("vfs").expect("reboot");
+        let at = Nanos::from_millis(2);
+        inst.observe_detector(at);
+        let first = inst.recovery_until();
+
+        // The same windows observed again (by a later request) are already
+        // counted; only *new* downtime may extend the drain.
+        inst.observe_detector(Nanos::from_millis(30));
+        assert_eq!(inst.recovery_until(), first);
+    }
+}

@@ -61,8 +61,10 @@ pub mod balancer;
 pub mod engine;
 pub mod fleet;
 pub mod instance;
+pub mod ladder;
 pub mod oracle;
 pub mod plan;
+pub mod recursive;
 pub mod report;
 pub mod single;
 
@@ -70,7 +72,12 @@ pub use balancer::{Balancer, Policy};
 pub use engine::ArrivalShape;
 pub use fleet::{Fleet, FleetConfig, FleetLoad};
 pub use instance::Instance;
+pub use ladder::{EscalationLadder, Rung, RungEvent};
 pub use oracle::{check_equivalence, check_liveness, FleetViolation};
-pub use plan::{FleetOp, FleetOpKind, FleetPlan};
+pub use plan::{FleetOp, FleetOpKind, FleetPlan, RecoveryFault};
+pub use recursive::{
+    expected_rungs, generate_recursive_spec, run_recursive_campaign, run_recursive_campaign_traced,
+    FaultClass, PlantKind, RecursiveCampaignReport, RecursiveCampaignSpec, RecursiveViolation,
+};
 pub use report::FleetRunReport;
 pub use single::run_single;

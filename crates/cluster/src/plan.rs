@@ -4,6 +4,102 @@
 use vampos_core::InjectedFault;
 use vampos_sim::Nanos;
 
+/// A fault aimed at the *recovery machinery itself* rather than at a
+/// component's business logic: the 9P server, the virtio rings, the
+/// failure detector, the balancer's view of the fleet, checkpoints, the
+/// replay log, and the reboot engine. These are what the `recursive` chaos
+/// family injects; the escalation ladder is what is supposed to survive
+/// them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecoveryFault {
+    /// The 9P server answers the next `count` RPCs with a loud
+    /// payload-validation error. Cleared by a fresh `Attach` (session
+    /// re-establishment — part of component-level recovery).
+    NinepCorrupt {
+        /// RPCs corrupted before the glitch drains on its own.
+        count: u32,
+    },
+    /// The 9P server flips bytes in the next `count` `Read` payloads but
+    /// reports success — the silent variant that only an end-to-end
+    /// content oracle can catch.
+    NinepCorruptSilent {
+        /// Read RPCs corrupted.
+        count: u32,
+    },
+    /// The 9P server stalls: every RPC (including the remount during a
+    /// full reboot) exceeds its deadline until the instance is failed
+    /// over.
+    NinepStall,
+    /// The host side of the 9P virtio ring drops the next descriptor
+    /// without advancing its expected id — the ring desynchronizes and
+    /// stays broken until a host-device reset (full reboot).
+    VirtioDrop,
+    /// The host side acknowledges the next descriptor twice (advances its
+    /// expected id one extra step) — same sticky desynchronization.
+    VirtioDup,
+    /// The failure detector misses the next `window` real failures:
+    /// errors propagate raw, the slot is marked down, and no recovery
+    /// runs until the ladder steps in.
+    DetectorFalseNegative {
+        /// Failures missed.
+        window: u32,
+    },
+    /// The failure detector fires with no underlying failure, triggering
+    /// a needless reboot of `component` and an unscheduled recovery
+    /// window the balancer must drain around.
+    DetectorFalsePositive {
+        /// Component the detector wrongly accuses.
+        component: String,
+    },
+    /// The balancer's view of the fleet freezes for `window`: drains and
+    /// recovery windows opened after the snapshot are invisible, so it
+    /// keeps routing to instances that are mid-maintenance.
+    BalancerStaleView {
+        /// How long the stale snapshot keeps answering eligibility.
+        window: Nanos,
+    },
+    /// `component`'s boot checkpoint fails validation on the next reboot
+    /// attempt; only a full reboot (which recaptures checkpoints) clears
+    /// the corruption.
+    CheckpointCorrupt {
+        /// Component whose checkpoint is corrupted.
+        component: String,
+    },
+    /// The newest live entry in `component`'s function log is corrupted,
+    /// so the next reboot's replay diverges from the recorded returns and
+    /// the system fail-stops until a full reboot clears the logs.
+    ReplayDivergence {
+        /// Component whose log record is corrupted.
+        component: String,
+    },
+    /// The next reboot of `component` is interrupted midway by a second
+    /// reboot request: the attempt aborts (state restored, slot down) and
+    /// the interrupt is consumed, so the *following* reboot succeeds.
+    RebootDuringReboot {
+        /// Component whose reboot is interrupted.
+        component: String,
+    },
+}
+
+impl RecoveryFault {
+    /// Short display name used in telemetry and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RecoveryFault::NinepCorrupt { .. } => "ninep-corrupt",
+            RecoveryFault::NinepCorruptSilent { .. } => "ninep-corrupt-silent",
+            RecoveryFault::NinepStall => "ninep-stall",
+            RecoveryFault::VirtioDrop => "virtio-drop",
+            RecoveryFault::VirtioDup => "virtio-dup",
+            RecoveryFault::DetectorFalseNegative { .. } => "detector-false-negative",
+            RecoveryFault::DetectorFalsePositive { .. } => "detector-false-positive",
+            RecoveryFault::BalancerStaleView { .. } => "balancer-stale-view",
+            RecoveryFault::CheckpointCorrupt { .. } => "checkpoint-corrupt",
+            RecoveryFault::ReplayDivergence { .. } => "replay-divergence",
+            RecoveryFault::RebootDuringReboot { .. } => "reboot-during-reboot",
+        }
+    }
+}
+
 /// What a fleet operation does to its target instance.
 #[derive(Debug, Clone, PartialEq)]
 pub enum FleetOpKind {
@@ -19,6 +115,12 @@ pub enum FleetOpKind {
     FullReboot,
     /// Arm a fault on the instance (chaos campaigns).
     Inject(InjectedFault),
+    /// Arm a fault on the instance's *recovery plane* (recursive chaos
+    /// campaigns). [`RecoveryFault::BalancerStaleView`] needs the
+    /// balancer and therefore only takes effect under
+    /// [`Fleet::run_supervised`](crate::Fleet::run_supervised); every
+    /// other variant also works under plain `run`.
+    RecoveryFault(RecoveryFault),
 }
 
 /// One scheduled operation against one instance.

@@ -97,6 +97,65 @@ proptest! {
     }
 }
 
+// Pinned-seed regressions, promoted to named always-run tests. The
+// in-workspace proptest shim ignores `*.proptest-regressions` files, so
+// interesting cases the property above has caught (or corners of its
+// envelope worth holding forever) are re-run here explicitly through the
+// same extracted check.
+
+#[test]
+fn regression_single_instance_rolling_full_reboot() {
+    // N=1 leaves the balancer no alternative target: every full-reboot
+    // window must stall arrivals in both engines identically.
+    let load = FleetLoad {
+        clients: 9,
+        requests_per_client: 14,
+        think_time: Nanos::from_micros(350),
+        ..FleetLoad::default()
+    };
+    assert_engines_agree(1, 0xB31A_0139, &load, Policy::LeastOutstanding, 2);
+}
+
+#[test]
+fn regression_sixteen_instances_recovery_aware_rolling_rejuvenation() {
+    // The widest fleet in the property's envelope, under the policy that
+    // consults recovery windows the plan keeps reopening.
+    let load = FleetLoad {
+        clients: 23,
+        requests_per_client: 11,
+        think_time: Nanos::from_micros(5_900),
+        ..FleetLoad::default()
+    };
+    assert_engines_agree(16, 0x1381_5DD7, &load, Policy::RecoveryAware, 1);
+}
+
+#[test]
+fn regression_zero_request_load_still_runs_plan_ops() {
+    // requests_per_client = 0: the run is plan ops only, no arrivals —
+    // the heap must still drain the maintenance schedule like the tick
+    // loop does.
+    let load = FleetLoad {
+        clients: 5,
+        requests_per_client: 0,
+        think_time: Nanos::from_micros(1_000),
+        ..FleetLoad::default()
+    };
+    assert_engines_agree(4, 0xEAAE_A316, &load, Policy::RoundRobin, 1);
+}
+
+#[test]
+fn regression_simultaneous_rejuvenation_under_dense_round_robin() {
+    // Every instance enters maintenance at the same instant mid-load; the
+    // (time, class, actor, seq) tiebreak decides who reboots first.
+    let load = FleetLoad {
+        clients: 20,
+        requests_per_client: 30,
+        think_time: Nanos::from_micros(120),
+        ..FleetLoad::default()
+    };
+    assert_engines_agree(4, 0x519F_90F7, &load, Policy::RoundRobin, 3);
+}
+
 #[test]
 fn engines_agree_on_equal_time_arrivals_and_plan_ops() {
     // think_time 0 collapses every client onto one instant, and the plan

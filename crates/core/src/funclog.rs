@@ -219,6 +219,24 @@ impl FunctionLog {
         self.close_index.clear();
     }
 
+    /// Chaos hook: overwrites the newest live entry's logged return value
+    /// so the next replay deterministically diverges from the log
+    /// (replay-divergence fault injection). The incremental byte total is
+    /// kept consistent. Returns whether an entry was corrupted (false on
+    /// an empty log).
+    pub fn corrupt_newest_ret(&mut self) -> bool {
+        for slot in self.slots.iter_mut().rev() {
+            if let Some(arc) = slot.as_mut() {
+                let before = arc.byte_len();
+                let entry = Arc::make_mut(arc);
+                entry.ret = Value::from("corrupted-log-record");
+                self.bytes = self.bytes - before + entry.byte_len();
+                return true;
+            }
+        }
+        false
+    }
+
     /// Links `slot` into the indices according to its entry's tag.
     fn link(&mut self, slot: usize) {
         let entry = self.slots[slot].as_ref().expect("link: live slot");

@@ -171,6 +171,16 @@ impl System {
             .take()
             .ok_or_else(|| OsError::Io(format!("{} busy during reboot", self.slots[idx].name)))?;
 
+        // Corrupted checkpoint bytes (chaos fault injection): the stored
+        // boot image fails validation before anything is restored. The
+        // slot stays down; only a full reboot recaptures the checkpoint.
+        if self.slots[idx].checkpoint_corrupt {
+            self.slots[idx].comp = Some(comp);
+            return Err(OsError::Io(format!(
+                "{member_name} boot checkpoint fails validation (corrupt bytes)"
+            )));
+        }
+
         // Runtime-data extraction (§V-B): data replay cannot rebuild.
         let extract = comp.extract_runtime();
 
@@ -206,6 +216,23 @@ impl System {
 
         // Attach a fresh thread (§V-A).
         self.clock.advance(self.costs.thread_spawn);
+
+        // Reboot-during-reboot (chaos fault injection): a second reboot
+        // request preempts this one after the checkpoint phase. The
+        // runtime data goes back into the component so the follow-up
+        // attempt (which consumes the armed interrupt) can re-extract it;
+        // the slot stays down until then.
+        if self.reboot_interrupts.remove(&member_name) {
+            let restored = match extract {
+                Some(data) => comp.restore_runtime(data),
+                None => Ok(()),
+            };
+            self.slots[idx].comp = Some(comp);
+            restored?;
+            return Err(OsError::Io(format!(
+                "reboot of {member_name} interrupted by a second reboot request"
+            )));
+        }
 
         // Encapsulated restoration: replay the selected log entries with
         // downcalls answered from the return-value log.
@@ -312,6 +339,40 @@ impl System {
         self.reboot_index(tid)
     }
 
+    /// Fires the failure detector against a perfectly healthy component —
+    /// a detector *false positive* (chaos fault injection). The detector
+    /// pays its usual check cost, reports a spurious failure, and the
+    /// component is needlessly rebooted, opening a real downtime window
+    /// with no fault behind it.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::UnknownComponent`] for unknown names,
+    /// [`OsError::Unrebootable`] for host-shared components; reboot errors
+    /// otherwise.
+    pub fn spurious_detection(&mut self, component: &str) -> Result<RebootOutcome, OsError> {
+        let &tid = self
+            .by_name
+            .get(component)
+            .ok_or_else(|| OsError::UnknownComponent(component.to_owned()))?;
+        if !self.slots[tid].desc.is_rebootable() {
+            return Err(OsError::Unrebootable {
+                component: component.to_owned(),
+            });
+        }
+        self.stats.spurious_detections += 1;
+        let detect_start = self.clock.now();
+        self.clock.advance(self.costs.detector_check);
+        let detect_end = self.clock.now();
+        self.emit(|c| c.failure_detected(component, "spurious", detect_end));
+        self.pending_recovery = Some(PendingRecovery {
+            kind: "spurious",
+            detect_start,
+            detect_end,
+        });
+        self.reboot_index(tid)
+    }
+
     /// The conventional recovery baseline: restart the whole
     /// unikernel-linked application. Every client connection is reset, all
     /// component state and logs are discarded, and the application layer
@@ -337,6 +398,7 @@ impl System {
             slot.log.clear();
             slot.up = true;
             slot.condemned = false;
+            slot.checkpoint_corrupt = false;
         }
         // VIRTIO's reset cleared the guest ring mirrors; a *full* reboot
         // resets the host side too (the hypervisor re-creates the device) —
@@ -346,6 +408,8 @@ impl System {
         self.clock.advance(self.costs.full_boot);
         self.failed = false;
         self.faults.clear();
+        self.detector_suppressed = 0;
+        self.reboot_interrupts.clear();
 
         if self.by_name.contains_key("9pfs") {
             self.syscall(
@@ -395,6 +459,19 @@ impl System {
         func: &str,
         args: &[Value],
     ) -> Result<Value, OsError> {
+        if self.detector_suppressed > 0 {
+            // False-negative window (chaos fault injection): the detector
+            // sleeps through this failure. The component stays down and
+            // the raw error propagates with no recovery attempt — only an
+            // outside actor (e.g. an escalation rung) brings it back.
+            self.detector_suppressed -= 1;
+            self.stats.missed_detections += 1;
+            self.slots[tid].up = false;
+            let at = self.clock.now();
+            let text = format!("detector missed failure of {target}: {err}");
+            self.emit(|c| c.note(&text, at));
+            return Err(err);
+        }
         self.stats.failures += 1;
         let detect_start = self.clock.now();
         self.clock.advance(self.costs.detector_check);

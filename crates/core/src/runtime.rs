@@ -33,6 +33,10 @@ pub(crate) struct Slot {
     pub(crate) reboots: u64,
     /// Permanently down (graceful degradation after unrecoverable failure).
     pub(crate) condemned: bool,
+    /// The stored boot checkpoint fails validation (chaos fault injection);
+    /// the next component reboot aborts at the restore phase. Cleared by a
+    /// full reboot, which recaptures the checkpoint from scratch.
+    pub(crate) checkpoint_corrupt: bool,
 }
 
 impl std::fmt::Debug for Slot {
@@ -91,6 +95,13 @@ pub struct System {
     pub(crate) booted_at: Nanos,
     pub(crate) telemetry: Option<TelemetrySink>,
     pub(crate) pending_recovery: Option<PendingRecovery>,
+    /// Failure-detector false-negative window: while positive, detected
+    /// failures are counted but *not* recovered (the error propagates raw
+    /// and the slot stays down). Chaos fault injection.
+    pub(crate) detector_suppressed: u32,
+    /// Components whose next reboot aborts partway (reboot-during-reboot
+    /// chaos fault injection); each entry is consumed by one aborted reboot.
+    pub(crate) reboot_interrupts: std::collections::BTreeSet<String>,
 }
 
 /// Detection context stashed by the failure paths so the recovery span a
@@ -350,6 +361,7 @@ impl SystemBuilder {
                 boot_snapshot: None,
                 reboots: 0,
                 condemned: false,
+                checkpoint_corrupt: false,
             });
         }
         mpk.register(names::MSG_DOMAIN)
@@ -382,6 +394,8 @@ impl SystemBuilder {
             booted_at: Nanos::ZERO,
             telemetry: self.telemetry,
             pending_recovery: None,
+            detector_suppressed: 0,
+            reboot_interrupts: std::collections::BTreeSet::new(),
         };
         sys.boot()?;
         Ok(sys)
@@ -545,6 +559,50 @@ impl System {
     /// ([`InjectedFault::fired`] > 0) or was consumed (absent here).
     pub fn armed_faults(&self) -> &[crate::faults::InjectedFault] {
         self.faults.faults()
+    }
+
+    /// Arms a failure-detector false-negative window (chaos fault
+    /// injection): the next `n` detected failures are counted in
+    /// [`SystemStats::missed_detections`](crate::SystemStats) but not
+    /// recovered — the error propagates raw and the faulty component stays
+    /// down until something else (e.g. an escalation rung) reboots it.
+    pub fn suppress_detection(&mut self, n: u32) {
+        self.detector_suppressed = n;
+    }
+
+    /// Remaining suppressed-detection budget.
+    pub fn detector_suppressed(&self) -> u32 {
+        self.detector_suppressed
+    }
+
+    /// Marks `component`'s stored boot checkpoint as failing validation
+    /// (chaos fault injection): the next component reboot aborts at the
+    /// checkpoint-restore phase. A full reboot recaptures the checkpoint
+    /// and clears the flag. Unknown names are ignored.
+    pub fn corrupt_boot_checkpoint(&mut self, component: &str) {
+        if let Some(&idx) = self.by_name.get(component) {
+            self.slots[idx].checkpoint_corrupt = true;
+        }
+    }
+
+    /// Corrupts the newest live entry of `component`'s function log (chaos
+    /// fault injection): the next reboot's replay deterministically
+    /// diverges from the logged return value. Returns whether an entry was
+    /// corrupted (false for unknown names or empty logs).
+    pub fn corrupt_replay_log(&mut self, component: &str) -> bool {
+        match self.by_name.get(component) {
+            Some(&idx) => self.slots[idx].log.corrupt_newest_ret(),
+            None => false,
+        }
+    }
+
+    /// Arms a reboot-during-reboot interrupt for `component` (chaos fault
+    /// injection): its next reboot aborts between the checkpoint-restore
+    /// and replay phases, as if a second reboot request preempted it. The
+    /// interrupt is consumed by the aborted attempt, so a follow-up reboot
+    /// runs to completion.
+    pub fn arm_reboot_interrupt(&mut self, component: &str) {
+        self.reboot_interrupts.insert(component.to_owned());
     }
 
     /// Whether `component` can be rebooted alone (`None` for unknown

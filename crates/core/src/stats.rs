@@ -53,6 +53,12 @@ pub struct SystemStats {
     pub downtime: Vec<DowntimeWindow>,
     /// Calls that were retried after an in-line recovery.
     pub recovered_calls: u64,
+    /// Failures the detector observed but did not act on (false-negative
+    /// windows armed by chaos fault injection).
+    pub missed_detections: u64,
+    /// Detector firings with no underlying failure (false positives armed
+    /// by chaos fault injection); each one triggers a needless reboot.
+    pub spurious_detections: u64,
     /// Multi-version swaps performed after recurring failures.
     pub version_swaps: u64,
     /// Live component updates performed.

@@ -28,6 +28,6 @@ pub mod virtio;
 pub mod world;
 
 pub use netpeer::{ClientConnId, ClientConnState, Frame, HostNetwork, TcpFlags};
-pub use ninep::{Fid, NinePError, NinePRequest, NinePResponse, NinePServer, Qid};
-pub use virtio::{Descriptor, VirtQueue, VirtQueueError};
+pub use ninep::{Fid, NinePError, NinePGlitch, NinePRequest, NinePResponse, NinePServer, Qid};
+pub use virtio::{Descriptor, RingGlitch, VirtQueue, VirtQueueError};
 pub use world::{HostHandle, HostWorld};

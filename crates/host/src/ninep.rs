@@ -49,6 +49,13 @@ pub enum NinePError {
     NotOpen(Fid),
     /// Directory not empty on remove.
     NotEmpty(String),
+    /// The RPC payload failed validation — an armed corruption window
+    /// (chaos fault injection) garbled the message in flight.
+    Corrupted,
+    /// The server process is wedged and the RPC deadline passed. Unlike a
+    /// corruption window, a stall is not cleared by renegotiating the
+    /// session: only host-side intervention helps.
+    Stalled,
 }
 
 impl fmt::Display for NinePError {
@@ -61,6 +68,8 @@ impl fmt::Display for NinePError {
             NinePError::AlreadyExists(p) => write!(f, "9p: already exists: {p}"),
             NinePError::NotOpen(fid) => write!(f, "9p: {fid} not open"),
             NinePError::NotEmpty(p) => write!(f, "9p: directory not empty: {p}"),
+            NinePError::Corrupted => f.write_str("9p: RPC payload failed validation (corrupted)"),
+            NinePError::Stalled => f.write_str("9p: server stalled, RPC deadline exceeded"),
         }
     }
 }
@@ -208,6 +217,30 @@ struct FidState {
     open: bool,
 }
 
+/// Server-side misbehaviour armed by the chaos harness: the 9P *server*
+/// (not the guest) is the faulty party, exercising the recovery machinery's
+/// own dependency on the host plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NinePGlitch {
+    /// The next `count` RPCs fail loudly with [`NinePError::Corrupted`].
+    /// Cleared early by a fresh `Attach` (session renegotiation).
+    Corrupt {
+        /// Remaining RPCs to corrupt.
+        count: u32,
+    },
+    /// The next `count` successful `Read` responses have their payload
+    /// bytes flipped while the status still reports success — the
+    /// acknowledged-loss hazard the chaos oracles exist to catch.
+    CorruptSilent {
+        /// Remaining reads to corrupt.
+        count: u32,
+    },
+    /// Every RPC fails with [`NinePError::Stalled`] until the host process
+    /// is replaced; neither re-attach nor [`NinePServer::clear_session_glitch`]
+    /// clears it.
+    Stall,
+}
+
 /// The in-memory 9P file server.
 ///
 /// # Example
@@ -233,6 +266,7 @@ pub struct NinePServer {
     fids: BTreeMap<Fid, FidState>,
     fsyncs: u64,
     requests: u64,
+    glitch: Option<NinePGlitch>,
 }
 
 const ROOT: u64 = 1;
@@ -261,6 +295,7 @@ impl NinePServer {
             fids: BTreeMap::new(),
             fsyncs: 0,
             requests: 0,
+            glitch: None,
         }
     }
 
@@ -329,10 +364,38 @@ impl NinePServer {
     /// carried in [`NinePResponse::Err`], mirroring 9P's `Rerror`).
     pub fn handle(&mut self, req: NinePRequest) -> NinePResponse {
         self.requests += 1;
-        match self.handle_inner(req) {
+        match self.glitch {
+            Some(NinePGlitch::Stall) => return NinePResponse::Err(NinePError::Stalled),
+            Some(NinePGlitch::Corrupt { .. }) | Some(NinePGlitch::CorruptSilent { .. })
+                if matches!(req, NinePRequest::Attach { .. }) =>
+            {
+                // A fresh attach renegotiates the session; corruption
+                // windows do not survive it (a stall would).
+                self.glitch = None;
+            }
+            Some(NinePGlitch::Corrupt { count }) => {
+                self.glitch = (count > 1).then_some(NinePGlitch::Corrupt { count: count - 1 });
+                return NinePResponse::Err(NinePError::Corrupted);
+            }
+            _ => {}
+        }
+        let is_read = matches!(req, NinePRequest::Read { .. });
+        let mut resp = match self.handle_inner(req) {
             Ok(resp) => resp,
             Err(e) => NinePResponse::Err(e),
+        };
+        if let Some(NinePGlitch::CorruptSilent { count }) = self.glitch {
+            if is_read {
+                if let NinePResponse::Data(data) = &mut resp {
+                    for byte in data.iter_mut() {
+                        *byte ^= 0x5a;
+                    }
+                }
+                self.glitch =
+                    (count > 1).then_some(NinePGlitch::CorruptSilent { count: count - 1 });
+            }
         }
+        resp
     }
 
     fn handle_inner(&mut self, req: NinePRequest) -> Result<NinePResponse, NinePError> {
@@ -561,6 +624,27 @@ impl NinePServer {
     /// observes when the guest's 9PFS component crashes before re-attach.
     pub fn drop_all_fids(&mut self) {
         self.fids.clear();
+    }
+
+    /// Arms a server-side glitch (chaos fault injection). Replaces any
+    /// previously armed glitch.
+    pub fn inject_glitch(&mut self, glitch: NinePGlitch) {
+        self.glitch = Some(glitch);
+    }
+
+    /// Operator-side session repair: clears a corruption window (the guest
+    /// tears the session down and renegotiates). A [`NinePGlitch::Stall`]
+    /// is a wedge in the server process itself and is *not* cleared — only
+    /// replacing the host process (fleet failover) escapes it.
+    pub fn clear_session_glitch(&mut self) {
+        if !matches!(self.glitch, Some(NinePGlitch::Stall)) {
+            self.glitch = None;
+        }
+    }
+
+    /// The currently armed glitch, if any.
+    pub fn glitch(&self) -> Option<NinePGlitch> {
+        self.glitch
     }
 
     /// Number of `fsync` requests served (the AOF experiments read this).
@@ -894,6 +978,85 @@ mod tests {
             }),
             NinePResponse::Data(b"a\nb".to_vec())
         );
+    }
+
+    #[test]
+    fn corrupt_window_fails_loudly_then_drains() {
+        let mut srv = NinePServer::new();
+        srv.put_file("/f", b"x");
+        attach(&mut srv);
+        srv.inject_glitch(NinePGlitch::Corrupt { count: 2 });
+        for _ in 0..2 {
+            assert_eq!(
+                srv.handle(NinePRequest::Stat { fid: Fid(0) }),
+                NinePResponse::Err(NinePError::Corrupted)
+            );
+        }
+        // Window exhausted: service resumes.
+        assert!(matches!(
+            srv.handle(NinePRequest::Stat { fid: Fid(0) }),
+            NinePResponse::Stat { .. }
+        ));
+        assert_eq!(srv.glitch(), None);
+    }
+
+    #[test]
+    fn attach_clears_corruption_but_not_stall() {
+        let mut srv = NinePServer::new();
+        srv.inject_glitch(NinePGlitch::Corrupt { count: 100 });
+        attach(&mut srv); // renegotiation clears the window
+        assert_eq!(srv.glitch(), None);
+
+        srv.inject_glitch(NinePGlitch::Stall);
+        assert_eq!(
+            srv.handle(NinePRequest::Attach { fid: Fid(7) }),
+            NinePResponse::Err(NinePError::Stalled)
+        );
+        srv.clear_session_glitch(); // session repair cannot unwedge a stall
+        assert_eq!(srv.glitch(), Some(NinePGlitch::Stall));
+    }
+
+    #[test]
+    fn silent_corruption_flips_read_bytes_with_success_status() {
+        let mut srv = NinePServer::new();
+        srv.put_file("/f", b"abc");
+        attach(&mut srv);
+        srv.handle(NinePRequest::Walk {
+            fid: Fid(0),
+            newfid: Fid(1),
+            names: vec!["f".into()],
+        });
+        srv.handle(NinePRequest::Open {
+            fid: Fid(1),
+            truncate: false,
+        });
+        srv.inject_glitch(NinePGlitch::CorruptSilent { count: 1 });
+        // Non-read requests pass through unscathed and do not consume the window.
+        assert!(matches!(
+            srv.handle(NinePRequest::Stat { fid: Fid(1) }),
+            NinePResponse::Stat { .. }
+        ));
+        let garbled: Vec<u8> = b"abc".iter().map(|b| b ^ 0x5a).collect();
+        assert_eq!(
+            srv.handle(NinePRequest::Read {
+                fid: Fid(1),
+                offset: 0,
+                count: 64
+            }),
+            NinePResponse::Data(garbled)
+        );
+        // Window consumed: the next read is clean.
+        assert_eq!(
+            srv.handle(NinePRequest::Read {
+                fid: Fid(1),
+                offset: 0,
+                count: 64
+            }),
+            NinePResponse::Data(b"abc".to_vec())
+        );
+        srv.inject_glitch(NinePGlitch::CorruptSilent { count: 3 });
+        srv.clear_session_glitch();
+        assert_eq!(srv.glitch(), None);
     }
 
     #[test]

@@ -56,6 +56,22 @@ impl fmt::Display for VirtQueueError {
 
 impl Error for VirtQueueError {}
 
+/// Host-peer ring misbehaviour armed by the chaos harness: the *device
+/// side* mishandles exactly one descriptor, after which its id expectation
+/// disagrees with the guest's and the queue desynchronises on the next
+/// submission — only [`VirtQueue::host_device_reset`] resynchronises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RingGlitch {
+    /// The peer drops the next descriptor on the floor: no completion is
+    /// produced and the host's expectation never advances, so the guest's
+    /// following id arrives out of sequence.
+    DropNext,
+    /// The peer fetches the next descriptor twice, consuming a phantom
+    /// ring slot: the request succeeds but the host's expectation runs one
+    /// ahead of the guest's ids.
+    DupNext,
+}
+
 /// One direction of a virtio device: guest submits requests, host services
 /// them and pushes completions.
 ///
@@ -83,6 +99,7 @@ pub struct VirtQueue<Req, Resp> {
     kicks: u64,
     serviced: u64,
     lost: u64,
+    glitch: Option<RingGlitch>,
 }
 
 impl<Req, Resp> VirtQueue<Req, Resp> {
@@ -103,6 +120,7 @@ impl<Req, Resp> VirtQueue<Req, Resp> {
             kicks: 0,
             serviced: 0,
             lost: 0,
+            glitch: None,
         }
     }
 
@@ -135,6 +153,13 @@ impl<Req, Resp> VirtQueue<Req, Resp> {
     /// I/O), mirroring §VIII.
     pub fn host_service(&mut self, mut backend: impl FnMut(Req) -> Resp) {
         while let Some(desc) = self.pending.pop_front() {
+            if self.glitch == Some(RingGlitch::DropNext) {
+                // Dropped on the floor: no completion, and the expectation
+                // never advances — the guest's next id runs ahead.
+                self.glitch = None;
+                self.lost += 1;
+                continue;
+            }
             if desc.id != self.host_expected_id {
                 self.desynced = true;
                 self.lost += 1 + self.pending.len() as u64;
@@ -142,6 +167,13 @@ impl<Req, Resp> VirtQueue<Req, Resp> {
                 return;
             }
             self.host_expected_id += 1;
+            if self.glitch == Some(RingGlitch::DupNext) {
+                // Fetched twice: a phantom ring slot advances the
+                // expectation one extra step past the guest's ids.
+                self.glitch = None;
+                self.host_expected_id += 1;
+                self.lost += 1;
+            }
             self.serviced += 1;
             let resp = backend(desc.payload);
             self.completed.push_back(Descriptor {
@@ -175,6 +207,17 @@ impl<Req, Resp> VirtQueue<Req, Resp> {
         self.guest_next_id = 0;
         self.host_expected_id = 0;
         self.desynced = false;
+        self.glitch = None;
+    }
+
+    /// Arms a one-shot peer-side ring glitch (chaos fault injection).
+    pub fn inject_glitch(&mut self, glitch: RingGlitch) {
+        self.glitch = Some(glitch);
+    }
+
+    /// The currently armed ring glitch, if any.
+    pub fn glitch(&self) -> Option<RingGlitch> {
+        self.glitch
     }
 
     /// Whether the queue is desynchronised.
@@ -321,5 +364,50 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
         let _: VirtQueue<u32, u32> = VirtQueue::new(0);
+    }
+
+    #[test]
+    fn drop_next_loses_request_then_desyncs() {
+        let mut q: VirtQueue<u32, u32> = VirtQueue::new(8);
+        q.guest_submit(1).unwrap();
+        q.host_service(echo_backend); // expectation = 1
+        q.guest_complete();
+        q.inject_glitch(RingGlitch::DropNext);
+        q.guest_submit(2).unwrap(); // id 1, dropped on the floor
+        q.host_service(echo_backend);
+        assert_eq!(q.guest_complete(), None); // lost I/O
+        assert!(!q.is_desynced()); // not yet — expectation just fell behind
+        assert_eq!(q.glitch(), None); // one-shot
+        q.guest_submit(3).unwrap(); // id 2 vs expected 1
+        q.host_service(echo_backend);
+        assert!(q.is_desynced());
+
+        q.host_device_reset();
+        assert!(!q.is_desynced());
+        let id = q.guest_submit(4).unwrap();
+        q.host_service(echo_backend);
+        assert_eq!(q.guest_complete(), Some((id, 8)));
+    }
+
+    #[test]
+    fn dup_next_succeeds_then_desyncs() {
+        let mut q: VirtQueue<u32, u32> = VirtQueue::new(8);
+        q.inject_glitch(RingGlitch::DupNext);
+        let id = q.guest_submit(5).unwrap();
+        q.host_service(echo_backend);
+        // The duplicated fetch still completes the request...
+        assert_eq!(q.guest_complete(), Some((id, 10)));
+        assert_eq!(q.lost(), 1); // ...but consumed a phantom slot
+        q.guest_submit(6).unwrap(); // id 1 vs expected 2
+        q.host_service(echo_backend);
+        assert!(q.is_desynced());
+    }
+
+    #[test]
+    fn host_device_reset_disarms_unfired_glitch() {
+        let mut q: VirtQueue<u32, u32> = VirtQueue::new(8);
+        q.inject_glitch(RingGlitch::DropNext);
+        q.host_device_reset();
+        assert_eq!(q.glitch(), None);
     }
 }

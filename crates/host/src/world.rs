@@ -5,7 +5,7 @@ use std::rc::Rc;
 
 use crate::netpeer::{Frame, HostNetwork};
 use crate::ninep::{NinePRequest, NinePResponse, NinePServer};
-use crate::virtio::{VirtQueue, VirtQueueError};
+use crate::virtio::{RingGlitch, VirtQueue, VirtQueueError};
 
 /// Default depth of each virtio ring.
 pub const DEFAULT_RING_DEPTH: usize = 256;
@@ -125,6 +125,13 @@ impl HostWorld {
         self.ninep_queue.is_desynced()
             || self.net_tx_queue.is_desynced()
             || self.net_rx_queue.is_desynced()
+    }
+
+    /// Arms a one-shot peer-side glitch on the 9P virtio ring (chaos fault
+    /// injection): the device peer drops or double-fetches the next
+    /// descriptor, leaving the ring ids skewed until a host device reset.
+    pub fn inject_ninep_ring_glitch(&mut self, glitch: RingGlitch) {
+        self.ninep_queue.inject_glitch(glitch);
     }
 
     /// The 9P file server (host-side access for fixtures and assertions).

@@ -243,9 +243,11 @@ fn ninep_err(e: NinePError) -> OsError {
         NinePError::AlreadyExists(_) => OsError::AlreadyExists,
         NinePError::NotADirectory(_) => OsError::NotADirectory,
         NinePError::NotEmpty(_) => OsError::NotEmpty,
-        NinePError::UnknownFid(_) | NinePError::FidInUse(_) | NinePError::NotOpen(_) => {
-            OsError::Io(e.to_string())
-        }
+        NinePError::UnknownFid(_)
+        | NinePError::FidInUse(_)
+        | NinePError::NotOpen(_)
+        | NinePError::Corrupted
+        | NinePError::Stalled => OsError::Io(e.to_string()),
     }
 }
 

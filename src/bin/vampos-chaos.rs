@@ -4,31 +4,60 @@
 //! ```text
 //! vampos-chaos --seed 42 --campaigns 100 --workload kv
 //! vampos-chaos --seed 7 --workload all --budget 6 --out target/chaos
+//! vampos-chaos --family fleet --seed 7 --campaigns 20 --instances 4
+//! vampos-chaos --family recursive --seed 42 --campaigns 100
+//! vampos-chaos --family recursive --class ninep-stall --campaigns 10
+//! vampos-chaos --family recursive --plant      # oracle self-test battery
 //! vampos-chaos --replay chaos-repro-kv-3.json
 //! vampos-chaos --seed 1 --campaigns 2 --workload kv --plant   # self-test
 //! ```
 //!
-//! Each campaign generates a fault schedule from its derived seed, runs the
-//! faulted execution against a fault-free twin, and checks four oracles
-//! (state equivalence, replay consistency, isolation, liveness). Failing
-//! campaigns are shrunk to a minimal reproducer written as
-//! `chaos-repro-<workload>-<campaign>.json`, replayable with `--replay`.
+//! Three campaign families share the harness:
+//!
+//! * `component` (default) — single-system fault schedules (panics, hangs,
+//!   leaks, bit flips, timed reboots) against a fault-free twin, checked by
+//!   four oracles (state equivalence, replay consistency, isolation,
+//!   liveness);
+//! * `fleet` — instance-scoped panics against a multi-instance cluster,
+//!   checked by the fleet equivalence + liveness oracles;
+//! * `recursive` — faults aimed at the *recovery machinery itself* (9P
+//!   server, virtio rings, failure detector, balancer, checkpoint/replay,
+//!   reboot engine), survived by the component → instance → fleet
+//!   escalation ladder and checked by three oracles (ladder convergence,
+//!   no acknowledged loss, rung attribution).
+//!
+//! Failing campaigns are shrunk to a minimal reproducer written under
+//! `--out`, replayable with `--replay` (the family is encoded in the file).
 //!
 //! Output is byte-identical for a given seed: campaigns fan out over worker
 //! threads but results are reported in campaign order with no wall-clock
 //! timestamps. Exit codes: 0 all oracles silent, 1 violations found, 2
-//! usage or I/O error.
+//! usage or I/O error (including a planted self-test whose oracle did not
+//! fire).
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use vampos::chaos::{
-    execute_spec, from_json, run_sweep, run_with_sink, span_tail_from_json, CampaignSpec,
-    SweepConfig, TelemetrySink, WorkloadKind,
+    execute_spec, from_json, recursive_from_json, run_fleet_campaign, run_fleet_sweep,
+    run_recursive_plants, run_recursive_sweep, run_sweep, run_with_sink, span_tail_from_json,
+    CampaignSpec, RecursiveSweepConfig, SweepConfig, TelemetrySink, WorkloadKind,
 };
+use vampos::cluster::{run_recursive_campaign, FaultClass};
+use vampos::sim::derive_seed;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Family {
+    Component,
+    Fleet,
+    Recursive,
+}
 
 struct Args {
+    family: Family,
     sweep: SweepConfig,
+    classes: Vec<FaultClass>,
+    instances: usize,
     replay: Option<PathBuf>,
     out_dir: PathBuf,
     trace_out: Option<PathBuf>,
@@ -36,22 +65,35 @@ struct Args {
 }
 
 fn usage() -> String {
-    "usage: vampos-chaos [--seed N] [--campaigns K] [--workload echo|kv|http|sql|all]\n\
+    "usage: vampos-chaos [--family component|fleet|recursive]\n\
+     \x20                   [--seed N] [--campaigns K] [--workload echo|kv|http|sql|all]\n\
+     \x20                   [--class CLASS|all] [--instances N]\n\
      \x20                   [--budget B] [--plant] [--sequential] [--out DIR]\n\
      \x20                   [--trace-out FILE] [--metrics-out FILE]\n\
      \x20      vampos-chaos --replay FILE [--trace-out FILE] [--metrics-out FILE]\n\
      \n\
+     --workload selects the component family's application; --class filters the\n\
+     recursive family's recovery-plane fault classes (ninep-corrupt, ninep-stall,\n\
+     virtio-drop, virtio-dup, detector-false-negative, detector-false-positive,\n\
+     balancer-stale-view, checkpoint-corrupt, replay-divergence,\n\
+     reboot-during-reboot); --instances sizes the fleet family's cluster.\n\
+     --plant runs the oracle self-test: component/fleet plant a state divergence\n\
+     every campaign must catch; recursive runs the three-plant battery (each\n\
+     plant must flip exactly its oracle; a sleeping oracle exits 2).\n\
      --trace-out writes a Chrome trace-event JSON (load in Perfetto / chrome://tracing)\n\
      --metrics-out writes Prometheus text exposition (or a JSON dump for .json paths)\n\
      Both exports re-execute one deterministic spec with telemetry attached: the\n\
      first failing campaign's shrunk reproducer in sweep mode (the first campaign\n\
-     when all pass), or the replayed spec in --replay mode.\n"
+     when all pass), or the replayed spec in --replay mode (component family only).\n"
         .to_owned()
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut args = Args {
+        family: Family::Component,
         sweep: SweepConfig::default(),
+        classes: FaultClass::ALL.to_vec(),
+        instances: 4,
         replay: None,
         out_dir: PathBuf::from("."),
         trace_out: None,
@@ -65,6 +107,15 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 .ok_or_else(|| format!("{name} needs a value"))
         };
         match flag.as_str() {
+            "--family" => {
+                let name = value("--family")?;
+                args.family = match name.as_str() {
+                    "component" => Family::Component,
+                    "fleet" => Family::Fleet,
+                    "recursive" => Family::Recursive,
+                    other => return Err(format!("unknown family {other:?}\n{}", usage())),
+                };
+            }
             "--seed" => args.sweep.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
             "--campaigns" => {
                 args.sweep.campaigns = value("--campaigns")?.parse().map_err(|e| format!("{e}"))?;
@@ -81,6 +132,21 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                         .ok_or_else(|| format!("unknown workload {name:?}"))?]
                 };
             }
+            "--class" => {
+                let name = value("--class")?;
+                args.classes = if name == "all" {
+                    FaultClass::ALL.to_vec()
+                } else {
+                    vec![FaultClass::from_name(&name)
+                        .ok_or_else(|| format!("unknown fault class {name:?}"))?]
+                };
+            }
+            "--instances" => {
+                args.instances = value("--instances")?.parse().map_err(|e| format!("{e}"))?;
+                if args.instances == 0 {
+                    return Err("--instances must be at least 1".to_owned());
+                }
+            }
             "--plant" => args.sweep.plant = true,
             "--sequential" => args.sweep.sequential = true,
             "--out" => args.out_dir = PathBuf::from(value("--out")?),
@@ -90,6 +156,16 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--help" | "-h" => return Err(usage()),
             other => return Err(format!("unknown flag {other:?}\n{}", usage())),
         }
+    }
+    if args.family != Family::Component
+        && (args.trace_out.is_some() || args.metrics_out.is_some())
+        && args.replay.is_none()
+    {
+        return Err(
+            "--trace-out/--metrics-out sweep exports are component-family only \
+             (recursive reproducers embed their span tail instead)"
+                .to_owned(),
+        );
     }
     Ok(args)
 }
@@ -155,6 +231,30 @@ fn print_span_tail(text: &str) {
 fn replay(args: &Args, path: &PathBuf) -> Result<bool, String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    // The family discriminator picks the replay engine; documents without
+    // one are component-family reproducers from before the field existed.
+    if let Ok(spec) = recursive_from_json(&text) {
+        println!(
+            "replaying recursive {} campaign #{} (seed {:#018x}, target {}, plant {})",
+            spec.class.name(),
+            spec.campaign,
+            spec.seed,
+            spec.target,
+            spec.plant.name(),
+        );
+        print_span_tail(&text);
+        let report = run_recursive_campaign(&spec).map_err(|e| format!("replay failed: {e}"))?;
+        return if report.violations.is_empty() {
+            println!("all three oracles silent: the reproducer no longer fails");
+            Ok(true)
+        } else {
+            for v in &report.violations {
+                println!("  {v:?}");
+            }
+            println!("{} violation(s) reproduced", report.violations.len());
+            Ok(false)
+        };
+    }
     let spec = from_json(&text)?;
     println!(
         "replaying {} campaign #{} (seed {:#018x}, {} event(s), {} op(s))",
@@ -183,6 +283,161 @@ fn replay(args: &Args, path: &PathBuf) -> Result<bool, String> {
     }
 }
 
+fn write_reproducer(out_dir: &Path, file_name: &str, json: &str) -> Result<(), String> {
+    let file = out_dir.join(file_name);
+    std::fs::create_dir_all(out_dir)
+        .and_then(|()| std::fs::write(&file, json))
+        .map_err(|e| format!("cannot write {}: {e}", file.display()))?;
+    println!("reproducer written: {}", file.display());
+    Ok(())
+}
+
+/// The recursive family's `--plant` mode: the three-plant battery. Every
+/// plant must flip exactly the oracle it targets — a plant that does not
+/// fire means an oracle is asleep, which is a harness defect (exit 2),
+/// not a campaign failure.
+fn run_recursive_plant_battery(seed: u64) -> ExitCode {
+    let checks = match run_recursive_plants(seed) {
+        Ok(checks) => checks,
+        Err(e) => {
+            eprintln!("plant battery failed to run: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut exit = ExitCode::SUCCESS;
+    for check in &checks {
+        println!(
+            "{} plant {}: {}",
+            if check.ok { "OK  " } else { "FAIL" },
+            check.plant.name(),
+            check.detail,
+        );
+        if !check.ok {
+            exit = ExitCode::from(2);
+        }
+    }
+    println!(
+        "{}/{} plants flipped exactly their oracle",
+        checks.iter().filter(|c| c.ok).count(),
+        checks.len(),
+    );
+    exit
+}
+
+fn run_recursive_family(args: &Args) -> ExitCode {
+    if args.sweep.plant {
+        return run_recursive_plant_battery(args.sweep.seed);
+    }
+    let cfg = RecursiveSweepConfig {
+        seed: args.sweep.seed,
+        campaigns: args.sweep.campaigns,
+        classes: args.classes.clone(),
+        sequential: args.sweep.sequential,
+    };
+    let report = match run_recursive_sweep(&cfg) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("sweep failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", report.render());
+    let mut exit = ExitCode::SUCCESS;
+    for outcome in report.failures() {
+        exit = ExitCode::from(1);
+        let Some(json) = outcome.reproducer_json() else {
+            continue;
+        };
+        let name = format!(
+            "chaos-recursive-{}-{}.json",
+            outcome.report.spec.class.name(),
+            outcome.report.spec.campaign,
+        );
+        if let Err(e) = write_reproducer(&args.out_dir, &name, &json) {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    }
+    exit
+}
+
+fn run_fleet_family(args: &Args) -> ExitCode {
+    if args.sweep.plant {
+        // Fleet plant: a deliberate post-run state divergence in campaign 0
+        // that the equivalence oracle must catch.
+        let mut spec = vampos::chaos::generate_fleet_spec(
+            derive_seed(args.sweep.seed, 0),
+            0,
+            args.instances,
+            args.sweep.budget,
+        );
+        spec.plant = true;
+        return match run_fleet_campaign(&spec) {
+            Ok(outcome) if outcome.violations.is_empty() => {
+                eprintln!("FAIL: the fleet oracles missed a planted divergence");
+                ExitCode::from(2)
+            }
+            Ok(outcome) => {
+                println!(
+                    "OK   planted divergence caught by {} violation(s)",
+                    outcome.violations.len()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("planted campaign failed to run: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+    let outcomes = match run_fleet_sweep(
+        args.sweep.seed,
+        args.sweep.campaigns,
+        args.instances,
+        args.sweep.budget,
+    ) {
+        Ok(outcomes) => outcomes,
+        Err(e) => {
+            eprintln!("sweep failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut failed = 0usize;
+    for outcome in &outcomes {
+        if outcome.violations.is_empty() {
+            println!(
+                "PASS fleet #{} seed={:#018x} faults={} reboots={}",
+                outcome.spec.campaign,
+                outcome.spec.seed,
+                outcome.spec.faults.len(),
+                outcome.recovery_reboots,
+            );
+        } else {
+            failed += 1;
+            println!(
+                "FAIL fleet #{} seed={:#018x} faults={}",
+                outcome.spec.campaign,
+                outcome.spec.seed,
+                outcome.spec.faults.len(),
+            );
+            for v in &outcome.violations {
+                println!("  {v:?}");
+            }
+        }
+    }
+    println!(
+        "{} campaign(s), {} passed, {} failed",
+        outcomes.len(),
+        outcomes.len() - failed,
+        failed,
+    );
+    if failed > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = match parse_args(&argv) {
@@ -205,6 +460,12 @@ fn main() -> ExitCode {
         };
     }
 
+    match args.family {
+        Family::Recursive => return run_recursive_family(&args),
+        Family::Fleet => return run_fleet_family(&args),
+        Family::Component => {}
+    }
+
     let report = run_sweep(&args.sweep);
     print!("{}", report.render());
 
@@ -214,18 +475,15 @@ fn main() -> ExitCode {
         let Some(json) = outcome.reproducer_json() else {
             continue;
         };
-        let file = args.out_dir.join(format!(
+        let name = format!(
             "chaos-repro-{}-{}.json",
             outcome.spec.workload.name(),
             outcome.spec.campaign,
-        ));
-        if let Err(e) =
-            std::fs::create_dir_all(&args.out_dir).and_then(|()| std::fs::write(&file, &json))
-        {
-            eprintln!("cannot write {}: {e}", file.display());
+        );
+        if let Err(e) = write_reproducer(&args.out_dir, &name, &json) {
+            eprintln!("{e}");
             return ExitCode::from(2);
         }
-        println!("reproducer written: {}", file.display());
     }
 
     // Telemetry exports instrument one deterministic spec: the first

@@ -26,8 +26,9 @@
 //! * [`apps`] — Echo, MiniHttpd, MiniKv and MiniSql sample applications;
 //! * [`workloads`] — client-side load generators used by the experiments;
 //! * [`cluster`] — the fleet layer: N instances behind a recovery-aware
-//!   balancer on one shared clock, with rolling rejuvenation plans and
-//!   fleet-level oracles.
+//!   balancer on one shared clock, with rolling rejuvenation plans,
+//!   fleet-level oracles, and the component → instance → fleet
+//!   escalation ladder the `recursive` chaos family exercises.
 //!
 //! # Quickstart
 //!
@@ -71,7 +72,11 @@ pub use vampos_workloads as workloads;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use vampos_analyze::{analyze, AnalysisInput, AnalysisReport, Diagnostic, Severity};
-    pub use vampos_cluster::{Fleet, FleetConfig, FleetLoad, FleetPlan, FleetRunReport, Policy};
+    pub use vampos_cluster::{
+        generate_recursive_spec, run_recursive_campaign, EscalationLadder, FaultClass, Fleet,
+        FleetConfig, FleetLoad, FleetPlan, FleetRunReport, Policy, RecursiveCampaignReport,
+        RecursiveCampaignSpec, Rung,
+    };
     pub use vampos_core::{
         analyze_configuration, ComponentSet, FullRebootOutcome, Mode, RebootOutcome, System,
         SystemBuilder, Whence,
