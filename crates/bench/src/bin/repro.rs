@@ -224,7 +224,18 @@ fn write_bench_json(path: &str, selected: &[&Section], quick: bool) -> bool {
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"quick\": {quick},");
-    let _ = writeln!(json, "  \"host_cores\": {},", worker_count(usize::MAX));
+    let host_cores = worker_count(usize::MAX);
+    let _ = writeln!(json, "  \"host_cores\": {host_cores},");
+    // On a single-core host the "parallel" pass degenerates to sequential
+    // execution plus scheduling overhead, so speedup numbers say nothing
+    // about the workload — flag that in the artifact and to the operator.
+    let _ = writeln!(json, "  \"parallel_timings_reliable\": {},", host_cores > 1);
+    if host_cores == 1 {
+        eprintln!(
+            "repro: warning: single-core host — parallel timings are not \
+             meaningful (parallel_timings_reliable: false)"
+        );
+    }
     let _ = writeln!(json, "  \"outputs_identical\": {identical},");
     let _ = writeln!(json, "{engine}");
     let _ = writeln!(json, "  \"sequential_total_ms\": {seq_total:.1},");

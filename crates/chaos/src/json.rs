@@ -32,38 +32,51 @@ pub enum Json {
 }
 
 impl Json {
-    pub(crate) fn as_u64(&self) -> Result<u64, String> {
+    /// The value as a `u64`, or why it is not one.
+    pub fn as_u64(&self) -> Result<u64, String> {
         match self {
             Json::Num(raw) => raw.parse().map_err(|_| format!("not a u64: {raw}")),
             other => Err(format!("expected number, got {other:?}")),
         }
     }
 
-    pub(crate) fn as_bool(&self) -> Result<bool, String> {
+    /// The value as a bool, or why it is not one.
+    pub fn as_bool(&self) -> Result<bool, String> {
         match self {
             Json::Bool(b) => Ok(*b),
             other => Err(format!("expected bool, got {other:?}")),
         }
     }
 
-    pub(crate) fn as_str(&self) -> Result<&str, String> {
+    /// The value as a string, or why it is not one.
+    pub fn as_str(&self) -> Result<&str, String> {
         match self {
             Json::Str(s) => Ok(s),
             other => Err(format!("expected string, got {other:?}")),
         }
     }
 
-    pub(crate) fn as_arr(&self) -> Result<&[Json], String> {
+    /// The value as an array, or why it is not one.
+    pub fn as_arr(&self) -> Result<&[Json], String> {
         match self {
             Json::Arr(items) => Ok(items),
             other => Err(format!("expected array, got {other:?}")),
         }
     }
 
-    pub(crate) fn get<'a>(&'a self, key: &str) -> Result<&'a Json, String> {
+    /// Looks `key` up in an object value; an error names the missing key.
+    pub fn get<'a>(&'a self, key: &str) -> Result<&'a Json, String> {
         match self {
             Json::Obj(map) => map.get(key).ok_or_else(|| format!("missing key {key:?}")),
             other => Err(format!("expected object, got {other:?}")),
+        }
+    }
+
+    /// Like [`Json::get`] for object values whose key may be absent.
+    pub fn get_opt<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(map) => map.get(key),
+            _ => None,
         }
     }
 }
@@ -151,28 +164,9 @@ pub fn to_json(spec: &CampaignSpec) -> String {
 /// [`from_json`] ignores the extra key, so reproducers with embedded spans
 /// replay unchanged.
 pub fn reproducer_to_json(spec: &CampaignSpec, tail: &[SpanDump]) -> String {
+    // `to_json` always ends `}\n`; `splice_tail` re-opens the object there.
     let mut out = to_json(spec);
-    if tail.is_empty() {
-        return out;
-    }
-    // `to_json` always ends `}\n`; re-open the object at the events `]`.
-    out.truncate(out.len() - 2);
-    while out.ends_with(char::is_whitespace) {
-        out.pop();
-    }
-    out.push_str(",\n  \"span_tail\": [");
-    for (i, span) in tail.iter().enumerate() {
-        out.push_str(if i == 0 { "\n" } else { ",\n" });
-        out.push_str("    { \"track\": ");
-        escape(&span.track, &mut out);
-        out.push_str(", \"name\": ");
-        escape(&span.name, &mut out);
-        out.push_str(&format!(
-            ", \"start_ns\": {}, \"dur_ns\": {}, \"depth\": {} }}",
-            span.start_ns, span.dur_ns, span.depth
-        ));
-    }
-    out.push_str("\n  ]\n}\n");
+    splice_tail(&mut out, "span_tail", tail);
     out
 }
 
@@ -184,8 +178,23 @@ pub fn reproducer_to_json(spec: &CampaignSpec, tail: &[SpanDump]) -> String {
 ///
 /// A description of the first syntax or schema error.
 pub fn span_tail_from_json(text: &str) -> Result<Vec<SpanDump>, String> {
+    tail_from_key(text, "span_tail")
+}
+
+/// Extracts the embedded journey tail (the request journeys in flight when
+/// a recursive campaign failed) from a reproducer document. Returns an
+/// empty vector when the document has no `"journey_tail"` key.
+///
+/// # Errors
+///
+/// A description of the first syntax or schema error.
+pub fn journey_tail_from_json(text: &str) -> Result<Vec<SpanDump>, String> {
+    tail_from_key(text, "journey_tail")
+}
+
+fn tail_from_key(text: &str, key: &str) -> Result<Vec<SpanDump>, String> {
     let v = parse_value(text)?;
-    let Ok(arr) = v.get("span_tail") else {
+    let Ok(arr) = v.get(key) else {
         return Ok(Vec::new());
     };
     arr.as_arr()?
@@ -200,6 +209,32 @@ pub fn span_tail_from_json(text: &str) -> Result<Vec<SpanDump>, String> {
             })
         })
         .collect()
+}
+
+/// Splices a named span-dump array into a serialized JSON object, before
+/// its closing brace. `out` must end `}\n` (every spec serializer here
+/// does). No-op for an empty tail.
+pub(crate) fn splice_tail(out: &mut String, key: &str, tail: &[SpanDump]) {
+    if tail.is_empty() {
+        return;
+    }
+    out.truncate(out.len() - 2);
+    while out.ends_with(char::is_whitespace) {
+        out.pop();
+    }
+    out.push_str(&format!(",\n  \"{key}\": ["));
+    for (i, span) in tail.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("    { \"track\": ");
+        escape(&span.track, out);
+        out.push_str(", \"name\": ");
+        escape(&span.name, out);
+        out.push_str(&format!(
+            ", \"start_ns\": {}, \"dur_ns\": {}, \"depth\": {} }}",
+            span.start_ns, span.dur_ns, span.depth
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
 }
 
 struct Parser<'a> {

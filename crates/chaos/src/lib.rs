@@ -53,7 +53,9 @@ pub use fleet::{
     FleetCampaignSpec, InstanceFault,
 };
 pub use gen::generate_spec;
-pub use json::{from_json, reproducer_to_json, span_tail_from_json, to_json};
+pub use json::{
+    from_json, journey_tail_from_json, reproducer_to_json, span_tail_from_json, to_json,
+};
 pub use oracle::{OracleKind, Violation};
 pub use recursive::{
     recursive_from_json, recursive_reproducer_to_json, recursive_to_json, run_recursive_outcome,

@@ -13,14 +13,14 @@ use std::collections::BTreeSet;
 
 use vampos_bench::parallel_map;
 use vampos_cluster::{
-    generate_recursive_spec, run_recursive_campaign, run_recursive_campaign_traced, FaultClass,
+    generate_recursive_spec, run_recursive_campaign, run_recursive_campaign_forensics, FaultClass,
     PlantKind, RecursiveCampaignReport, RecursiveCampaignSpec, RecursiveViolation, Rung,
 };
 use vampos_sim::derive_seed;
 use vampos_telemetry::SpanDump;
 use vampos_ukernel::OsError;
 
-use crate::json::{escape, parse_value};
+use crate::json::{escape, parse_value, splice_tail};
 
 /// Executions the shrinker may spend per failing recursive campaign (each
 /// one is a whole supervised fleet run — pricier than a component
@@ -64,9 +64,12 @@ pub struct RecursiveOutcome {
     pub shrunk: Option<RecursiveCampaignSpec>,
     /// Executions the shrinker spent.
     pub shrink_runs: usize,
-    /// Trailing telemetry spans of the shrunk faulted run (empty for
-    /// passing campaigns).
+    /// Trailing runtime telemetry spans of the shrunk faulted run (empty
+    /// for passing campaigns).
     pub span_tail: Vec<SpanDump>,
+    /// Trailing request-journey spans of the shrunk faulted run (empty for
+    /// passing campaigns).
+    pub journey_tail: Vec<SpanDump>,
 }
 
 impl RecursiveOutcome {
@@ -80,7 +83,7 @@ impl RecursiveOutcome {
     pub fn reproducer_json(&self) -> Option<String> {
         self.shrunk
             .as_ref()
-            .map(|s| recursive_reproducer_to_json(s, &self.span_tail))
+            .map(|s| recursive_reproducer_to_json(s, &self.span_tail, &self.journey_tail))
     }
 
     /// The stable one-line summary the sweep prints.
@@ -129,19 +132,21 @@ pub fn run_recursive_outcome(spec: &RecursiveCampaignSpec) -> Result<RecursiveOu
             shrunk: None,
             shrink_runs: 0,
             span_tail: Vec::new(),
+            journey_tail: Vec::new(),
         });
     }
     let out = shrink_recursive(spec, &report.violations, SHRINK_BUDGET, |candidate| {
         run_recursive_campaign(candidate).map_or_else(|_| Vec::new(), |r| r.violations)
     });
-    let span_tail = run_recursive_campaign_traced(&out.spec, SPAN_TAIL)
-        .map(|(_, tail)| tail)
+    let (span_tail, journey_tail) = run_recursive_campaign_forensics(&out.spec, SPAN_TAIL)
+        .map(|f| (f.span_tail, f.journey_tail))
         .unwrap_or_default();
     Ok(RecursiveOutcome {
         report,
         shrunk: Some(out.spec),
         shrink_runs: out.runs,
         span_tail,
+        journey_tail,
     })
 }
 
@@ -466,30 +471,17 @@ pub fn recursive_to_json(spec: &RecursiveCampaignSpec) -> String {
 }
 
 /// Serializes a recursive reproducer: the spec plus the failing run's
-/// trailing telemetry spans. [`recursive_from_json`] ignores the extra
-/// key, so reproducers with embedded spans replay unchanged.
-pub fn recursive_reproducer_to_json(spec: &RecursiveCampaignSpec, tail: &[SpanDump]) -> String {
+/// trailing runtime spans and the request journeys in flight when it
+/// failed. [`recursive_from_json`] ignores the extra keys, so reproducers
+/// with embedded spans replay unchanged.
+pub fn recursive_reproducer_to_json(
+    spec: &RecursiveCampaignSpec,
+    tail: &[SpanDump],
+    journeys: &[SpanDump],
+) -> String {
     let mut out = recursive_to_json(spec);
-    if tail.is_empty() {
-        return out;
-    }
-    out.truncate(out.len() - 2);
-    while out.ends_with(char::is_whitespace) {
-        out.pop();
-    }
-    out.push_str(",\n  \"span_tail\": [");
-    for (i, span) in tail.iter().enumerate() {
-        out.push_str(if i == 0 { "\n" } else { ",\n" });
-        out.push_str("    { \"track\": ");
-        escape(&span.track, &mut out);
-        out.push_str(", \"name\": ");
-        escape(&span.name, &mut out);
-        out.push_str(&format!(
-            ", \"start_ns\": {}, \"dur_ns\": {}, \"depth\": {} }}",
-            span.start_ns, span.dur_ns, span.depth
-        ));
-    }
-    out.push_str("\n  ]\n}\n");
+    splice_tail(&mut out, "span_tail", tail);
+    splice_tail(&mut out, "journey_tail", journeys);
     out
 }
 
@@ -529,7 +521,7 @@ pub fn recursive_from_json(text: &str) -> Result<RecursiveCampaignSpec, String> 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::json::span_tail_from_json;
+    use crate::json::{journey_tail_from_json, span_tail_from_json};
 
     #[test]
     fn every_class_and_plant_round_trips_through_json() {
@@ -556,7 +548,7 @@ mod tests {
     }
 
     #[test]
-    fn reproducers_embed_and_recover_span_tails() {
+    fn reproducers_embed_and_recover_span_and_journey_tails() {
         let spec = generate_recursive_spec(1, 0, FaultClass::NinepStall, PlantKind::None);
         let tail = vec![SpanDump {
             track: "fleet".into(),
@@ -565,13 +557,25 @@ mod tests {
             dur_ns: 20,
             depth: 0,
         }];
-        let text = recursive_reproducer_to_json(&spec, &tail);
+        let journeys = vec![SpanDump {
+            track: "journeys".into(),
+            name: "journey".into(),
+            start_ns: 5,
+            dur_ns: 40,
+            depth: 0,
+        }];
+        let text = recursive_reproducer_to_json(&spec, &tail, &journeys);
         assert_eq!(recursive_from_json(&text).unwrap(), spec);
         assert_eq!(span_tail_from_json(&text).unwrap(), tail);
+        assert_eq!(journey_tail_from_json(&text).unwrap(), journeys);
         assert_eq!(
-            recursive_reproducer_to_json(&spec, &[]),
+            recursive_reproducer_to_json(&spec, &[], &[]),
             recursive_to_json(&spec)
         );
+        // A journey tail can ride without a runtime tail and vice versa.
+        let only_journeys = recursive_reproducer_to_json(&spec, &[], &journeys);
+        assert_eq!(span_tail_from_json(&only_journeys).unwrap(), Vec::new());
+        assert_eq!(journey_tail_from_json(&only_journeys).unwrap(), journeys);
     }
 
     #[test]

@@ -15,7 +15,7 @@ use vampos_core::{ComponentSet, Mode};
 use vampos_host::{ClientConnId, NinePGlitch, RingGlitch};
 use vampos_sim::{Nanos, SimClock};
 use vampos_telemetry::perfetto::{chrome_trace_processes, TraceProcess};
-use vampos_telemetry::{Collector, TelemetrySink};
+use vampos_telemetry::{Collector, MetricsRegistry, SpanKind, SpanRecord, TelemetrySink};
 use vampos_ukernel::OsError;
 use vampos_workloads::{LoadReport, RequestRecord};
 
@@ -124,6 +124,99 @@ struct Counters {
     redirects: u64,
     issued: u64,
     completed: u64,
+}
+
+/// One routing attempt of a request journey, accumulated locally while the
+/// instance borrow is live and flushed to the fleet hub afterwards.
+struct JourneyHop {
+    label: String,
+    start: Nanos,
+    end: Nanos,
+    served: bool,
+    wire_ns: u64,
+    queue_ns: u64,
+    stall_ns: u64,
+    service_ns: u64,
+}
+
+impl JourneyHop {
+    /// A hop that died before service (reset connection, failed connect or
+    /// poll): zero-length, zero decomposition.
+    fn failed(label: &str, due: Nanos) -> JourneyHop {
+        JourneyHop {
+            label: label.to_owned(),
+            start: due,
+            end: due,
+            served: false,
+            wire_ns: 0,
+            queue_ns: 0,
+            stall_ns: 0,
+            service_ns: 0,
+        }
+    }
+
+    /// A hop booked against the instance's service queue. The stall is the
+    /// slice of the queueing delay that overlaps the instance's recovery
+    /// window — the recovery-induced part of the wait.
+    #[allow(clippy::too_many_arguments)]
+    fn booked(
+        inst: &Instance,
+        due: Nanos,
+        end: Nanos,
+        served: bool,
+        one_way: Nanos,
+        arrival: Nanos,
+        busy_from: Nanos,
+        service: Nanos,
+    ) -> JourneyHop {
+        JourneyHop {
+            label: inst.label().to_owned(),
+            start: due,
+            end,
+            served,
+            wire_ns: (one_way + one_way).as_nanos(),
+            queue_ns: busy_from.saturating_sub(arrival).as_nanos(),
+            stall_ns: busy_from
+                .min(inst.recovery_until())
+                .saturating_sub(arrival)
+                .as_nanos(),
+            service_ns: service.as_nanos(),
+        }
+    }
+}
+
+/// Emits the instance-local `serve` journey span covering the server
+/// occupancy window. Called at the same logical point (response booked) by
+/// the fleet dispatch paths and by [`crate::single::run_single`], so the
+/// fleet-of-1 instance trace stays byte-identical to the bare loop's.
+pub(crate) fn note_serve_span(
+    sink: Option<&TelemetrySink>,
+    journey: u64,
+    busy_from: Nanos,
+    arrival: Nanos,
+    service: Nanos,
+) {
+    let Some(sink) = sink else {
+        return;
+    };
+    sink.with(|hub| {
+        hub.push_span(
+            "journeys",
+            "serve",
+            SpanKind::Journey,
+            busy_from,
+            busy_from + service,
+            None,
+            vec![
+                ("journey", journey.to_string()),
+                (
+                    "queue_ns",
+                    busy_from.saturating_sub(arrival).as_nanos().to_string(),
+                ),
+                ("service_ns", service.as_nanos().to_string()),
+            ],
+        );
+    });
 }
 
 /// A deterministic fleet of unikernel instances sharing one virtual clock.
@@ -533,8 +626,11 @@ impl Fleet {
         request: &str,
         ladder: &mut EscalationLadder,
     ) -> (Nanos, Option<(usize, Rung, String)>) {
+        let journey = counters.issued;
+        let forensics = self.fleet_sink.is_some();
+        let mut hops: Vec<JourneyHop> = Vec::new();
         let mut attempts = 0;
-        loop {
+        let (end, ok, pending) = loop {
             if let Some((i, conn)) = c.conn {
                 if self.instances[i].conn_dead(conn) {
                     self.instances[i].report.records.push(RequestRecord {
@@ -542,6 +638,9 @@ impl Fleet {
                         end: due,
                         ok: false,
                     });
+                    if forensics {
+                        hops.push(JourneyHop::failed(self.instances[i].label(), due));
+                    }
                     c.conn = None;
                     if attempts == 0 {
                         attempts += 1;
@@ -550,7 +649,7 @@ impl Fleet {
                     }
                     let reason = "connection reset twice".to_owned();
                     let rung = ladder.note_failure(i, due, &reason);
-                    return (due, rung.map(|r| (i, r, reason)));
+                    break (due, false, rung.map(|r| (i, r, reason)));
                 }
                 if balancer.should_migrate(&mut self.instances, i, due)
                     || balancer.should_return_home(&self.instances, i, c.home, due)
@@ -589,9 +688,12 @@ impl Fleet {
                             end: due,
                             ok: false,
                         });
+                        if forensics {
+                            hops.push(JourneyHop::failed(inst.label(), due));
+                        }
                         let reason = format!("connect failed: {err}");
                         let rung = ladder.note_failure(target, due, &reason);
-                        return (due, rung.map(|r| (target, r, reason)));
+                        break (due, false, rung.map(|r| (target, r, reason)));
                     }
                 },
             };
@@ -612,10 +714,13 @@ impl Fleet {
                         end: due,
                         ok: false,
                     });
+                    if forensics {
+                        hops.push(JourneyHop::failed(inst.label(), due));
+                    }
                     c.conn = None;
                     let reason = format!("poll failed: {err}");
                     let rung = ladder.note_failure(target, due, &reason);
-                    return (due, rung.map(|r| (target, r, reason)));
+                    break (due, false, rung.map(|r| (target, r, reason)));
                 }
                 inst.sys.clock().advance(one_way);
                 response = inst
@@ -655,6 +760,7 @@ impl Fleet {
                     ladder.note_acked_bad();
                 }
                 inst.note_service(busy_from + service, end);
+                note_serve_span(inst.telemetry(), journey, busy_from, arrival, service);
                 if !load.keepalive {
                     inst.close(conn);
                     c.conn = None;
@@ -671,8 +777,15 @@ impl Fleet {
                 end,
                 ok,
             });
-            return (end, pending);
-        }
+            if forensics {
+                hops.push(JourneyHop::booked(
+                    inst, due, end, served, one_way, arrival, busy_from, service,
+                ));
+            }
+            break (end, ok, pending);
+        };
+        self.note_journey(journey, due, end, ok, &hops);
+        (end, pending)
     }
 
     /// The retired tick-polling drive loop, kept as an executable
@@ -866,8 +979,14 @@ impl Fleet {
         counters: &mut Counters,
         request: &str,
     ) -> Result<Nanos, OsError> {
+        // The journey id is the fleet-wide issue sequence number — minted
+        // once per arrival (retries keep it), identical across the heap
+        // engine, the tick reference, and the bare single-system loop.
+        let journey = counters.issued;
+        let forensics = self.fleet_sink.is_some();
+        let mut hops: Vec<JourneyHop> = Vec::new();
         let mut attempts = 0;
-        loop {
+        let (end, ok) = loop {
             // A connection the server lost is a failed transaction, found
             // out immediately (TCP reset): record it, then re-issue once
             // through the balancer.
@@ -878,13 +997,16 @@ impl Fleet {
                         end: due,
                         ok: false,
                     });
+                    if forensics {
+                        hops.push(JourneyHop::failed(self.instances[i].label(), due));
+                    }
                     c.conn = None;
                     if attempts == 0 {
                         attempts += 1;
                         counters.retried += 1;
                         continue;
                     }
-                    return Ok(due);
+                    break (due, false);
                 }
                 if balancer.should_migrate(&mut self.instances, i, due)
                     || balancer.should_return_home(&self.instances, i, c.home, due)
@@ -949,6 +1071,7 @@ impl Fleet {
             let ok = served && end.saturating_sub(due) <= load.timeout;
             if served {
                 inst.note_service(busy_from + service, end);
+                note_serve_span(inst.telemetry(), journey, busy_from, arrival, service);
                 if !load.keepalive {
                     inst.close(conn);
                     c.conn = None;
@@ -961,8 +1084,67 @@ impl Fleet {
                 end,
                 ok,
             });
-            return Ok(end);
-        }
+            if forensics {
+                hops.push(JourneyHop::booked(
+                    inst, due, end, served, one_way, arrival, busy_from, service,
+                ));
+            }
+            break (end, ok);
+        };
+        self.note_journey(journey, due, end, ok, &hops);
+        Ok(end)
+    }
+
+    /// Records the fleet-level journey root and its hop spans, plus the
+    /// journey metrics, on the fleet hub. Bookkeeping only: nothing here
+    /// touches the clock or instance state.
+    fn note_journey(&self, journey: u64, due: Nanos, end: Nanos, ok: bool, hops: &[JourneyHop]) {
+        let Some(sink) = &self.fleet_sink else {
+            return;
+        };
+        let stall: u64 = hops.iter().map(|h| h.stall_ns).sum();
+        sink.with(|hub| {
+            let root = hub.push_span(
+                "journeys",
+                "journey",
+                SpanKind::Journey,
+                due,
+                end,
+                None,
+                vec![
+                    ("journey", journey.to_string()),
+                    ("ok", ok.to_string()),
+                    ("hops", hops.len().to_string()),
+                ],
+            );
+            for h in hops {
+                hub.push_span(
+                    "journeys",
+                    "hop",
+                    SpanKind::Journey,
+                    h.start,
+                    h.end,
+                    Some(root),
+                    vec![
+                        ("journey", journey.to_string()),
+                        ("instance", h.label.clone()),
+                        ("served", h.served.to_string()),
+                        ("wire_ns", h.wire_ns.to_string()),
+                        ("queue_ns", h.queue_ns.to_string()),
+                        ("stall_ns", h.stall_ns.to_string()),
+                        ("service_ns", h.service_ns.to_string()),
+                    ],
+                );
+            }
+            let metrics = hub.metrics_mut();
+            metrics.counter_add(
+                "vampos_journeys_total",
+                &[("ok", if ok { "true" } else { "false" })],
+                1,
+            );
+            metrics.observe("vampos_journey_latency_us", &[], end.saturating_sub(due));
+            metrics.observe("vampos_journey_stall_us", &[], Nanos::from_nanos(stall));
+        });
     }
 
     /// Sends one probe GET to every instance over a fresh connection;
@@ -1040,5 +1222,41 @@ impl Fleet {
             .get(id)?
             .telemetry()
             .map(|sink| sink.with(|hub| hub.chrome_trace_json()))
+    }
+
+    /// Per-process span exports for [`vampos_telemetry::analyze`]: one
+    /// `(label, spans)` entry per instance plus a trailing `fleet` entry.
+    /// `None` unless the fleet was built with [`FleetConfig::telemetry`].
+    pub fn span_processes(&self) -> Option<Vec<(String, Vec<SpanRecord>)>> {
+        let mut out: Vec<(String, Vec<SpanRecord>)> = self
+            .instances
+            .iter()
+            .map(|inst| {
+                inst.telemetry().map(|sink| {
+                    let (spans, _) = sink.with(|hub| hub.export_records());
+                    (inst.label().to_owned(), spans)
+                })
+            })
+            .collect::<Option<Vec<_>>>()?;
+        if let Some(sink) = &self.fleet_sink {
+            let (spans, _) = sink.with(|hub| hub.export_records());
+            out.push(("fleet".to_owned(), spans));
+        }
+        Some(out)
+    }
+
+    /// The run's metrics folded across every instance hub and the fleet
+    /// hub (counters and gauges sum, histograms merge). `None` unless the
+    /// fleet was built with [`FleetConfig::telemetry`].
+    pub fn merged_metrics(&self) -> Option<MetricsRegistry> {
+        let mut merged = MetricsRegistry::default();
+        for inst in &self.instances {
+            let sink = inst.telemetry()?;
+            sink.with(|hub| merged.merge(hub.metrics()));
+        }
+        if let Some(sink) = &self.fleet_sink {
+            sink.with(|hub| merged.merge(hub.metrics()));
+        }
+        Some(merged)
     }
 }

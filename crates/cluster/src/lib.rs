@@ -76,8 +76,9 @@ pub use ladder::{EscalationLadder, Rung, RungEvent};
 pub use oracle::{check_equivalence, check_liveness, FleetViolation};
 pub use plan::{FleetOp, FleetOpKind, FleetPlan, RecoveryFault};
 pub use recursive::{
-    expected_rungs, generate_recursive_spec, run_recursive_campaign, run_recursive_campaign_traced,
-    FaultClass, PlantKind, RecursiveCampaignReport, RecursiveCampaignSpec, RecursiveViolation,
+    expected_rungs, generate_recursive_spec, run_recursive_campaign,
+    run_recursive_campaign_forensics, run_recursive_campaign_traced, FaultClass, PlantKind,
+    RecursiveCampaignReport, RecursiveCampaignSpec, RecursiveForensics, RecursiveViolation,
 };
 pub use report::FleetRunReport;
 pub use single::run_single;

@@ -16,7 +16,7 @@ use vampos_telemetry::TelemetrySink;
 use vampos_ukernel::OsError;
 use vampos_workloads::{LoadReport, RequestRecord};
 
-use crate::fleet::{FleetConfig, FleetLoad};
+use crate::fleet::{note_serve_span, FleetConfig, FleetLoad};
 
 struct BareClient {
     conn: Option<ClientConnId>,
@@ -67,6 +67,8 @@ pub fn run_single(
         })
         .collect();
     let mut next_free = Nanos::ZERO;
+    // Issue sequence number, matching the fleet's journey minting.
+    let mut issued: u64 = 0;
 
     let conn_dead = |sys: &System, conn: ClientConnId| {
         !matches!(
@@ -84,6 +86,7 @@ pub fn run_single(
             .min();
         let Some((due, idx)) = next else { break };
         sys.clock().advance_to(due);
+        issued += 1;
 
         let t0 = sys.clock().now();
         let conn = match clients[idx].conn {
@@ -121,6 +124,7 @@ pub fn run_single(
         let ok = served && end.saturating_sub(due) <= load.timeout;
         if served {
             next_free = busy_from + service;
+            note_serve_span(sink.as_ref(), issued, busy_from, arrival, service);
         } else {
             clients[idx].conn = None;
         }

@@ -36,6 +36,8 @@ pub enum SpanKind {
     Recovery,
     /// One phase inside a recovery.
     Phase,
+    /// One request journey (or one hop of it) across the fleet.
+    Journey,
 }
 
 impl SpanKind {
@@ -46,6 +48,7 @@ impl SpanKind {
             SpanKind::Syscall => "syscall",
             SpanKind::Recovery => "recovery",
             SpanKind::Phase => "phase",
+            SpanKind::Journey => "journey",
         }
     }
 }
@@ -140,7 +143,7 @@ impl TelemetryHub {
     fn push_finished(&mut self, record: SpanRecord) {
         if self.finished.len() == DEFAULT_CAPACITY {
             self.finished.pop_front();
-            self.evicted += 1;
+            self.note_eviction();
         }
         self.finished.push_back(record);
     }
@@ -148,9 +151,48 @@ impl TelemetryHub {
     fn push_instant(&mut self, record: InstantRecord) {
         if self.instants.len() == DEFAULT_CAPACITY {
             self.instants.pop_front();
-            self.evicted += 1;
+            self.note_eviction();
         }
         self.instants.push_back(record);
+    }
+
+    /// Every eviction is also a metric, so audit runs can prove from the
+    /// Prometheus exposition alone that no span/instant was dropped.
+    fn note_eviction(&mut self) {
+        self.evicted += 1;
+        self.metrics
+            .counter_add("vampos_telemetry_evicted_total", &[], 1);
+    }
+
+    /// Records an already-finished span with an explicit parent, bypassing
+    /// the LIFO open-span stack. Journey roots and hops use this: they are
+    /// emitted after the fact (once a request's completion time is known),
+    /// so they never nest with the runtime's call/recovery span pairs.
+    /// Returns the new span's id, for parenting follow-up spans.
+    #[allow(clippy::too_many_arguments)]
+    pub fn push_span(
+        &mut self,
+        track: &str,
+        name: &str,
+        kind: SpanKind,
+        start: Nanos,
+        end: Nanos,
+        parent: Option<u64>,
+        attrs: Vec<(&'static str, String)>,
+    ) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.push_finished(SpanRecord {
+            id,
+            parent,
+            track: track.to_owned(),
+            name: name.to_owned(),
+            kind,
+            start,
+            end: end.max(start),
+            attrs,
+        });
+        id
     }
 
     fn open_span(
@@ -280,7 +322,15 @@ impl TelemetryHub {
     /// depth computed against all retained spans (ancestors evicted from
     /// the bounded buffer stop the depth walk).
     pub fn tail(&self, n: usize) -> Vec<SpanDump> {
-        let mut sorted: Vec<&SpanRecord> = self.finished.iter().collect();
+        self.tail_where(n, |_| true)
+    }
+
+    /// [`TelemetryHub::tail`] restricted to spans matching `keep`; depth is
+    /// still computed against *all* retained spans, so a filtered dump
+    /// keeps the nesting of the full trace. Chaos reproducers use this to
+    /// embed the runtime span tail and the journey tail separately.
+    pub fn tail_where(&self, n: usize, keep: impl Fn(&SpanRecord) -> bool) -> Vec<SpanDump> {
+        let mut sorted: Vec<&SpanRecord> = self.finished.iter().filter(|s| keep(s)).collect();
         sorted.sort_by_key(|s| (s.start, s.id));
         let parents: BTreeMap<u64, Option<u64>> =
             self.finished.iter().map(|s| (s.id, s.parent)).collect();
@@ -671,6 +721,65 @@ mod tests {
         let other = sink.clone();
         sink.with(|hub| hub.note("hello", ns(1)));
         assert_eq!(other.with(|hub| hub.instants().count()), 1);
+    }
+
+    #[test]
+    fn push_span_takes_explicit_parents_and_skips_the_stack() {
+        let mut hub = TelemetryHub::new();
+        hub.call_begin("app", "vfs", "read", ns(10));
+        let root = hub.push_span(
+            "journeys",
+            "journey",
+            SpanKind::Journey,
+            ns(100),
+            ns(200),
+            None,
+            vec![("journey", "7".to_owned())],
+        );
+        let hop = hub.push_span(
+            "journeys",
+            "hop",
+            SpanKind::Journey,
+            ns(100),
+            ns(200),
+            Some(root),
+            Vec::new(),
+        );
+        // The call span is still open: push_span must not disturb it.
+        assert_eq!(hub.open_spans(), 1);
+        hub.call_end(ns(300), true);
+        let spans: Vec<&SpanRecord> = hub.spans().collect();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].id, root);
+        assert_eq!(spans[0].parent, None);
+        assert_eq!(spans[1].id, hop);
+        assert_eq!(spans[1].parent, Some(root));
+        let journeys = hub.tail_where(10, |s| s.kind == SpanKind::Journey);
+        assert_eq!(journeys.len(), 2);
+        assert_eq!(journeys[0].name, "journey");
+        assert_eq!(journeys[1].depth, 1);
+    }
+
+    #[test]
+    fn evictions_surface_as_a_metric() {
+        let mut hub = TelemetryHub::new();
+        for i in 0..(super::DEFAULT_CAPACITY as u64 + 3) {
+            hub.push_span(
+                "t",
+                "s",
+                SpanKind::Journey,
+                ns(i),
+                ns(i + 1),
+                None,
+                Vec::new(),
+            );
+        }
+        assert_eq!(hub.evicted(), 3);
+        assert_eq!(
+            hub.metrics()
+                .counter_value("vampos_telemetry_evicted_total", &[]),
+            Some(3)
+        );
     }
 
     #[test]

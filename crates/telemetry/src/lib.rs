@@ -43,12 +43,14 @@
 
 #![warn(missing_docs)]
 
+pub mod analyze;
 mod collector;
 mod hub;
 pub mod metrics;
 pub mod perfetto;
 pub mod prometheus;
 
+pub use analyze::{analyze, Analysis};
 pub use collector::{Collector, RecoveryPhase};
 pub use hub::{InstantRecord, SpanDump, SpanKind, SpanRecord, TelemetryHub, TelemetrySink};
 pub use metrics::{MetricsRegistry, METRIC_HELP};

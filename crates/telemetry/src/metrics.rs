@@ -46,6 +46,18 @@ pub const METRIC_HELP: &[(&str, &str)] = &[
         "Whole-application reboots (the baseline VampOS avoids).",
     ),
     (
+        "vampos_journey_latency_us",
+        "End-to-end request-journey latency in virtual microseconds.",
+    ),
+    (
+        "vampos_journey_stall_us",
+        "Recovery-induced stall inside request journeys, in virtual microseconds.",
+    ),
+    (
+        "vampos_journeys_total",
+        "Request journeys completed, by outcome (ok=true/false).",
+    ),
+    (
         "vampos_log_bytes_live",
         "Live function-log bytes, by component.",
     ),
@@ -92,6 +104,10 @@ pub const METRIC_HELP: &[(&str, &str)] = &[
     (
         "vampos_syscalls_total",
         "Application syscalls, by function.",
+    ),
+    (
+        "vampos_telemetry_evicted_total",
+        "Telemetry records dropped because the bounded span/instant buffers overflowed.",
     ),
 ];
 
@@ -186,6 +202,32 @@ impl MetricsRegistry {
         &mut self,
     ) -> impl Iterator<Item = (&'static str, &mut BTreeMap<LabelSet, Histogram>)> {
         self.histograms.iter_mut().map(|(n, m)| (*n, m))
+    }
+
+    /// Folds `other` into this registry: counters and gauges add (a fleet
+    /// export sums per-instance totals), histograms merge sketch-exactly
+    /// via [`vampos_sim::Histogram::merge`]. Both iteration orders are
+    /// lexicographic, so merging is deterministic regardless of how many
+    /// registries fold in.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, series) in &other.counters {
+            let family = self.counters.entry(name).or_default();
+            for (labels, value) in series {
+                *family.entry(labels.clone()).or_insert(0) += value;
+            }
+        }
+        for (name, series) in &other.gauges {
+            let family = self.gauges.entry(name).or_default();
+            for (labels, value) in series {
+                *family.entry(labels.clone()).or_insert(0) += value;
+            }
+        }
+        for (name, series) in &other.histograms {
+            let family = self.histograms.entry(name).or_default();
+            for (labels, hist) in series {
+                family.entry(labels.clone()).or_default().merge(hist);
+            }
+        }
     }
 
     /// Renders the registry as a deterministic JSON document:
@@ -349,6 +391,24 @@ mod tests {
         };
         assert_eq!(build(), build());
         assert!(build().find("a_total").unwrap() < build().find("b_total").unwrap());
+    }
+
+    #[test]
+    fn merge_adds_counters_and_gauges_and_folds_histograms() {
+        let mut a = MetricsRegistry::new();
+        a.counter_add("c_total", &[("i", "0")], 2);
+        a.gauge_set("g", &[], 5);
+        a.observe("h_us", &[], Nanos::from_micros(10));
+        let mut b = MetricsRegistry::new();
+        b.counter_add("c_total", &[("i", "0")], 3);
+        b.counter_add("c_total", &[("i", "1")], 1);
+        b.gauge_set("g", &[], 7);
+        b.observe("h_us", &[], Nanos::from_micros(30));
+        a.merge(&b);
+        assert_eq!(a.counter_value("c_total", &[("i", "0")]), Some(5));
+        assert_eq!(a.counter_value("c_total", &[("i", "1")]), Some(1));
+        assert_eq!(a.gauge_value("g", &[]), Some(12));
+        assert_eq!(a.histogram_len("h_us", &[]), 2);
     }
 
     #[test]

@@ -183,6 +183,50 @@ fn render_processes(processes: &[ProcessRefs<'_>]) -> String {
         }
     }
 
+    // Journey flow events: every span carrying a `journey` attribute is a
+    // hop of that journey, and Perfetto draws arrows between the hops when
+    // they share a flow id — across processes, so a request's path from
+    // the fleet balancer through instance serve windows is one chain.
+    // Groups are keyed and emitted in journey-value order; members sort by
+    // `(start, pid, tid, span id)`. A journey with a single anchored span
+    // emits no flow events at all (an arrow needs two ends).
+    let mut flows: BTreeMap<&str, Vec<(u64, u64, u64, u64)>> = BTreeMap::new();
+    for (p, tids) in processes.iter().zip(&all_tids) {
+        for s in p.spans {
+            if let Some((_, journey)) = s.attrs.iter().find(|(k, _)| *k == "journey") {
+                flows.entry(journey).or_default().push((
+                    s.start.as_nanos(),
+                    p.pid,
+                    tids[s.track.as_str()],
+                    s.id,
+                ));
+            }
+        }
+    }
+    for (journey, members) in flows.iter_mut() {
+        if members.len() < 2 {
+            continue;
+        }
+        members.sort_unstable();
+        let last = members.len() - 1;
+        for (n, (start, pid, tid, _)) in members.iter().enumerate() {
+            let (ph, bind) = match n {
+                0 => ("s", ""),
+                n if n == last => ("f", ",\"bp\":\"e\""),
+                _ => ("t", ",\"bp\":\"e\""),
+            };
+            events.push(format!(
+                "{{\"name\":\"journey\",\"cat\":\"journey\",\"ph\":\"{}\",\"id\":\"{}\",\"ts\":{},\"pid\":{},\"tid\":{}{}}}",
+                ph,
+                escape(journey),
+                micros(*start),
+                pid,
+                tid,
+                bind
+            ));
+        }
+    }
+
     let mut out = String::from("{\"traceEvents\":[\n");
     for (i, e) in events.iter().enumerate() {
         if i > 0 {
@@ -326,6 +370,73 @@ mod tests {
         assert!(json.contains("\"pid\":2,\"tid\":1,\"args\":{\"name\":\"vfs\"}"));
         let a = chrome_trace_processes(&processes);
         assert_eq!(json, a, "fleet export is deterministic");
+    }
+
+    #[test]
+    fn journey_spans_are_linked_by_flow_events_across_processes() {
+        let mut hop = span(0, None, "journeys", "hop", 0, 10);
+        hop.kind = SpanKind::Journey;
+        hop.attrs = vec![("journey", "7".to_owned())];
+        let mut serve = span(0, None, "journeys", "serve", 4, 9);
+        serve.kind = SpanKind::Journey;
+        serve.attrs = vec![("journey", "7".to_owned())];
+        let processes = vec![
+            TraceProcess {
+                pid: 1,
+                name: "fleet".to_owned(),
+                spans: vec![hop],
+                instants: Vec::new(),
+            },
+            TraceProcess {
+                pid: 2,
+                name: "instance-00".to_owned(),
+                spans: vec![serve],
+                instants: Vec::new(),
+            },
+        ];
+        let json = chrome_trace_processes(&processes);
+        assert!(json.contains(
+            "{\"name\":\"journey\",\"cat\":\"journey\",\"ph\":\"s\",\"id\":\"7\",\"ts\":0.000,\"pid\":1,\"tid\":1}"
+        ));
+        assert!(json.contains(
+            "{\"name\":\"journey\",\"cat\":\"journey\",\"ph\":\"f\",\"id\":\"7\",\"ts\":0.004,\"pid\":2,\"tid\":1,\"bp\":\"e\"}"
+        ));
+        // The start event comes before the finish event.
+        assert!(json.find("\"ph\":\"s\"").unwrap() < json.find("\"ph\":\"f\"").unwrap());
+        let again = chrome_trace_processes(&processes);
+        assert_eq!(json, again, "flow emission is deterministic");
+    }
+
+    #[test]
+    fn three_hop_journeys_use_step_events_and_singletons_emit_none() {
+        let mut spans = Vec::new();
+        for (id, start) in [(0u64, 0u64), (1, 5), (2, 9)] {
+            let mut s = span(id, None, "journeys", "hop", start, start + 3);
+            s.kind = SpanKind::Journey;
+            s.attrs = vec![("journey", "3".to_owned())];
+            spans.push(s);
+        }
+        let mut lone = span(9, None, "journeys", "hop", 20, 22);
+        lone.kind = SpanKind::Journey;
+        lone.attrs = vec![("journey", "4".to_owned())];
+        spans.push(lone);
+        let refs: Vec<&SpanRecord> = spans.iter().collect();
+        let json = chrome_trace(&refs, &[]);
+        assert!(json.contains("\"ph\":\"s\",\"id\":\"3\""));
+        assert!(json.contains("\"ph\":\"t\",\"id\":\"3\",\"ts\":0.005"));
+        assert!(json.contains("\"ph\":\"f\",\"id\":\"3\",\"ts\":0.009"));
+        assert!(
+            !json.contains("\"id\":\"4\""),
+            "single-hop journeys emit no flow events"
+        );
+    }
+
+    #[test]
+    fn spans_without_journey_attrs_emit_no_flow_events() {
+        let s1 = span(0, None, "vfs", "call", 10, 20);
+        let s2 = span(1, Some(0), "9pfs", "recovery", 12, 18);
+        let json = chrome_trace(&[&s1, &s2], &[]);
+        assert!(!json.contains("\"cat\":\"journey\""));
     }
 
     #[test]

@@ -1,0 +1,399 @@
+//! `vampos-audit`: SLO audit gate over the recovery-forensics pipeline.
+//!
+//! ```text
+//! vampos-audit fleet     --baseline FILE [--seed S] [--report FILE]
+//!                        [--plant phase-budget|p99] [--write-baseline FILE]
+//! vampos-audit recursive --baseline FILE [--seed S] [--report FILE]
+//!                        [--plant phase-budget|p99] [--write-baseline FILE]
+//! ```
+//!
+//! Runs a pinned forensic scenario on the virtual clock, reduces its span
+//! store with [`vampos::telemetry::analyze`], and diffs the observed
+//! numbers against a committed JSON baseline of SLO budgets:
+//!
+//! * per-recovery phase budgets (`failure_detect` / `checkpoint_restore` /
+//!   `log_replay` / `resume`, worst single recovery),
+//! * a journey p99 latency ceiling,
+//! * acknowledged loss (must stay 0),
+//! * telemetry evictions (must stay 0 — the span store must hold the run),
+//! * exact rung-attribution counts per escalation rung.
+//!
+//! `fleet` drives the `repro fleet` scenario at N=16 (32 clients x 120
+//! requests, rolling rejuvenation, recovery-aware balancing); `recursive`
+//! replays the known-converging stalled-9P recursive chaos campaign, which
+//! must also report zero oracle violations. Everything runs on the virtual
+//! clock, so two same-seed invocations are byte-identical — stdout, the
+//! `--report` analysis JSON, and `--write-baseline` output included.
+//!
+//! `--plant` deterministically inflates the named observation so CI can
+//! prove the gate actually fails closed. `--write-baseline` records the
+//! observed numbers with 1.5x headroom on budgets/ceilings (rung counts
+//! are exact) instead of auditing. Exit codes: 0 pass, 1 regression or
+//! run error, 2 usage error.
+
+use std::process::ExitCode;
+
+use vampos::chaos::json::{parse_value, Json};
+use vampos::cluster::{
+    generate_recursive_spec, run_recursive_campaign_forensics, FaultClass, Fleet, FleetConfig,
+    FleetLoad, FleetPlan, PlantKind, Policy,
+};
+use vampos::sim::{derive_seed, Nanos};
+use vampos::telemetry::analyze::{Analysis, PHASES};
+use vampos::telemetry::{analyze, MetricsRegistry};
+
+/// Rolling schedule matching `vampos-fleet` / `repro fleet`.
+const START: Nanos = Nanos::from_millis(20);
+const SPACING: Nanos = Nanos::from_millis(60);
+const DRAIN_LEAD: Nanos = Nanos::from_millis(8);
+
+/// Span-tail window requested from the recursive campaign (the audit only
+/// uses the per-process exports, but the forensics API captures both).
+const SPAN_TAIL: usize = 24;
+
+/// Which observation `--plant` inflates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Plant {
+    None,
+    PhaseBudget,
+    P99,
+}
+
+struct Args {
+    scenario: &'static str,
+    seed: u64,
+    baseline: Option<String>,
+    report: Option<String>,
+    plant: Plant,
+    write_baseline: Option<String>,
+}
+
+fn usage() -> String {
+    "usage: vampos-audit <fleet|recursive> [--baseline FILE] [--seed S]\n\
+     \x20                   [--report FILE] [--plant phase-budget|p99]\n\
+     \x20                   [--write-baseline FILE]\n"
+        .to_owned()
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut it = argv.iter();
+    let scenario = match it.next().map(String::as_str) {
+        Some("fleet") => "fleet",
+        Some("recursive") => "recursive",
+        Some("--help") | Some("-h") => return Err(String::new()),
+        Some(other) => return Err(format!("unknown scenario {other:?}")),
+        None => return Err("a scenario (fleet or recursive) is required".to_owned()),
+    };
+    let mut args = Args {
+        scenario,
+        seed: 42,
+        baseline: None,
+        report: None,
+        plant: Plant::None,
+        write_baseline: None,
+    };
+    while let Some(arg) = it.next() {
+        let mut value = || {
+            it.next()
+                .map(String::as_str)
+                .ok_or_else(|| format!("{arg} needs a value"))
+        };
+        match arg.as_str() {
+            "--seed" => args.seed = value()?.parse().map_err(|e| format!("{e}"))?,
+            "--baseline" => args.baseline = Some(value()?.to_owned()),
+            "--report" => args.report = Some(value()?.to_owned()),
+            "--plant" => {
+                args.plant = match value()? {
+                    "phase-budget" => Plant::PhaseBudget,
+                    "p99" => Plant::P99,
+                    other => return Err(format!("unknown plant {other:?}")),
+                }
+            }
+            "--write-baseline" => args.write_baseline = Some(value()?.to_owned()),
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if args.baseline.is_none() && args.write_baseline.is_none() {
+        return Err("either --baseline or --write-baseline is required".to_owned());
+    }
+    Ok(args)
+}
+
+/// Everything one audited run observes.
+struct Observed {
+    analysis: Analysis,
+    /// Worst single-recovery time per phase, indexed like [`PHASES`].
+    phase_max_ns: [u64; 4],
+    /// Journey p99 latency in virtual nanoseconds.
+    p99_ns: u64,
+    /// Responses acked with content the recovered state contradicts.
+    acked_loss: u64,
+    /// Spans/instants dropped by any bounded telemetry hub.
+    evicted: u64,
+    /// Oracle violations (recursive scenario only; always 0 for fleet).
+    violations: usize,
+}
+
+fn evicted_total(metrics: &MetricsRegistry) -> u64 {
+    metrics
+        .counter_value("vampos_telemetry_evicted_total", &[])
+        .unwrap_or(0)
+}
+
+fn run_fleet(seed: u64) -> Result<Observed, String> {
+    let instances = 16;
+    let config = FleetConfig {
+        instances,
+        seed,
+        telemetry: true,
+        ..FleetConfig::default()
+    };
+    let load = FleetLoad {
+        clients: 32,
+        requests_per_client: 120,
+        ..FleetLoad::default()
+    };
+    let plan = FleetPlan::rolling_rejuvenation(instances, START, SPACING, DRAIN_LEAD);
+    let mut fleet = Fleet::new(config).map_err(|e| format!("fleet boot failed: {e}"))?;
+    fleet
+        .run(&load, Policy::RecoveryAware, plan)
+        .map_err(|e| format!("fleet run failed: {e}"))?;
+    let processes = fleet.span_processes().expect("telemetry was enabled");
+    let metrics = fleet.merged_metrics().expect("telemetry was enabled");
+    let analysis = analyze(&processes);
+    Ok(Observed {
+        phase_max_ns: analysis.phase_max_ns(),
+        p99_ns: analysis.journeys.latency.p99,
+        acked_loss: 0,
+        evicted: evicted_total(&metrics),
+        violations: 0,
+        analysis,
+    })
+}
+
+fn run_recursive(seed: u64) -> Result<Observed, String> {
+    // The known-converging deepest ladder walk: a stalled 9P server that
+    // must escalate component -> instance -> fleet failover.
+    let spec = generate_recursive_spec(
+        derive_seed(seed, 1),
+        1,
+        FaultClass::NinepStall,
+        PlantKind::None,
+    );
+    let forensics = run_recursive_campaign_forensics(&spec, SPAN_TAIL)
+        .map_err(|e| format!("recursive campaign failed: {e}"))?;
+    let analysis = analyze(&forensics.processes);
+    Ok(Observed {
+        phase_max_ns: analysis.phase_max_ns(),
+        p99_ns: analysis.journeys.latency.p99,
+        acked_loss: forensics.report.acked_bad,
+        evicted: 0,
+        violations: forensics.report.violations.len(),
+        analysis,
+    })
+}
+
+/// Inflates the planted observation far past any committed budget while
+/// staying a pure function of the real run, so the planted failure is
+/// itself reproducible.
+fn apply_plant(obs: &mut Observed, plant: Plant) {
+    match plant {
+        Plant::None => {}
+        Plant::PhaseBudget => {
+            for ns in &mut obs.phase_max_ns {
+                *ns = *ns * 1_000 + 1_000_000;
+            }
+        }
+        Plant::P99 => obs.p99_ns = obs.p99_ns * 1_000 + 1_000_000,
+    }
+}
+
+fn render_baseline(scenario: &str, seed: u64, obs: &Observed) -> String {
+    // Budgets and ceilings get 1.5x headroom over the observed run so
+    // benign jitter from future refactors does not trip the gate; rung
+    // counts are the attribution oracle and stay exact.
+    let headroom = |ns: u64| ns + ns / 2;
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"kind\": \"{scenario}\",\n"));
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str("  \"phase_budget_ns\": {\n");
+    for (n, (name, ns)) in PHASES.iter().zip(obs.phase_max_ns).enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {}{}\n",
+            name,
+            headroom(ns),
+            if n + 1 < PHASES.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  },\n");
+    out.push_str(&format!(
+        "  \"journey_p99_ceiling_ns\": {},\n",
+        headroom(obs.p99_ns)
+    ));
+    out.push_str("  \"acked_loss_max\": 0,\n");
+    out.push_str("  \"telemetry_evicted_max\": 0,\n");
+    out.push_str("  \"rung_counts\": {\n");
+    for (n, r) in obs.analysis.rungs.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {}{}\n",
+            r.rung,
+            r.count,
+            if n + 1 < obs.analysis.rungs.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+/// One audit check: named comparison, pass/fail, printed verdict line.
+fn check(failures: &mut u64, name: &str, pass: bool, detail: String) {
+    if pass {
+        println!("  PASS {name}: {detail}");
+    } else {
+        *failures += 1;
+        println!("  FAIL {name}: {detail}");
+    }
+}
+
+fn audit(baseline: &Json, obs: &Observed) -> Result<u64, String> {
+    let mut failures = 0;
+    let budgets = baseline.get("phase_budget_ns")?;
+    for (name, ns) in PHASES.iter().zip(obs.phase_max_ns) {
+        let budget = budgets.get(name)?.as_u64()?;
+        check(
+            &mut failures,
+            &format!("phase {name}"),
+            ns <= budget,
+            format!("max {ns}ns vs budget {budget}ns"),
+        );
+    }
+    let ceiling = baseline.get("journey_p99_ceiling_ns")?.as_u64()?;
+    check(
+        &mut failures,
+        "journey p99 latency",
+        obs.p99_ns <= ceiling,
+        format!("{}ns vs ceiling {}ns", obs.p99_ns, ceiling),
+    );
+    let acked_max = baseline.get("acked_loss_max")?.as_u64()?;
+    check(
+        &mut failures,
+        "acked loss",
+        obs.acked_loss <= acked_max,
+        format!("{} vs max {}", obs.acked_loss, acked_max),
+    );
+    let evicted_max = baseline.get("telemetry_evicted_max")?.as_u64()?;
+    check(
+        &mut failures,
+        "telemetry evictions",
+        obs.evicted <= evicted_max,
+        format!("{} vs max {}", obs.evicted, evicted_max),
+    );
+    check(
+        &mut failures,
+        "oracle violations",
+        obs.violations == 0,
+        format!("{} (must be 0)", obs.violations),
+    );
+    // Rung attribution is exact both ways: a rung in the baseline must
+    // fire exactly its recorded count, and a rung the baseline never saw
+    // is itself a regression.
+    let Json::Obj(expected) = baseline.get("rung_counts")? else {
+        return Err("rung_counts must be an object".to_owned());
+    };
+    for (rung, count) in expected {
+        let want = count.as_u64()?;
+        let got = obs
+            .analysis
+            .rungs
+            .iter()
+            .find(|r| r.rung == *rung)
+            .map(|r| r.count)
+            .unwrap_or(0);
+        check(
+            &mut failures,
+            &format!("rung {rung}"),
+            got == want,
+            format!("count {got} vs baseline {want}"),
+        );
+    }
+    for r in &obs.analysis.rungs {
+        if !expected.contains_key(&r.rung) {
+            check(
+                &mut failures,
+                &format!("rung {}", r.rung),
+                false,
+                format!("count {} not in baseline", r.count),
+            );
+        }
+    }
+    Ok(failures)
+}
+
+fn run(args: &Args) -> Result<u64, String> {
+    let mut obs = match args.scenario {
+        "fleet" => run_fleet(args.seed)?,
+        _ => run_recursive(args.seed)?,
+    };
+    println!(
+        "vampos-audit {}: seed {:#x}{}",
+        args.scenario,
+        args.seed,
+        match args.plant {
+            Plant::None => String::new(),
+            Plant::PhaseBudget => ", plant phase-budget (phase times inflated)".to_owned(),
+            Plant::P99 => ", plant p99 (journey p99 inflated)".to_owned(),
+        }
+    );
+    apply_plant(&mut obs, args.plant);
+    print!("{}", obs.analysis.render());
+    if let Some(path) = &args.report {
+        std::fs::write(path, obs.analysis.to_json())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("analysis report written: {path}");
+    }
+    if let Some(path) = &args.write_baseline {
+        let text = render_baseline(args.scenario, args.seed, &obs);
+        std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("baseline written: {path}");
+        return Ok(0);
+    }
+    let path = args.baseline.as_deref().expect("parse_args requires one");
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let baseline = parse_value(&text).map_err(|e| format!("{path}: {e}"))?;
+    println!("== audit vs {path} ==");
+    let failures = audit(&baseline, &obs).map_err(|e| format!("{path}: {e}"))?;
+    if failures == 0 {
+        println!("verdict: PASS");
+    } else {
+        println!("verdict: FAIL ({failures} regression(s))");
+    }
+    Ok(failures)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("vampos-audit: {msg}\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(0) => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("vampos-audit: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -39,9 +39,10 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use vampos::chaos::{
-    execute_spec, from_json, recursive_from_json, run_fleet_campaign, run_fleet_sweep,
-    run_recursive_plants, run_recursive_sweep, run_sweep, run_with_sink, span_tail_from_json,
-    CampaignSpec, RecursiveSweepConfig, SweepConfig, TelemetrySink, WorkloadKind,
+    execute_spec, from_json, journey_tail_from_json, recursive_from_json, run_fleet_campaign,
+    run_fleet_sweep, run_recursive_plants, run_recursive_sweep, run_sweep, run_with_sink,
+    span_tail_from_json, CampaignSpec, RecursiveSweepConfig, SweepConfig, TelemetrySink,
+    WorkloadKind,
 };
 use vampos::cluster::{run_recursive_campaign, FaultClass};
 use vampos::sim::derive_seed;
@@ -216,7 +217,32 @@ fn print_span_tail(text: &str) {
         return;
     }
     println!("embedded span tail ({} span(s), oldest first):", tail.len());
-    for span in &tail {
+    print_tail_entries(&tail);
+}
+
+/// Prints the reproducer's embedded journey tail — the request journeys in
+/// flight when the campaign failed, showing which traffic the broken
+/// recovery plane delayed or killed.
+fn print_journey_tail(text: &str) {
+    let tail = match journey_tail_from_json(text) {
+        Ok(tail) => tail,
+        Err(e) => {
+            eprintln!("warning: unreadable journey_tail: {e}");
+            return;
+        }
+    };
+    if tail.is_empty() {
+        return;
+    }
+    println!(
+        "embedded journey tail ({} span(s), oldest first):",
+        tail.len()
+    );
+    print_tail_entries(&tail);
+}
+
+fn print_tail_entries(tail: &[vampos::chaos::SpanDump]) {
+    for span in tail {
         println!(
             "  {:>12} ns  {}{} :: {}  [{} ns]",
             span.start_ns,
@@ -243,6 +269,7 @@ fn replay(args: &Args, path: &PathBuf) -> Result<bool, String> {
             spec.plant.name(),
         );
         print_span_tail(&text);
+        print_journey_tail(&text);
         let report = run_recursive_campaign(&spec).map_err(|e| format!("replay failed: {e}"))?;
         return if report.violations.is_empty() {
             println!("all three oracles silent: the reproducer no longer fails");

@@ -7,7 +7,7 @@
 //!              [--plan none|rolling|rolling-full|simultaneous]
 //!              [--shape open|closed|diurnal|bursty] [--think-us US]
 //!              [--period-ms MS] [--burst B] [--engine heap|tick]
-//!              [--no-keepalive] [--trace-out FILE]
+//!              [--no-keepalive] [--trace-out FILE] [--metrics-out FILE]
 //! ```
 //!
 //! Boots N MiniHttpd unikernel instances on one shared virtual clock, runs
@@ -23,7 +23,10 @@
 //! response, siege's default mode, keeping server connection tables
 //! bounded by in-flight requests. `--trace-out` writes a
 //! Perfetto-loadable Chrome trace
-//! with one process track per instance. Output is byte-identical for a
+//! with one process track per instance. `--metrics-out` writes the run's
+//! metrics merged across every instance hub and the fleet hub — Prometheus
+//! text exposition, or a JSON dump when the file ends `.json` (same
+//! convention as `vampos-chaos`). Output is byte-identical for a
 //! given argument list. Exit codes: 0 success, 1 run error, 2 usage error.
 
 use std::process::ExitCode;
@@ -51,6 +54,7 @@ struct Args {
     tick_engine: bool,
     keepalive: bool,
     trace_out: Option<String>,
+    metrics_out: Option<String>,
 }
 
 fn usage() -> String {
@@ -59,7 +63,7 @@ fn usage() -> String {
      \x20                   [--plan none|rolling|rolling-full|simultaneous]\n\
      \x20                   [--shape open|closed|diurnal|bursty] [--think-us US]\n\
      \x20                   [--period-ms MS] [--burst B] [--engine heap|tick]\n\
-     \x20                   [--no-keepalive] [--trace-out FILE]\n"
+     \x20                   [--no-keepalive] [--trace-out FILE] [--metrics-out FILE]\n"
         .to_owned()
 }
 
@@ -78,6 +82,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         tick_engine: false,
         keepalive: true,
         trace_out: None,
+        metrics_out: None,
     };
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -135,6 +140,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--no-keepalive" => args.keepalive = false,
             "--trace-out" => args.trace_out = Some(value()?.to_owned()),
+            "--metrics-out" => args.metrics_out = Some(value()?.to_owned()),
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown argument {other:?}")),
         }
@@ -177,7 +183,7 @@ fn main() -> ExitCode {
     let config = FleetConfig {
         instances: args.instances,
         seed: args.seed,
-        telemetry: args.trace_out.is_some(),
+        telemetry: args.trace_out.is_some() || args.metrics_out.is_some(),
         ..FleetConfig::default()
     };
     let shape = match args.shape {
@@ -249,6 +255,19 @@ fn main() -> ExitCode {
             std::fs::write(path, trace)
                 .map_err(|e| vampos::ukernel::OsError::Io(format!("cannot write {path}: {e}")))?;
             println!("trace written: {path}");
+        }
+        if let Some(path) = &args.metrics_out {
+            let mut reg = fleet
+                .merged_metrics()
+                .expect("telemetry was enabled for --metrics-out");
+            let dump = if path.ends_with(".json") {
+                reg.to_json()
+            } else {
+                vampos::telemetry::prometheus::render(&mut reg)
+            };
+            std::fs::write(path, dump)
+                .map_err(|e| vampos::ukernel::OsError::Io(format!("cannot write {path}: {e}")))?;
+            println!("metrics written: {path}");
         }
         Ok(())
     };
