@@ -1,7 +1,7 @@
 //! `repro` — regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! repro [fig5|table3|fig6|fig7|table4|table5|fleet|recursive|fig8|ablations|all]
+//! repro [fig5|table3|fig6|fig7|table4|table5|fleet|recursive|mesh|fig8|ablations|all]
 //!       [--list] [--quick] [--sequential] [--json[=PATH]]
 //!       [--trace-out=PATH] [--metrics-out=PATH]
 //! ```
@@ -32,7 +32,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use vampos_bench::experiments::{
-    ablations, fig5, fig6, fig7, fig8, fleet, recursive, table3, table4, table5,
+    ablations, fig5, fig6, fig7, fig8, fleet, mesh, recursive, table3, table4, table5,
 };
 use vampos_bench::format::{bytes, render_table, us};
 use vampos_bench::parallel::{parallel_map, worker_count};
@@ -47,7 +47,7 @@ struct Section {
     render: fn(bool) -> String,
 }
 
-const SECTIONS: [Section; 10] = [
+const SECTIONS: [Section; 11] = [
     Section {
         key: "fig5",
         desc: "system call execution times across the five configurations",
@@ -87,6 +87,11 @@ const SECTIONS: [Section; 10] = [
         key: "recursive",
         desc: "recovery-machinery faults: escalation-ladder success rate and rung histogram",
         render: render_recursive,
+    },
+    Section {
+        key: "mesh",
+        desc: "service-mesh pipelines: retry/deadline/hedging policies vs bare hops under recovery",
+        render: render_mesh,
     },
     Section {
         key: "fig8",
@@ -146,7 +151,7 @@ fn main() {
     if selected.is_empty() {
         eprintln!(
             "unknown experiment {which:?}; expected \
-             fig5|table3|fig6|fig7|table4|table5|fleet|recursive|fig8|ablations|all \
+             fig5|table3|fig6|fig7|table4|table5|fleet|recursive|mesh|fig8|ablations|all \
              (see --list)"
         );
         std::process::exit(2);
@@ -744,6 +749,79 @@ fn render_recursive(quick: bool) -> String {
                 "requests"
             ],
             &rows
+        )
+    );
+    out
+}
+
+fn render_mesh(quick: bool) -> String {
+    // The single SQL replica caps journey throughput (~1.1ms serial
+    // service each); 4 open-loop clients stay under that capacity so
+    // failures measure recovery windows, not steady-state overload.
+    let (clients, rpc) = if quick { (4, 16) } else { (4, 96) };
+    let mut out = String::new();
+    heading(
+        &mut out,
+        &format!(
+            "Mesh — pipelines under recovery ({clients} clients x {rpc} requests, \
+             armed policies vs bare hops)"
+        ),
+    );
+    let result = mesh::run(clients, rpc, 42);
+    let rows: Vec<Vec<String>> = result
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.config.to_owned(),
+                if r.armed { "armed" } else { "none" }.to_owned(),
+                r.issued.to_string(),
+                r.acked.to_string(),
+                format!("{:.1}%", r.success_pct),
+                us(r.e2e_p50_us),
+                us(r.e2e_p99_us),
+                r.retries.to_string(),
+                r.hedges.to_string(),
+            ]
+        })
+        .collect();
+    let _ = write!(
+        out,
+        "{}",
+        render_table(
+            &[
+                "config", "policies", "requests", "acked", "ratio", "e2e-p50", "e2e-p99",
+                "retries", "hedges"
+            ],
+            &rows
+        )
+    );
+
+    heading(&mut out, "Mesh — per-stage latency (armed runs)");
+    let stage_rows: Vec<Vec<String>> = result
+        .rows
+        .iter()
+        .filter(|r| r.armed)
+        .flat_map(|r| {
+            r.stages.iter().map(|s| {
+                vec![
+                    r.config.to_owned(),
+                    s.label.clone(),
+                    us(s.p50_us),
+                    us(s.p99_us),
+                    s.retries.to_string(),
+                    s.hedges.to_string(),
+                    s.cached.to_string(),
+                ]
+            })
+        })
+        .collect();
+    let _ = write!(
+        out,
+        "{}",
+        render_table(
+            &["config", "stage", "p50", "p99", "retries", "hedges", "cached"],
+            &stage_rows
         )
     );
     out

@@ -7,6 +7,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fleet;
+pub mod mesh;
 pub mod recursive;
 pub mod table3;
 pub mod table4;

@@ -39,6 +39,7 @@ pub mod engine;
 pub mod fleet;
 pub mod gen;
 pub mod json;
+pub mod mesh;
 pub mod oracle;
 pub mod recursive;
 pub mod shrink;
@@ -55,6 +56,11 @@ pub use fleet::{
 pub use gen::generate_spec;
 pub use json::{
     from_json, journey_tail_from_json, reproducer_to_json, span_tail_from_json, to_json,
+};
+pub use mesh::{
+    mesh_from_json, mesh_reproducer_to_json, mesh_to_json, run_mesh_outcome, run_mesh_plants,
+    run_mesh_sweep, shrink_mesh, MeshClassSummary, MeshOutcome, MeshPlantCheck, MeshShrinkOutcome,
+    MeshSweepConfig, MeshSweepReport,
 };
 pub use oracle::{OracleKind, Violation};
 pub use recursive::{

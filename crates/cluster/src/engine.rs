@@ -35,8 +35,11 @@ use std::collections::BinaryHeap;
 use vampos_sim::Nanos;
 
 /// Event classes, in tiebreak order at equal firing times.
+///
+/// Public so external drive loops (the mesh layer's pipeline engine) can
+/// schedule against the same total order the fleet uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-pub(crate) enum EventClass {
+pub enum EventClass {
     /// A maintenance-plan operation (drain, resume, rejuvenation,
     /// full reboot, fault injection).
     Plan,
@@ -53,7 +56,7 @@ pub(crate) enum EventClass {
 /// One scheduled event. The derived `Ord` over the field order *is* the
 /// total order documented in the module header.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-pub(crate) struct Event {
+pub struct Event {
     /// Firing time (absolute virtual time).
     pub at: Nanos,
     /// Event class (tiebreak rank at equal times).
@@ -67,7 +70,7 @@ pub(crate) struct Event {
 /// A min-heap of [`Event`]s that stamps each push with the next sequence
 /// number, making the pop order total by construction.
 #[derive(Debug, Default)]
-pub(crate) struct EventHeap {
+pub struct EventHeap {
     heap: BinaryHeap<Reverse<Event>>,
     next_seq: u64,
 }
@@ -137,8 +140,9 @@ impl ArrivalShape {
 
     /// Next due time for the self-scheduling (non-closed-loop) shapes,
     /// given the arrival just dispatched at `due` and the client's request
-    /// count after it (`sent`).
-    pub(crate) fn next_due(&self, due: Nanos, started: Nanos, sent: usize, think: Nanos) -> Nanos {
+    /// count after it (`sent`). Public so external drive loops schedule
+    /// arrivals on the identical grid.
+    pub fn next_due(&self, due: Nanos, started: Nanos, sent: usize, think: Nanos) -> Nanos {
         let t = think.as_nanos();
         match *self {
             ArrivalShape::OpenLoop | ArrivalShape::ClosedLoop => due + think,

@@ -219,6 +219,167 @@ pub(crate) fn note_serve_span(
     });
 }
 
+/// Decomposition of one front-tier dispatch, mirrored from the journey-hop
+/// bookkeeping: what an external drive loop (the mesh pipeline engine)
+/// needs to continue the journey across further hops. Every field is
+/// arithmetic the dispatch path already computes — returning it changes no
+/// clock, RNG, or record state, so [`Fleet::run`] stays byte-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrontOutcome {
+    /// Completion time the client observes (`due` for requests that died
+    /// before service).
+    pub end: Nanos,
+    /// Served inside the client timeout.
+    pub ok: bool,
+    /// The server produced a valid response (regardless of the deadline).
+    pub served: bool,
+    /// Instance that handled (or killed) the final attempt.
+    pub instance: usize,
+    /// Two one-way network flights.
+    pub wire_ns: u64,
+    /// Time queued behind the instance's FIFO service queue.
+    pub queue_ns: u64,
+    /// Slice of the queueing delay overlapping a recovery window.
+    pub stall_ns: u64,
+    /// Server occupancy.
+    pub service_ns: u64,
+}
+
+impl FrontOutcome {
+    /// An attempt that died before service: zero-length, zero
+    /// decomposition.
+    fn failed(due: Nanos, instance: usize) -> FrontOutcome {
+        FrontOutcome {
+            end: due,
+            ok: false,
+            served: false,
+            instance,
+            wire_ns: 0,
+            queue_ns: 0,
+            stall_ns: 0,
+            service_ns: 0,
+        }
+    }
+}
+
+/// Per-request drive state for an externally-owned run: the client
+/// population, balancer, and counters [`Fleet::run`] keeps on its stack,
+/// packaged so a caller (the mesh layer) can interleave front-tier
+/// dispatches with its own pipeline work on the shared clock.
+///
+/// Driving every arrival through [`FrontDrive::dispatch`] in the same heap
+/// order [`Fleet::run`] would use reproduces that run byte-for-byte — the
+/// mesh depth-1 equivalence proptest holds the two to exactly that.
+pub struct FrontDrive {
+    started: Nanos,
+    one_way: Nanos,
+    baseline: Vec<(u64, u64)>,
+    clients: Vec<FleetClient>,
+    balancer: Balancer,
+    counters: Counters,
+    request: String,
+    load: FleetLoad,
+}
+
+impl FrontDrive {
+    /// Virtual time the run began.
+    pub fn started(&self) -> Nanos {
+        self.started
+    }
+
+    /// One-way network flight time for this load's client placement.
+    pub fn one_way(&self) -> Nanos {
+        self.one_way
+    }
+
+    /// Number of clients in the population.
+    pub fn client_count(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// The staggered first due time of client `idx` (the arrival grid
+    /// [`Fleet::run`] seeds its heap with).
+    pub fn first_due(&self, idx: usize) -> Nanos {
+        self.clients[idx].next_send
+    }
+
+    /// Requests client `idx` has dispatched so far.
+    pub fn sent(&self, idx: usize) -> usize {
+        self.clients[idx].sent
+    }
+
+    /// Arrivals dispatched so far; the next dispatch mints journey id
+    /// `issued() + 1`.
+    pub fn issued(&self) -> u64 {
+        self.counters.issued
+    }
+
+    /// Dispatches client `idx`'s request due at `due`, exactly as
+    /// [`Fleet::run`]'s arrival arm would: advances the shared clock,
+    /// mints the journey id, routes through the balancer with the one-shot
+    /// dead-connection retry, and books the occupancy arithmetic. Returns
+    /// the journey id and the hop decomposition.
+    ///
+    /// # Errors
+    ///
+    /// Propagates unrecovered system failures (fail-stop), like
+    /// [`Fleet::run`].
+    pub fn dispatch(
+        &mut self,
+        fleet: &mut Fleet,
+        idx: usize,
+        due: Nanos,
+    ) -> Result<(u64, FrontOutcome), OsError> {
+        fleet.clock.advance_to(due);
+        self.counters.issued += 1;
+        let journey = self.counters.issued;
+        let outcome = fleet.dispatch(
+            &mut self.clients[idx],
+            due,
+            &self.load,
+            &mut self.balancer,
+            self.one_way,
+            &mut self.counters,
+            &self.request,
+        )?;
+        self.clients[idx].sent += 1;
+        Ok((journey, outcome))
+    }
+
+    /// Records one completion event (the closed-loop conservation
+    /// counter).
+    pub fn note_completed(&mut self) {
+        self.counters.completed += 1;
+        debug_assert!(self.counters.completed <= self.counters.issued);
+    }
+
+    /// Fires one maintenance op, exactly as [`Fleet::run_supervised`]'s
+    /// plan arm would (including the balancer stale-view freeze plain
+    /// [`Fleet::run`] skips). Returns the recovery-window close time when
+    /// the op opened one — the caller schedules its own
+    /// [`EventClass::Window`] event there.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the op's failure (rejuvenation or reboot that did not
+    /// complete).
+    pub fn fire_op(&mut self, fleet: &mut Fleet, op: &FleetOp) -> Result<Option<Nanos>, OsError> {
+        let result = fleet.fire_op(op, self.started);
+        if let FleetOpKind::RecoveryFault(RecoveryFault::BalancerStaleView { window }) = &op.kind {
+            let at = self.started + op.at;
+            self.balancer.freeze_view(&fleet.instances, at + *window);
+        }
+        result?;
+        Ok(fleet.note_op_fired_at(op, self.started))
+    }
+
+    /// Finishes the run: stamps durations, drains per-instance reports,
+    /// and folds the counters — [`Fleet::run`]'s epilogue.
+    pub fn finish(self, fleet: &mut Fleet) -> FleetRunReport {
+        fleet.finish_run(self.started, &self.baseline, self.counters)
+    }
+}
+
 /// A deterministic fleet of unikernel instances sharing one virtual clock.
 pub struct Fleet {
     clock: SimClock,
@@ -299,6 +460,23 @@ impl Fleet {
         (started, one_way, baseline, clients)
     }
 
+    /// Begins an externally-driven run: books the same baseline and client
+    /// population [`Fleet::run`] would and hands the drive state to the
+    /// caller. The caller owns the event order; see [`FrontDrive`].
+    pub fn begin_front(&mut self, load: &FleetLoad, policy: Policy) -> FrontDrive {
+        let (started, one_way, baseline, clients) = self.start_run(load);
+        FrontDrive {
+            started,
+            one_way,
+            baseline,
+            clients,
+            balancer: Balancer::new(policy),
+            counters: Counters::default(),
+            request: format!("GET {} HTTP/1.1\r\nHost: vampos\r\n\r\n", load.path),
+            load: load.clone(),
+        }
+    }
+
     fn finish_run(
         &mut self,
         started: Nanos,
@@ -376,15 +554,17 @@ impl Fleet {
                     let idx = ev.actor as usize;
                     self.clock.advance_to(ev.at);
                     counters.issued += 1;
-                    let end = self.dispatch(
-                        &mut clients[idx],
-                        ev.at,
-                        load,
-                        &mut balancer,
-                        one_way,
-                        &mut counters,
-                        &request,
-                    )?;
+                    let end = self
+                        .dispatch(
+                            &mut clients[idx],
+                            ev.at,
+                            load,
+                            &mut balancer,
+                            one_way,
+                            &mut counters,
+                            &request,
+                        )?
+                        .end;
                     clients[idx].sent += 1;
                     if load.shape == ArrivalShape::ClosedLoop {
                         heap.push(end.max(ev.at), EventClass::Completion, ev.actor);
@@ -410,12 +590,7 @@ impl Fleet {
                     }
                 }
                 EventClass::Window => {
-                    if let Some(sink) = &self.fleet_sink {
-                        let label = self.instances[ev.actor as usize].label().to_owned();
-                        sink.with(|hub| {
-                            Collector::instant(hub, "fleet", "window_close", &label, ev.at);
-                        });
-                    }
+                    self.note_window_close(ev.actor as usize, ev.at);
                 }
             }
         }
@@ -529,12 +704,7 @@ impl Fleet {
                     }
                 }
                 EventClass::Window => {
-                    if let Some(sink) = &self.fleet_sink {
-                        let label = self.instances[ev.actor as usize].label().to_owned();
-                        sink.with(|hub| {
-                            Collector::instant(hub, "fleet", "window_close", &label, ev.at);
-                        });
-                    }
+                    self.note_window_close(ev.actor as usize, ev.at);
                 }
             }
         }
@@ -936,8 +1106,20 @@ impl Fleet {
     /// heap engine stays byte-identical to the (telemetry-less) tick
     /// reference on everything the comparison covers.
     fn note_op_fired(&mut self, op: &FleetOp, started: Nanos, heap: &mut EventHeap) {
+        if let Some(close) = self.note_op_fired_at(op, started) {
+            heap.push(close, EventClass::Window, op.instance as u64);
+        }
+    }
+
+    /// The telemetry half of [`Fleet::note_op_fired`]: emits the instant,
+    /// counter, and recovery span, and returns the recovery-window close
+    /// time (if the op opened one) for the caller to schedule its own
+    /// [`EventClass::Window`] event against. Split out so external drive
+    /// loops ([`FrontDrive::fire_op`]) can reuse the bookkeeping with
+    /// their own heap.
+    pub(crate) fn note_op_fired_at(&mut self, op: &FleetOp, started: Nanos) -> Option<Nanos> {
         let Some(sink) = &self.fleet_sink else {
-            return;
+            return None;
         };
         let at = started + op.at;
         let inst = &self.instances[op.instance];
@@ -955,19 +1137,32 @@ impl Fleet {
             hub.metrics_mut()
                 .counter_add("vampos_fleet_ops_total", &[("kind", name)], 1);
         });
-        if let Some(end) = window {
+        window.map(|end| {
             sink.with(|hub| {
                 hub.recovery_begin(&label, "plan", at);
                 hub.recovery_end(&label, end.max(at), 0, 0);
             });
-            heap.push(end.max(at), EventClass::Window, op.instance as u64);
+            end.max(at)
+        })
+    }
+
+    /// The [`EventClass::Window`] arm's body: the fleet-track
+    /// `window_close` instant. Bookkeeping only; shared with external
+    /// drive loops that schedule their own window events.
+    pub fn note_window_close(&self, instance: usize, at: Nanos) {
+        if let Some(sink) = &self.fleet_sink {
+            let label = self.instances[instance].label().to_owned();
+            sink.with(|hub| {
+                Collector::instant(hub, "fleet", "window_close", &label, at);
+            });
         }
     }
 
     /// Issues one client request due at `due`, retrying once through the
     /// balancer if the connection turns out to be server-reset. Returns
-    /// the completion time the client observes (equal to `due` for
-    /// requests that die on a reset connection).
+    /// the booked outcome; its `end` is the completion time the client
+    /// observes (equal to `due` for requests that die on a reset
+    /// connection).
     #[allow(clippy::too_many_arguments)]
     fn dispatch(
         &mut self,
@@ -978,7 +1173,7 @@ impl Fleet {
         one_way: Nanos,
         counters: &mut Counters,
         request: &str,
-    ) -> Result<Nanos, OsError> {
+    ) -> Result<FrontOutcome, OsError> {
         // The journey id is the fleet-wide issue sequence number — minted
         // once per arrival (retries keep it), identical across the heap
         // engine, the tick reference, and the bare single-system loop.
@@ -986,7 +1181,7 @@ impl Fleet {
         let forensics = self.fleet_sink.is_some();
         let mut hops: Vec<JourneyHop> = Vec::new();
         let mut attempts = 0;
-        let (end, ok) = loop {
+        let outcome = loop {
             // A connection the server lost is a failed transaction, found
             // out immediately (TCP reset): record it, then re-issue once
             // through the balancer.
@@ -1006,7 +1201,7 @@ impl Fleet {
                         counters.retried += 1;
                         continue;
                     }
-                    break (due, false);
+                    break FrontOutcome::failed(due, i);
                 }
                 if balancer.should_migrate(&mut self.instances, i, due)
                     || balancer.should_return_home(&self.instances, i, c.home, due)
@@ -1089,10 +1284,22 @@ impl Fleet {
                     inst, due, end, served, one_way, arrival, busy_from, service,
                 ));
             }
-            break (end, ok);
+            break FrontOutcome {
+                end,
+                ok,
+                served,
+                instance: target,
+                wire_ns: (one_way + one_way).as_nanos(),
+                queue_ns: busy_from.saturating_sub(arrival).as_nanos(),
+                stall_ns: busy_from
+                    .min(inst.recovery_until())
+                    .saturating_sub(arrival)
+                    .as_nanos(),
+                service_ns: service.as_nanos(),
+            };
         };
-        self.note_journey(journey, due, end, ok, &hops);
-        Ok(end)
+        self.note_journey(journey, due, outcome.end, outcome.ok, &hops);
+        Ok(outcome)
     }
 
     /// Records the fleet-level journey root and its hop spans, plus the

@@ -69,8 +69,8 @@ pub mod report;
 pub mod single;
 
 pub use balancer::{Balancer, Policy};
-pub use engine::ArrivalShape;
-pub use fleet::{Fleet, FleetConfig, FleetLoad};
+pub use engine::{ArrivalShape, Event, EventClass, EventHeap};
+pub use fleet::{Fleet, FleetConfig, FleetLoad, FrontDrive, FrontOutcome};
 pub use instance::Instance;
 pub use ladder::{EscalationLadder, Rung, RungEvent};
 pub use oracle::{check_equivalence, check_liveness, FleetViolation};

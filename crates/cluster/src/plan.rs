@@ -225,7 +225,9 @@ impl FleetPlan {
     }
 
     /// Consumes the plan into firing order: `(at, instance)`, stable.
-    pub(crate) fn into_firing_order(mut self) -> Vec<FleetOp> {
+    /// Public so external drive loops (the mesh layer) can seed their
+    /// event heaps with exactly the order [`crate::Fleet::run`] uses.
+    pub fn into_firing_order(mut self) -> Vec<FleetOp> {
         self.ops.sort_by_key(|op| (op.at, op.instance));
         self.ops
     }

@@ -22,6 +22,7 @@ pub const DETERMINISTIC_CRATES: &[&str] = &[
     "core",
     "host",
     "mem",
+    "mesh",
     "mpk",
     "oslib",
     "sim",

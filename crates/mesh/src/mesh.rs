@@ -1,0 +1,737 @@
+//! The mesh itself: a front-tier [`Fleet`] plus backend service replicas
+//! on one shared virtual clock, with a run loop that mirrors
+//! [`Fleet::run`]'s event order exactly and fans every served ingress
+//! request across the topology's stage pipeline.
+//!
+//! # Determinism
+//!
+//! The drive loop reuses the cluster crate's [`EventHeap`] with the same
+//! total order (`(time, class, actor, seq)`) and drives the front tier
+//! through [`vampos_cluster::FrontDrive`], so a depth-1 mesh run is
+//! byte-identical to the equivalent plain fleet run — the equivalence
+//! proptest holds it to exactly that. Backend maintenance ops are not heap
+//! events: they fire lazily, in `(at, service, replica)` order, whenever
+//! pipeline work first reaches their scheduled grid time (and any
+//! stragglers drain before the report is built). Journey processing order
+//! is the arrival order, so the whole run is a pure function of
+//! `(config, load, policy, plan, plant)`.
+//!
+//! # Journey digests
+//!
+//! Every journey folds the winning response bytes of each stage into an
+//! order-sensitive FNV-1a digest ([`DigestBuilder`]). Responses are pure
+//! value functions of the journey id (warmed auth reads, read-your-write
+//! kv, per-journey sql rows), so a faulted run's digests must match a
+//! fault-free twin's journey-for-journey — the pipeline-equivalence
+//! oracle of the mesh chaos family.
+
+use vampos_cluster::{
+    ArrivalShape, EventClass, EventHeap, Fleet, FleetConfig, FleetLoad, FleetPlan, FrontOutcome,
+    Policy,
+};
+use vampos_sim::{Nanos, SimClock};
+use vampos_telemetry::{Collector, SpanKind};
+use vampos_ukernel::digest::DigestBuilder;
+use vampos_ukernel::OsError;
+
+use crate::backend::{expected_response, BackendInstance, HopServe};
+use crate::report::{JourneyOutcome, MeshRunReport, StageRecord, StageReport};
+use crate::topology::{MeshTopology, Routing, StageOp, StageSpec};
+
+/// Digest perturbation the wrong-value plant applies — any non-zero
+/// constant works; the twin comparison only checks equality.
+const WRONG_VALUE_TWIST: u64 = 0x00DE_FEC8_ED00_C0DE;
+
+/// Extra attempts the retry-storm plant books past the budget.
+const STORM_EXTRA_ATTEMPTS: u32 = 2;
+
+/// Full mesh configuration.
+#[derive(Debug, Clone)]
+pub struct MeshConfig {
+    /// Front-tier fleet (instances, seed, mode, component set, telemetry).
+    pub front: FleetConfig,
+    /// Service registry and stage pipeline.
+    pub topology: MeshTopology,
+    /// Router overhead between the front tier and the first stage.
+    pub route_cost: Nanos,
+}
+
+impl Default for MeshConfig {
+    fn default() -> Self {
+        MeshConfig {
+            front: FleetConfig::default(),
+            topology: MeshTopology::standard(2, true),
+            route_cost: Nanos::from_micros(2),
+        }
+    }
+}
+
+/// What a backend maintenance operation does to its target replica.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BackendOpKind {
+    /// Component-level rejuvenation ([`vampos_core::System::rejuvenate_all`]);
+    /// app state survives.
+    Rejuvenate,
+    /// Conventional full reboot; the app re-boots from durable state and
+    /// the idempotency table is lost.
+    FullReboot,
+    /// A spurious failure-detector firing against one component — the
+    /// recovery plane needlessly reboots a healthy component.
+    SpuriousReboot {
+        /// Component the detector accuses.
+        component: String,
+    },
+}
+
+/// One scheduled backend maintenance operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackendOp {
+    /// Firing time, relative to the start of the run.
+    pub at: Nanos,
+    /// Target service index in [`MeshTopology::services`].
+    pub service: usize,
+    /// Target replica.
+    pub replica: usize,
+    /// The action.
+    pub kind: BackendOpKind,
+}
+
+/// A mesh maintenance plan: front-tier fleet ops plus backend ops.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MeshPlan {
+    /// Operations against the front tier ([`Fleet`] semantics).
+    pub front: FleetPlan,
+    /// Operations against backend replicas.
+    pub backend: Vec<BackendOp>,
+}
+
+impl MeshPlan {
+    /// The empty plan.
+    pub fn none() -> MeshPlan {
+        MeshPlan::default()
+    }
+
+    /// Appends a backend operation.
+    pub fn push_backend(&mut self, at: Nanos, service: usize, replica: usize, kind: BackendOpKind) {
+        self.backend.push(BackendOp {
+            at,
+            service,
+            replica,
+            kind,
+        });
+    }
+
+    /// Backend ops in firing order: `(at, service, replica)`, stable.
+    fn backend_firing_order(&self) -> Vec<BackendOp> {
+        let mut ops = self.backend.clone();
+        ops.sort_by_key(|op| (op.at, op.service, op.replica));
+        ops
+    }
+}
+
+/// Which invariant a planted run deliberately breaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MeshPlantKind {
+    /// Perturb the planted journey's digest: the pipeline-equivalence
+    /// oracle (and only it) must fire.
+    WrongValue,
+    /// Acknowledge the planted journey with fabricated (correct-looking)
+    /// responses while applying nothing: the no-acknowledged-loss oracle
+    /// (and only it) must fire.
+    AckedLoss,
+    /// Book more attempts than the policy allows on the planted journey:
+    /// the retry-budget oracle (and only it) must fire.
+    RetryStorm,
+}
+
+impl MeshPlantKind {
+    /// Stable CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MeshPlantKind::WrongValue => "wrong-value",
+            MeshPlantKind::AckedLoss => "acked-loss",
+            MeshPlantKind::RetryStorm => "retry-storm",
+        }
+    }
+
+    /// Parses a [`MeshPlantKind::name`].
+    pub fn from_name(name: &str) -> Option<MeshPlantKind> {
+        [
+            MeshPlantKind::WrongValue,
+            MeshPlantKind::AckedLoss,
+            MeshPlantKind::RetryStorm,
+        ]
+        .into_iter()
+        .find(|p| p.name() == name)
+    }
+}
+
+/// A deliberate violation planted into one journey of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MeshPlant {
+    /// Which invariant to break.
+    pub kind: MeshPlantKind,
+    /// Journey id to break it on (1-based issue order).
+    pub journey: u64,
+}
+
+/// A front-tier fleet plus backend service replicas on one shared clock.
+pub struct Mesh {
+    fleet: Fleet,
+    clock: SimClock,
+    topology: MeshTopology,
+    route_cost: Nanos,
+    backends: Vec<Vec<BackendInstance>>,
+    backend_one_way: Nanos,
+}
+
+impl Mesh {
+    /// Boots the mesh: the front fleet first, then every backend replica
+    /// in registry order, all on the fleet's clock.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first boot failure.
+    pub fn new(cfg: MeshConfig) -> Result<Mesh, OsError> {
+        let seed = cfg.front.seed;
+        let fleet = Fleet::new(cfg.front)?;
+        let clock = fleet.clock().clone();
+        let mut backends = Vec::with_capacity(cfg.topology.services.len());
+        for (svc_idx, spec) in cfg.topology.services.iter().enumerate() {
+            let mut replicas = Vec::with_capacity(spec.replicas.max(1));
+            for replica in 0..spec.replicas.max(1) {
+                replicas.push(BackendInstance::boot(
+                    spec,
+                    svc_idx,
+                    replica,
+                    seed,
+                    clock.clone(),
+                )?);
+            }
+            backends.push(replicas);
+        }
+        let backend_one_way = backends
+            .first()
+            .and_then(|r| r.first())
+            .map(|b| b.sys.costs().net_rtt(0, false) / 2)
+            .unwrap_or(Nanos::ZERO);
+        Ok(Mesh {
+            fleet,
+            clock,
+            topology: cfg.topology,
+            route_cost: cfg.route_cost,
+            backends,
+            backend_one_way,
+        })
+    }
+
+    /// The front-tier fleet (trace and metrics export, probes).
+    pub fn fleet(&self) -> &Fleet {
+        &self.fleet
+    }
+
+    /// Mutable front-tier access (oracles, tests).
+    pub fn fleet_mut(&mut self) -> &mut Fleet {
+        &mut self.fleet
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// The topology the mesh was booted with.
+    pub fn topology(&self) -> &MeshTopology {
+        &self.topology
+    }
+
+    /// The backend replicas of service `service`.
+    pub fn backends(&self, service: usize) -> &[BackendInstance] {
+        &self.backends[service]
+    }
+
+    /// Whether every durable write of `journey` is present where the
+    /// pipeline's write stages put it: `(stage label, present)` per write
+    /// stage. The no-acknowledged-loss oracle calls this for every acked
+    /// journey after the run.
+    pub fn write_state_present(&mut self, journey: u64) -> Vec<(String, bool)> {
+        let mut out = Vec::new();
+        for (si, stage) in self.topology.stages.iter().enumerate() {
+            if !stage.op.is_write() {
+                continue;
+            }
+            let label = format!(
+                "{}:{}",
+                self.topology.services[stage.service].name,
+                stage.op.short()
+            );
+            let replicas = &mut self.backends[stage.service];
+            let pinned = journey as usize % replicas.len();
+            let present = match stage.op {
+                StageOp::KvPut => replicas[pinned].kv_has(&format!("j:{journey}")),
+                StageOp::SqlInsert => replicas[pinned]
+                    .sql_rows_with_id(journey)
+                    .is_some_and(|n| n >= 1),
+                _ => true,
+            };
+            let _ = si;
+            out.push((label, present));
+        }
+        out
+    }
+
+    /// Runs a load with a maintenance plan. See the module docs for the
+    /// event order; the result is a pure function of the inputs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates unrecovered system failures (fail-stop).
+    pub fn run(
+        &mut self,
+        load: &FleetLoad,
+        policy: Policy,
+        plan: MeshPlan,
+    ) -> Result<MeshRunReport, OsError> {
+        self.run_inner(load, policy, plan, None)
+    }
+
+    /// [`Mesh::run`] with a deliberate violation planted into one journey
+    /// — the chaos family's oracle self-test.
+    ///
+    /// # Errors
+    ///
+    /// Propagates unrecovered system failures (fail-stop).
+    pub fn run_planted(
+        &mut self,
+        load: &FleetLoad,
+        policy: Policy,
+        plan: MeshPlan,
+        plant: MeshPlant,
+    ) -> Result<MeshRunReport, OsError> {
+        self.run_inner(load, policy, plan, Some(plant))
+    }
+
+    fn run_inner(
+        &mut self,
+        load: &FleetLoad,
+        policy: Policy,
+        plan: MeshPlan,
+        plant: Option<MeshPlant>,
+    ) -> Result<MeshRunReport, OsError> {
+        let backend_ops = plan.backend_firing_order();
+        let front_ops_plan = plan.front;
+        let mut drive = self.fleet.begin_front(load, policy);
+        let started = drive.started();
+        let front_ops = front_ops_plan.into_firing_order();
+        let stage_specs = self.topology.stages.clone();
+
+        let mut heap = EventHeap::default();
+        for op in &front_ops {
+            heap.push(started + op.at, EventClass::Plan, op.instance as u64);
+        }
+        if load.requests_per_client > 0 {
+            for i in 0..drive.client_count() {
+                heap.push(drive.first_due(i), EventClass::Arrival, i as u64);
+            }
+        }
+
+        let mut stages: Vec<StageReport> = (0..stage_specs.len())
+            .map(|i| StageReport {
+                label: self.topology.stage_label(i),
+                records: Vec::new(),
+            })
+            .collect();
+        let mut journeys: Vec<JourneyOutcome> = Vec::new();
+        let mut op_idx = 0;
+        let mut backend_cursor = 0;
+
+        while let Some(ev) = heap.pop() {
+            match ev.class {
+                EventClass::Plan => {
+                    let op = &front_ops[op_idx];
+                    op_idx += 1;
+                    if let Some(close) = drive.fire_op(&mut self.fleet, op)? {
+                        heap.push(close, EventClass::Window, op.instance as u64);
+                    }
+                }
+                EventClass::Arrival => {
+                    let idx = ev.actor as usize;
+                    let (journey, front) = drive.dispatch(&mut self.fleet, idx, ev.at)?;
+                    let end = if front.served && !stage_specs.is_empty() {
+                        let (end, pipe_ok, digest) = self.run_pipeline(
+                            &stage_specs,
+                            journey,
+                            ev.at,
+                            &front,
+                            started,
+                            &backend_ops,
+                            &mut backend_cursor,
+                            &mut stages,
+                            plant.as_ref(),
+                        )?;
+                        journeys.push(JourneyOutcome {
+                            journey,
+                            start: ev.at,
+                            end,
+                            acked: front.ok && pipe_ok,
+                            digest,
+                        });
+                        end
+                    } else {
+                        // Front failure, or a depth-1 topology: the
+                        // journey terminates at the front tier, exactly
+                        // where [`Fleet::run`] would leave it.
+                        journeys.push(JourneyOutcome {
+                            journey,
+                            start: ev.at,
+                            end: front.end,
+                            acked: front.ok && front.served,
+                            digest: 0,
+                        });
+                        front.end
+                    };
+                    if load.shape == ArrivalShape::ClosedLoop {
+                        heap.push(end.max(ev.at), EventClass::Completion, ev.actor);
+                    } else {
+                        drive.note_completed();
+                        if drive.sent(idx) < load.requests_per_client {
+                            let next = load.shape.next_due(
+                                ev.at,
+                                started,
+                                drive.sent(idx),
+                                load.think_time,
+                            );
+                            heap.push(next, EventClass::Arrival, ev.actor);
+                        }
+                    }
+                }
+                EventClass::Completion => {
+                    drive.note_completed();
+                    let idx = ev.actor as usize;
+                    if drive.sent(idx) < load.requests_per_client {
+                        heap.push(ev.at + load.think_time, EventClass::Arrival, ev.actor);
+                    }
+                }
+                EventClass::Window => {
+                    self.fleet.note_window_close(ev.actor as usize, ev.at);
+                }
+            }
+        }
+        // Straggler backend ops scheduled past the last pipeline touch.
+        self.fire_backend_ops_until(
+            &backend_ops,
+            &mut backend_cursor,
+            Nanos::from_nanos(u64::MAX),
+            started,
+        )?;
+
+        let front_report = drive.finish(&mut self.fleet);
+        let retries = stages.iter().map(StageReport::retries).sum();
+        let hedges = stages.iter().map(StageReport::hedges).sum();
+        Ok(MeshRunReport {
+            front: front_report,
+            stages,
+            journeys,
+            retries,
+            hedges,
+        })
+    }
+
+    /// Fans one served ingress request across the stage pipeline. Returns
+    /// `(end, ok, digest)`: when the final response reached the client,
+    /// whether every hop beat a deadline, and the folded response digest.
+    #[allow(clippy::too_many_arguments)]
+    fn run_pipeline(
+        &mut self,
+        specs: &[StageSpec],
+        journey: u64,
+        due: Nanos,
+        front: &FrontOutcome,
+        started: Nanos,
+        ops: &[BackendOp],
+        cursor: &mut usize,
+        stages_out: &mut [StageReport],
+        plant: Option<&MeshPlant>,
+    ) -> Result<(Nanos, bool, u64), OsError> {
+        let mut hop_due = front.end + self.route_cost;
+        let mut digest = DigestBuilder::new();
+        let mut records: Vec<(usize, StageRecord)> = Vec::with_capacity(specs.len());
+        let mut pipe_ok = true;
+
+        for (si, stage) in specs.iter().enumerate() {
+            let policy = stage.policy;
+            let replicas = self.backends[stage.service].len();
+            let mut att_due = hop_due;
+            let mut winner: Option<HopServe> = None;
+            let mut attempts = 0;
+            let mut hedged = false;
+
+            for attempt in 1..=policy.max_attempts.max(1) {
+                attempts = attempt;
+                self.fire_backend_ops_until(ops, cursor, att_due, started)?;
+                let replica = match stage.routing {
+                    Routing::Pinned => journey as usize % replicas,
+                    Routing::Replicated => (journey as usize + attempt as usize - 1) % replicas,
+                };
+                let mut best =
+                    self.serve_attempt(stage.service, replica, journey, stage.op, att_due, plant)?;
+                if let Some(after) = policy.hedge_after {
+                    let hedge_due = att_due + after;
+                    if stage.routing == Routing::Replicated && replicas > 1 && best.end > hedge_due
+                    {
+                        self.fire_backend_ops_until(ops, cursor, hedge_due, started)?;
+                        let hedge_replica = (journey as usize + attempt as usize) % replicas;
+                        let hedge = self.serve_attempt(
+                            stage.service,
+                            hedge_replica,
+                            journey,
+                            stage.op,
+                            hedge_due,
+                            plant,
+                        )?;
+                        hedged = true;
+                        if hedge.end < best.end {
+                            best = hedge;
+                        }
+                    }
+                }
+                if best.end.saturating_sub(att_due) <= policy.deadline {
+                    winner = Some(best);
+                    break;
+                }
+                // Abandoned: the client walks away at the deadline and
+                // re-issues after the (doubling) backoff. The server still
+                // finishes the work it booked.
+                att_due = att_due + policy.deadline + policy.backoff_after(attempt);
+            }
+
+            if let Some(p) = plant {
+                if p.kind == MeshPlantKind::RetryStorm && p.journey == journey && si == 0 {
+                    attempts = policy.max_attempts.max(1) + STORM_EXTRA_ATTEMPTS;
+                }
+            }
+
+            match winner {
+                Some(best) => {
+                    digest = digest.bytes(&best.response);
+                    records.push((
+                        si,
+                        StageRecord {
+                            journey,
+                            start: hop_due,
+                            end: best.end,
+                            ok: true,
+                            attempts,
+                            hedged,
+                            wire_ns: best.wire_ns,
+                            queue_ns: best.queue_ns,
+                            stall_ns: best.stall_ns,
+                            service_ns: best.service_ns,
+                            cached: best.cached,
+                        },
+                    ));
+                    hop_due = best.end;
+                }
+                None => {
+                    // The hop exhausted its budget: the journey fails at
+                    // the last attempt's deadline and later stages never
+                    // run.
+                    let gave_up = att_due;
+                    records.push((
+                        si,
+                        StageRecord {
+                            journey,
+                            start: hop_due,
+                            end: gave_up,
+                            ok: false,
+                            attempts,
+                            hedged,
+                            wire_ns: 0,
+                            queue_ns: 0,
+                            stall_ns: 0,
+                            service_ns: 0,
+                            cached: false,
+                        },
+                    ));
+                    hop_due = gave_up;
+                    pipe_ok = false;
+                    break;
+                }
+            }
+        }
+
+        let mut value = digest.finish();
+        if let Some(p) = plant {
+            if p.kind == MeshPlantKind::WrongValue && p.journey == journey {
+                value ^= WRONG_VALUE_TWIST;
+            }
+        }
+        let end = hop_due + self.route_cost;
+        self.note_mesh_journey(journey, due, end, front.ok && pipe_ok, &records, stages_out);
+        for (si, rec) in records {
+            stages_out[si].records.push(rec);
+        }
+        Ok((end, pipe_ok, value))
+    }
+
+    /// One attempt against one replica — or, for the acked-loss plant's
+    /// target journey, a fabricated correct-looking response that applies
+    /// nothing anywhere.
+    fn serve_attempt(
+        &mut self,
+        service: usize,
+        replica: usize,
+        journey: u64,
+        op: StageOp,
+        att_due: Nanos,
+        plant: Option<&MeshPlant>,
+    ) -> Result<HopServe, OsError> {
+        if let Some(p) = plant {
+            if p.kind == MeshPlantKind::AckedLoss
+                && p.journey == journey
+                && (op.is_write() || op == StageOp::KvGet)
+            {
+                let one_way = self.backend_one_way;
+                return Ok(HopServe {
+                    end: att_due + one_way + one_way,
+                    response: expected_response(op, journey),
+                    wire_ns: (one_way + one_way).as_nanos(),
+                    queue_ns: 0,
+                    stall_ns: 0,
+                    service_ns: 0,
+                    cached: false,
+                });
+            }
+        }
+        self.backends[service][replica].serve(journey, op, att_due, self.backend_one_way)
+    }
+
+    /// Fires every backend op scheduled at or before `until` (grid time),
+    /// in `(at, service, replica)` order.
+    fn fire_backend_ops_until(
+        &mut self,
+        ops: &[BackendOp],
+        cursor: &mut usize,
+        until: Nanos,
+        started: Nanos,
+    ) -> Result<(), OsError> {
+        while *cursor < ops.len() {
+            let op = &ops[*cursor];
+            let at = started + op.at;
+            if at > until {
+                break;
+            }
+            *cursor += 1;
+            self.clock.advance_to(at);
+            let inst = &mut self.backends[op.service][op.replica];
+            let name = match &op.kind {
+                BackendOpKind::Rejuvenate => {
+                    inst.rejuvenate(at)?;
+                    "rejuvenate"
+                }
+                BackendOpKind::FullReboot => {
+                    inst.full_reboot(at)?;
+                    "full_reboot"
+                }
+                BackendOpKind::SpuriousReboot { component } => {
+                    inst.spurious_reboot(component, at)?;
+                    "spurious_reboot"
+                }
+            };
+            let label = self.backends[op.service][op.replica].label().to_owned();
+            if let Some(sink) = self.fleet.fleet_telemetry() {
+                sink.with(|hub| {
+                    hub.instant("mesh", "backend_op", &format!("{name} {label}"), at);
+                    hub.metrics_mut().counter_add(
+                        "vampos_mesh_backend_ops_total",
+                        &[("kind", name)],
+                        1,
+                    );
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Emits the journey's mesh spans and metrics on the fleet sink: a
+    /// pipeline root span threading the same journey id the front tier's
+    /// journey span carries, with one child span per executed hop carrying
+    /// the full wire/queue/stall/service decomposition.
+    fn note_mesh_journey(
+        &self,
+        journey: u64,
+        due: Nanos,
+        end: Nanos,
+        acked: bool,
+        records: &[(usize, StageRecord)],
+        stages_out: &[StageReport],
+    ) {
+        let Some(sink) = self.fleet.fleet_telemetry() else {
+            return;
+        };
+        sink.with(|hub| {
+            let root = hub.push_span(
+                "mesh",
+                "pipeline",
+                SpanKind::Journey,
+                due,
+                end,
+                None,
+                vec![
+                    ("journey", journey.to_string()),
+                    ("acked", acked.to_string()),
+                    ("stages", records.len().to_string()),
+                ],
+            );
+            for (si, rec) in records {
+                let label = &stages_out[*si].label;
+                hub.push_span(
+                    "mesh",
+                    "mesh_hop",
+                    SpanKind::Journey,
+                    rec.start,
+                    rec.end,
+                    Some(root),
+                    vec![
+                        ("journey", journey.to_string()),
+                        ("stage", label.clone()),
+                        ("ok", rec.ok.to_string()),
+                        ("attempts", rec.attempts.to_string()),
+                        ("hedged", rec.hedged.to_string()),
+                        ("cached", rec.cached.to_string()),
+                        ("wire_ns", rec.wire_ns.to_string()),
+                        ("queue_ns", rec.queue_ns.to_string()),
+                        ("stall_ns", rec.stall_ns.to_string()),
+                        ("service_ns", rec.service_ns.to_string()),
+                    ],
+                );
+            }
+            let metrics = hub.metrics_mut();
+            metrics.counter_add(
+                "vampos_mesh_journeys_total",
+                &[("ok", if acked { "true" } else { "false" })],
+                1,
+            );
+            for (si, rec) in records {
+                let label = &stages_out[*si].label;
+                if rec.attempts > 1 {
+                    metrics.counter_add(
+                        "vampos_mesh_retries_total",
+                        &[("stage", label)],
+                        u64::from(rec.attempts - 1),
+                    );
+                }
+                if rec.hedged {
+                    metrics.counter_add("vampos_mesh_hedges_total", &[("stage", label)], 1);
+                }
+                if rec.ok {
+                    metrics.observe(
+                        "vampos_mesh_stage_latency_us",
+                        &[("stage", label)],
+                        rec.end.saturating_sub(rec.start),
+                    );
+                }
+            }
+        });
+    }
+}

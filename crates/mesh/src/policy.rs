@@ -1,0 +1,124 @@
+//! Per-hop client policies: deadlines, bounded retry with deterministic
+//! exponential backoff, and optional hedged requests.
+//!
+//! Every attempt is given [`HopPolicy::deadline`] of patience; an attempt
+//! whose booked completion lands past the deadline is *abandoned* — the
+//! server still did the work (and, for writes, recorded the journey in
+//! its idempotency table), but the client walks away at
+//! `attempt_due + deadline` and re-issues after a backoff. The backoff
+//! doubles per retry, so the attempt grid is a pure integer function of
+//! the policy: attempt `k` (1-based) is due at
+//! `hop_due + (k-1)*deadline + backoff*(2^(k-1) - 1)`.
+
+use vampos_sim::Nanos;
+
+/// Deadline, retry, and hedging policy for one pipeline hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HopPolicy {
+    /// Per-attempt patience: an attempt completing later than this after
+    /// its due time is abandoned.
+    pub deadline: Nanos,
+    /// Attempts allowed (at least 1). The retry-budget oracle holds every
+    /// journey to this.
+    pub max_attempts: u32,
+    /// Base backoff before the first retry; doubles per subsequent retry.
+    pub backoff: Nanos,
+    /// Hedging trigger: when the primary attempt has not completed this
+    /// long after its due time, race a duplicate against the next replica
+    /// and take the earlier completion. Only honored on
+    /// [`crate::topology::Routing::Replicated`] stages with more than one
+    /// replica; at most one hedge per attempt.
+    pub hedge_after: Option<Nanos>,
+}
+
+/// Default per-attempt deadline: generous against healthy-queue jitter,
+/// far shorter than a component-rejuvenation window — the gap retry and
+/// hedging exist to bridge.
+const DEADLINE: Nanos = Nanos::from_millis(2);
+
+/// Default base backoff between attempts.
+const BACKOFF: Nanos = Nanos::from_millis(2);
+
+/// Default attempt budget: with doubling backoff the hop keeps probing for
+/// roughly `4*deadline + 7*backoff` (~22 ms) — enough patience to ride out
+/// a component-rejuvenation window, nowhere near a full-reboot outage.
+const MAX_ATTEMPTS: u32 = 4;
+
+impl HopPolicy {
+    /// The no-policy baseline: one attempt, no hedge, same deadline.
+    pub fn none(deadline: Nanos) -> HopPolicy {
+        HopPolicy {
+            deadline,
+            max_attempts: 1,
+            backoff: Nanos::ZERO,
+            hedge_after: None,
+        }
+    }
+
+    /// The standard retry policy for pinned (stateful) hops: bounded
+    /// retries with doubling backoff, no hedge.
+    pub fn standard() -> HopPolicy {
+        HopPolicy {
+            deadline: DEADLINE,
+            max_attempts: MAX_ATTEMPTS,
+            backoff: BACKOFF,
+            hedge_after: None,
+        }
+    }
+
+    /// [`HopPolicy::standard`] plus hedging at half the deadline — for
+    /// replicated stages whose responses are replica-independent.
+    pub fn standard_hedged() -> HopPolicy {
+        HopPolicy {
+            hedge_after: Some(Nanos::from_nanos(DEADLINE.as_nanos() / 2)),
+            ..HopPolicy::standard()
+        }
+    }
+
+    /// Backoff inserted after abandoning attempt `attempt` (1-based):
+    /// `backoff * 2^(attempt-1)`, saturating.
+    pub fn backoff_after(&self, attempt: u32) -> Nanos {
+        let shift = (attempt.saturating_sub(1)).min(20);
+        Nanos::from_nanos(self.backoff.as_nanos().saturating_mul(1u64 << shift))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_no_policy_baseline_is_a_single_attempt() {
+        let p = HopPolicy::none(Nanos::from_millis(3));
+        assert_eq!(p.max_attempts, 1);
+        assert_eq!(p.backoff, Nanos::ZERO);
+        assert!(p.hedge_after.is_none());
+        assert_eq!(p.deadline, Nanos::from_millis(3));
+    }
+
+    #[test]
+    fn backoff_doubles_per_retry() {
+        let p = HopPolicy::standard();
+        assert_eq!(p.backoff_after(1), p.backoff);
+        assert_eq!(p.backoff_after(2).as_nanos(), p.backoff.as_nanos() * 2);
+        assert_eq!(p.backoff_after(3).as_nanos(), p.backoff.as_nanos() * 4);
+    }
+
+    #[test]
+    fn backoff_saturates_instead_of_overflowing() {
+        let p = HopPolicy {
+            deadline: Nanos::from_millis(1),
+            max_attempts: u32::MAX,
+            backoff: Nanos::from_nanos(u64::MAX / 2),
+            hedge_after: None,
+        };
+        // Shift capped, multiplication saturating: no panic, monotone.
+        assert!(p.backoff_after(64) >= p.backoff_after(2));
+    }
+
+    #[test]
+    fn the_hedge_trigger_fires_before_the_deadline() {
+        let p = HopPolicy::standard_hedged();
+        assert!(p.hedge_after.expect("hedged") < p.deadline);
+    }
+}

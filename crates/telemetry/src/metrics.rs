@@ -70,6 +70,26 @@ pub const METRIC_HELP: &[(&str, &str)] = &[
         "Log entries removed by session-aware shrinking, by component.",
     ),
     (
+        "vampos_mesh_backend_ops_total",
+        "Mesh backend maintenance operations fired, by kind.",
+    ),
+    (
+        "vampos_mesh_hedges_total",
+        "Mesh hedged requests raced against a slow replica, by stage.",
+    ),
+    (
+        "vampos_mesh_journeys_total",
+        "Mesh pipeline journeys completed, by end-to-end outcome.",
+    ),
+    (
+        "vampos_mesh_retries_total",
+        "Mesh hop retry attempts beyond the first, by stage.",
+    ),
+    (
+        "vampos_mesh_stage_latency_us",
+        "Mesh per-stage hop latency in microseconds, by stage.",
+    ),
+    (
         "vampos_mpk_denials_total",
         "MPK access-check denials, by offending component.",
     ),

@@ -8,11 +8,15 @@
 //! vampos-chaos --family recursive --seed 42 --campaigns 100
 //! vampos-chaos --family recursive --class ninep-stall --campaigns 10
 //! vampos-chaos --family recursive --plant      # oracle self-test battery
+//! vampos-chaos --family mesh --seed 42 --campaigns 4
+//! vampos-chaos --family mesh --class kv-reboot --campaigns 8
+//! vampos-chaos --family mesh --plant           # three-plant battery
+//! vampos-chaos --family mesh --plant-kind acked-loss   # exits 1 iff caught
 //! vampos-chaos --replay chaos-repro-kv-3.json
 //! vampos-chaos --seed 1 --campaigns 2 --workload kv --plant   # self-test
 //! ```
 //!
-//! Three campaign families share the harness:
+//! Four campaign families share the harness:
 //!
 //! * `component` (default) — single-system fault schedules (panics, hangs,
 //!   leaks, bit flips, timed reboots) against a fault-free twin, checked by
@@ -24,7 +28,12 @@
 //!   server, virtio rings, failure detector, balancer, checkpoint/replay,
 //!   reboot engine), survived by the component → instance → fleet
 //!   escalation ladder and checked by three oracles (ladder convergence,
-//!   no acknowledged loss, rung attribution).
+//!   no acknowledged loss, rung attribution);
+//! * `mesh` — multi-component request pipelines (front fleet → auth / KV /
+//!   SQL backends with deadlines, retries, idempotency keys, and hedging)
+//!   under front and backend recovery, checked against a fault-free twin by
+//!   three oracles (pipeline equivalence, no acknowledged loss, retry
+//!   budgets).
 //!
 //! Failing campaigns are shrunk to a minimal reproducer written under
 //! `--out`, replayable with `--replay` (the family is encoded in the file).
@@ -39,12 +48,13 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use vampos::chaos::{
-    execute_spec, from_json, journey_tail_from_json, recursive_from_json, run_fleet_campaign,
-    run_fleet_sweep, run_recursive_plants, run_recursive_sweep, run_sweep, run_with_sink,
-    span_tail_from_json, CampaignSpec, RecursiveSweepConfig, SweepConfig, TelemetrySink,
-    WorkloadKind,
+    execute_spec, from_json, journey_tail_from_json, mesh_from_json, recursive_from_json,
+    run_fleet_campaign, run_fleet_sweep, run_mesh_plants, run_mesh_sweep, run_recursive_plants,
+    run_recursive_sweep, run_sweep, run_with_sink, span_tail_from_json, CampaignSpec,
+    MeshSweepConfig, RecursiveSweepConfig, SweepConfig, TelemetrySink, WorkloadKind,
 };
 use vampos::cluster::{run_recursive_campaign, FaultClass};
+use vampos::mesh::{generate_mesh_spec, run_mesh_campaign, MeshFaultClass, MeshPlantKind};
 use vampos::sim::derive_seed;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,12 +62,16 @@ enum Family {
     Component,
     Fleet,
     Recursive,
+    Mesh,
 }
 
 struct Args {
     family: Family,
     sweep: SweepConfig,
     classes: Vec<FaultClass>,
+    mesh_classes: Vec<MeshFaultClass>,
+    class_raw: Option<String>,
+    plant_kind: Option<MeshPlantKind>,
     instances: usize,
     replay: Option<PathBuf>,
     out_dir: PathBuf,
@@ -66,10 +80,11 @@ struct Args {
 }
 
 fn usage() -> String {
-    "usage: vampos-chaos [--family component|fleet|recursive]\n\
+    "usage: vampos-chaos [--family component|fleet|recursive|mesh]\n\
      \x20                   [--seed N] [--campaigns K] [--workload echo|kv|http|sql|all]\n\
      \x20                   [--class CLASS|all] [--instances N]\n\
-     \x20                   [--budget B] [--plant] [--sequential] [--out DIR]\n\
+     \x20                   [--budget B] [--plant] [--plant-kind KIND]\n\
+     \x20                   [--sequential] [--out DIR]\n\
      \x20                   [--trace-out FILE] [--metrics-out FILE]\n\
      \x20      vampos-chaos --replay FILE [--trace-out FILE] [--metrics-out FILE]\n\
      \n\
@@ -77,10 +92,16 @@ fn usage() -> String {
      recursive family's recovery-plane fault classes (ninep-corrupt, ninep-stall,\n\
      virtio-drop, virtio-dup, detector-false-negative, detector-false-positive,\n\
      balancer-stale-view, checkpoint-corrupt, replay-divergence,\n\
-     reboot-during-reboot); --instances sizes the fleet family's cluster.\n\
+     reboot-during-reboot) or the mesh family's recovery scenarios (front-reboot,\n\
+     front-rejuvenate, rolling-front, kv-rejuvenate, kv-reboot, sql-reboot,\n\
+     auth-rejuvenate, detector-misfire); --instances sizes the fleet family's\n\
+     cluster.\n\
      --plant runs the oracle self-test: component/fleet plant a state divergence\n\
-     every campaign must catch; recursive runs the three-plant battery (each\n\
-     plant must flip exactly its oracle; a sleeping oracle exits 2).\n\
+     every campaign must catch; recursive and mesh run their three-plant battery\n\
+     (each plant must flip exactly its oracle; a sleeping oracle exits 2).\n\
+     --plant-kind (mesh only: wrong-value, acked-loss, retry-storm) runs a single\n\
+     planted campaign and exits 1 iff its oracle caught the plant — wired as\n\
+     `!`-negated CI steps so a sleeping oracle fails the build.\n\
      --trace-out writes a Chrome trace-event JSON (load in Perfetto / chrome://tracing)\n\
      --metrics-out writes Prometheus text exposition (or a JSON dump for .json paths)\n\
      Both exports re-execute one deterministic spec with telemetry attached: the\n\
@@ -94,6 +115,9 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         family: Family::Component,
         sweep: SweepConfig::default(),
         classes: FaultClass::ALL.to_vec(),
+        mesh_classes: MeshFaultClass::ALL.to_vec(),
+        class_raw: None,
+        plant_kind: None,
         instances: 4,
         replay: None,
         out_dir: PathBuf::from("."),
@@ -114,6 +138,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     "component" => Family::Component,
                     "fleet" => Family::Fleet,
                     "recursive" => Family::Recursive,
+                    "mesh" => Family::Mesh,
                     other => return Err(format!("unknown family {other:?}\n{}", usage())),
                 };
             }
@@ -134,13 +159,27 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 };
             }
             "--class" => {
+                // Class names are family-scoped; parse against both the
+                // recursive and mesh alphabets and validate the pairing
+                // once the family is known (flags arrive in any order).
                 let name = value("--class")?;
-                args.classes = if name == "all" {
-                    FaultClass::ALL.to_vec()
+                if name == "all" {
+                    args.classes = FaultClass::ALL.to_vec();
+                    args.mesh_classes = MeshFaultClass::ALL.to_vec();
                 } else {
-                    vec![FaultClass::from_name(&name)
-                        .ok_or_else(|| format!("unknown fault class {name:?}"))?]
-                };
+                    let recursive = FaultClass::from_name(&name);
+                    let mesh = MeshFaultClass::from_name(&name);
+                    if recursive.is_none() && mesh.is_none() {
+                        return Err(format!("unknown fault class {name:?}\n{}", usage()));
+                    }
+                    if let Some(class) = recursive {
+                        args.classes = vec![class];
+                    }
+                    if let Some(class) = mesh {
+                        args.mesh_classes = vec![class];
+                    }
+                }
+                args.class_raw = Some(name);
             }
             "--instances" => {
                 args.instances = value("--instances")?.parse().map_err(|e| format!("{e}"))?;
@@ -149,6 +188,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 }
             }
             "--plant" => args.sweep.plant = true,
+            "--plant-kind" => {
+                let name = value("--plant-kind")?;
+                args.plant_kind = Some(
+                    MeshPlantKind::from_name(&name)
+                        .ok_or_else(|| format!("unknown plant kind {name:?}\n{}", usage()))?,
+                );
+            }
             "--sequential" => args.sweep.sequential = true,
             "--out" => args.out_dir = PathBuf::from(value("--out")?),
             "--trace-out" => args.trace_out = Some(PathBuf::from(value("--trace-out")?)),
@@ -164,9 +210,24 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     {
         return Err(
             "--trace-out/--metrics-out sweep exports are component-family only \
-             (recursive reproducers embed their span tail instead)"
+             (recursive and mesh reproducers embed their span tail instead)"
                 .to_owned(),
         );
+    }
+    if let Some(name) = args.class_raw.as_deref().filter(|n| *n != "all") {
+        let known = match args.family {
+            Family::Recursive => FaultClass::from_name(name).is_some(),
+            Family::Mesh => MeshFaultClass::from_name(name).is_some(),
+            Family::Component | Family::Fleet => true,
+        };
+        if !known {
+            return Err(format!(
+                "fault class {name:?} does not belong to the selected family"
+            ));
+        }
+    }
+    if args.plant_kind.is_some() && args.family != Family::Mesh {
+        return Err("--plant-kind is mesh-family only".to_owned());
     }
     Ok(args)
 }
@@ -259,6 +320,30 @@ fn replay(args: &Args, path: &PathBuf) -> Result<bool, String> {
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
     // The family discriminator picks the replay engine; documents without
     // one are component-family reproducers from before the field existed.
+    if let Ok(spec) = mesh_from_json(&text) {
+        println!(
+            "replaying mesh {} campaign #{} (seed {:#018x}, {} client(s) x {} request(s), plant {})",
+            spec.class.name(),
+            spec.campaign,
+            spec.seed,
+            spec.clients,
+            spec.requests_per_client,
+            spec.plant.map_or("none", |p| p.name()),
+        );
+        print_span_tail(&text);
+        print_journey_tail(&text);
+        let report = run_mesh_campaign(&spec).map_err(|e| format!("replay failed: {e}"))?;
+        return if report.violations.is_empty() {
+            println!("all three oracles silent: the reproducer no longer fails");
+            Ok(true)
+        } else {
+            for v in &report.violations {
+                println!("  {v:?}");
+            }
+            println!("{} violation(s) reproduced", report.violations.len());
+            Ok(false)
+        };
+    }
     if let Ok(spec) = recursive_from_json(&text) {
         println!(
             "replaying recursive {} campaign #{} (seed {:#018x}, target {}, plant {})",
@@ -388,6 +473,112 @@ fn run_recursive_family(args: &Args) -> ExitCode {
     exit
 }
 
+/// The mesh family's `--plant` mode: the three-plant battery, same exit
+/// discipline as the recursive battery (a sleeping oracle exits 2).
+fn run_mesh_plant_battery(seed: u64) -> ExitCode {
+    let checks = match run_mesh_plants(seed) {
+        Ok(checks) => checks,
+        Err(e) => {
+            eprintln!("plant battery failed to run: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut exit = ExitCode::SUCCESS;
+    for check in &checks {
+        println!(
+            "{} plant {}: {}",
+            if check.ok { "OK  " } else { "FAIL" },
+            check.plant.name(),
+            check.detail,
+        );
+        if !check.ok {
+            exit = ExitCode::from(2);
+        }
+    }
+    println!(
+        "{}/{} plants flipped exactly their oracle",
+        checks.iter().filter(|c| c.ok).count(),
+        checks.len(),
+    );
+    exit
+}
+
+/// The mesh family's `--plant-kind` mode: one planted campaign, exit 1 iff
+/// at least one oracle caught it. CI runs these as `!`-negated steps, so a
+/// sleeping oracle (exit 0) fails the build.
+fn run_mesh_single_plant(seed: u64, kind: MeshPlantKind) -> ExitCode {
+    let spec = generate_mesh_spec(
+        derive_seed(seed, 0),
+        0,
+        MeshFaultClass::KvRejuvenate,
+        Some(kind),
+    );
+    match run_mesh_campaign(&spec) {
+        Ok(report) if report.violations.is_empty() => {
+            println!(
+                "plant {} slipped past every oracle (harness defect)",
+                kind.name()
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(report) => {
+            for v in &report.violations {
+                println!("  {v:?}");
+            }
+            println!(
+                "plant {} caught by {} violation(s)",
+                kind.name(),
+                report.violations.len()
+            );
+            ExitCode::from(1)
+        }
+        Err(e) => {
+            eprintln!("planted campaign failed to run: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_mesh_family(args: &Args) -> ExitCode {
+    if let Some(kind) = args.plant_kind {
+        return run_mesh_single_plant(args.sweep.seed, kind);
+    }
+    if args.sweep.plant {
+        return run_mesh_plant_battery(args.sweep.seed);
+    }
+    let cfg = MeshSweepConfig {
+        seed: args.sweep.seed,
+        campaigns: args.sweep.campaigns,
+        classes: args.mesh_classes.clone(),
+        sequential: args.sweep.sequential,
+    };
+    let report = match run_mesh_sweep(&cfg) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("sweep failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", report.render());
+    let mut exit = ExitCode::SUCCESS;
+    for outcome in report.failures() {
+        exit = ExitCode::from(1);
+        let Some(json) = outcome.reproducer_json() else {
+            continue;
+        };
+        let name = format!(
+            "chaos-mesh-{}-{}.json",
+            outcome.report.spec.class.name(),
+            outcome.report.spec.campaign,
+        );
+        if let Err(e) = write_reproducer(&args.out_dir, &name, &json) {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    }
+    exit
+}
+
 fn run_fleet_family(args: &Args) -> ExitCode {
     if args.sweep.plant {
         // Fleet plant: a deliberate post-run state divergence in campaign 0
@@ -489,6 +680,7 @@ fn main() -> ExitCode {
 
     match args.family {
         Family::Recursive => return run_recursive_family(&args),
+        Family::Mesh => return run_mesh_family(&args),
         Family::Fleet => return run_fleet_family(&args),
         Family::Component => {}
     }

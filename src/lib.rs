@@ -28,7 +28,11 @@
 //! * [`cluster`] — the fleet layer: N instances behind a recovery-aware
 //!   balancer on one shared clock, with rolling rejuvenation plans,
 //!   fleet-level oracles, and the component → instance → fleet
-//!   escalation ladder the `recursive` chaos family exercises.
+//!   escalation ladder the `recursive` chaos family exercises;
+//! * [`mesh`] — the service-mesh layer: multi-component request pipelines
+//!   (front fleet → auth / KV / SQL backend services) with per-hop
+//!   deadlines, bounded retries, idempotency keys, and hedged requests,
+//!   measured end to end under component-level recovery.
 //!
 //! # Quickstart
 //!
@@ -62,6 +66,7 @@ pub use vampos_core as core;
 pub use vampos_detlint as detlint;
 pub use vampos_host as host;
 pub use vampos_mem as mem;
+pub use vampos_mesh as mesh;
 pub use vampos_mpk as mpk;
 pub use vampos_oslib as oslib;
 pub use vampos_sim as sim;
@@ -82,6 +87,10 @@ pub mod prelude {
         SystemBuilder, Whence,
     };
     pub use vampos_detlint::{lint_workspace, Report as DetlintReport, RuleCode};
+    pub use vampos_mesh::{
+        generate_mesh_spec, run_mesh_campaign, HopPolicy, Mesh, MeshConfig, MeshFaultClass,
+        MeshPlan, MeshRunReport, MeshTopology,
+    };
     pub use vampos_oslib::vfs::OpenFlags;
     pub use vampos_sim::{CostModel, Nanos, SimClock, SimRng};
     pub use vampos_telemetry::{Collector, RecoveryPhase, SpanDump, TelemetryHub, TelemetrySink};
